@@ -1,0 +1,78 @@
+//===-- bench_table1.cpp - Table 1: benchmark characteristics -------------------==//
+//
+// Regenerates the paper's Table 1 (benchmark characteristics: classes,
+// methods, call graph nodes, SDG statements) over the eight workload
+// models, and times the pipeline stages the paper reports as cheap
+// (call graph + pointer analysis under 5 minutes; SDG construction
+// demand-driven).
+//
+// Paper reference points (much larger Java programs, 2006 hardware):
+//   nanoxml/jtopas ~500 methods, ant/javac 1600-2100 methods,
+//   SDG statements 17k-71k, CG nodes > methods due to cloning.
+// Expected shape here: same ordering (javac largest, nanoxml/jtopas
+// smallest), CG nodes > reachable methods on every row.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Experiments.h"
+#include "lang/Lower.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace tsl;
+
+namespace {
+
+const WorkloadProgram &nanoxmlPadded() {
+  static WorkloadProgram W =
+      padWorkload(debuggingCases().front().Prog, "B1", 10, 6);
+  return W;
+}
+
+void BM_Frontend(benchmark::State &State) {
+  const WorkloadProgram &W = nanoxmlPadded();
+  for (auto _ : State) {
+    DiagnosticEngine Diag;
+    auto P = compileThinJ(W.Source, Diag);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_Frontend)->Unit(benchmark::kMillisecond);
+
+void BM_PointsTo(benchmark::State &State) {
+  const WorkloadProgram &W = nanoxmlPadded();
+  DiagnosticEngine Diag;
+  auto P = compileThinJ(W.Source, Diag);
+  for (auto _ : State) {
+    auto PTA = runPointsTo(*P);
+    benchmark::DoNotOptimize(PTA);
+  }
+}
+BENCHMARK(BM_PointsTo)->Unit(benchmark::kMillisecond);
+
+void BM_SDGBuild(benchmark::State &State) {
+  const WorkloadProgram &W = nanoxmlPadded();
+  DiagnosticEngine Diag;
+  auto P = compileThinJ(W.Source, Diag);
+  auto PTA = runPointsTo(*P);
+  for (auto _ : State) {
+    auto G = buildSDG(*P, *PTA, nullptr);
+    benchmark::DoNotOptimize(G);
+  }
+}
+BENCHMARK(BM_SDGBuild)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printf("=== Thin Slicing reproduction: Table 1 ===\n\n");
+  printf("%s\n", formatTable1(runTable1()).c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===-- dynamic_thin_slice.cpp - Dynamic thin slicing (paper Sec. 7) ------------==//
+//
+// The paper notes that "thin slicing applies naturally to dynamic data
+// dependences". This example demonstrates the extension: the
+// interpreter records per-instance producer dependences, and the
+// dynamic thin slice of a seed contains exactly the statements that
+// produced the observed value in this run — a subset of the static
+// thin slice (which must cover every run).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyn/Interp.h"
+#include "lang/Lower.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+#include "slicer/Slicer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace tsl;
+
+static const char *Source = R"THINJ(
+class Box { var v: int; }
+def main() {
+  var b = new Box();
+  var which = readInt();
+  if (which > 0) {
+    b.v = 100;
+  } else {
+    b.v = 200;
+  }
+  print(b.v);
+}
+)THINJ";
+
+int main() {
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(Source, Diag);
+  if (!P) {
+    fprintf(stderr, "%s", Diag.str().c_str());
+    return 1;
+  }
+
+  const Instr *Seed = nullptr;
+  for (const auto &M : P->methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (isa<PrintInstr>(I.get()))
+          Seed = I.get();
+
+  // Static thin slice: must cover both stores.
+  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+  std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr);
+  SliceResult Static = sliceBackward(*G, Seed, SliceMode::Thin);
+  printf("static thin slice (%u statements):\n%s\n", Static.sizeStmts(),
+         Static.str().c_str());
+
+  // Dynamic thin slices: one store each, depending on the input.
+  for (int64_t Input : {1, -1}) {
+    InterpOptions Opts;
+    Opts.InputInts = {Input};
+    Opts.TraceDeps = true;
+    InterpResult R = interpret(*P, Opts);
+    printf("run with input %lld prints %s; dynamic thin slice:\n",
+           static_cast<long long>(Input), R.Output.front().c_str());
+    auto Stmts = R.Trace.dynamicThinSliceOfLast(Seed);
+    std::sort(Stmts.begin(), Stmts.end(),
+              [](const Instr *A, const Instr *B) {
+                return A->loc().Line < B->loc().Line;
+              });
+    for (const Instr *I : Stmts)
+      if (I->loc().isValid())
+        printf("  line %u: %s  [in static slice: %s]\n", I->loc().Line,
+               I->str(*P).c_str(), Static.contains(I) ? "yes" : "NO!");
+  }
+  printf("\nthe dynamic slices pick exactly one store each; both runs stay "
+         "within the static slice\n");
+  return 0;
+}

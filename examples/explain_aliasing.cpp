@@ -1,0 +1,72 @@
+//===-- explain_aliasing.cpp - The paper's Figure 4 expansion walkthrough -------==//
+//
+// Recreates Section 4's hierarchical expansion: a File is closed
+// through an alias obtained from a Vector, and readFromFile() later
+// throws. The thin slice from the open-flag read shows the producers
+// of the flag (the stores in the constructor and in close()) but not
+// why those statements touch the same File — that is the aliasing
+// question (Q1), answered by two more thin slices filtered to objects
+// flowing to both base pointers. The controlling conditional (Q2) is
+// surfaced separately.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Workload.h"
+#include "lang/Lower.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+#include "slicer/Expansion.h"
+#include "slicer/Slicer.h"
+
+#include <cstdio>
+
+using namespace tsl;
+
+int main() {
+  WorkloadProgram W = makeFigure4();
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(W.Source, Diag);
+  if (!P) {
+    fprintf(stderr, "%s", Diag.str().c_str());
+    return 1;
+  }
+  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+  std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr);
+  ThinExpansion Exp(*G, *PTA);
+
+  // Step 1: the exception at `throw` has no incoming value flow; the
+  // user inspects the code and thin-slices from the conditional's
+  // operand instead (paper Sec. 4.2).
+  const Instr *OpenRead = instrAtLine(*P, W.markerLine("readopen"));
+  SliceResult Thin = sliceBackward(*G, OpenRead, SliceMode::Thin);
+  printf("thin slice from `var open = f.isOpen()` (%u statements):\n%s\n",
+         Thin.sizeStmts(), Thin.str().c_str());
+  printf("-> the flag is written true in the constructor and false in "
+         "close(), but WHICH File was closed?\n\n");
+
+  // Step 2 (Q1): explain the aliasing between close()'s this and
+  // isOpen()'s this.
+  const Instr *Store = heapAccessAtLine(*P, W.markerLine("openfield-false"));
+  const Instr *Load = heapAccessAtLine(*P, W.markerLine("isopen"));
+  SliceResult Aliasing = Exp.explainAliasing(Store, Load);
+  printf("aliasing explanation (two thin slices filtered to the common "
+         "File object, %u statements):\n%s\n",
+         Aliasing.sizeStmts(), Aliasing.str().c_str());
+  printf("-> the File flows through Vector.add/get to both close() and "
+         "isOpen(); the bug is the close through the alias\n\n");
+
+  // Step 3 (Q2): the throw's controlling conditional.
+  const Instr *Throw = instrAtLine(*P, W.markerLine("seed"));
+  printf("controlling conditionals of the throw:\n");
+  for (const Instr *C : Exp.controlExplainers(Throw))
+    printf("  line %u: %s\n", C->loc().Line, C->str(*P).c_str());
+
+  // In the limit, expansion recovers the traditional slice (Sec. 2).
+  SliceResult Full = Exp.expandToTraditional(OpenRead);
+  SliceResult Trad = sliceBackward(*G, OpenRead, SliceMode::Traditional);
+  printf("\nfully expanded thin slice: %u statements; traditional slice: "
+         "%u statements; equal: %s\n",
+         Full.sizeStmts(), Trad.sizeStmts(),
+         Full.nodeSet() == Trad.nodeSet() ? "yes" : "no");
+  return 0;
+}

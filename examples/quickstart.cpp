@@ -1,0 +1,92 @@
+//===-- quickstart.cpp - Minimal end-to-end use of the public API ---------------==//
+//
+// Compiles a small ThinJ program, runs the analysis pipeline, and
+// prints a thin slice and the corresponding traditional slice side by
+// side. This is the 30-second tour of the library:
+//
+//   source -> compileThinJ -> runPointsTo -> buildSDG -> sliceBackward
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lower.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+#include "slicer/Slicer.h"
+
+#include <cstdio>
+
+using namespace tsl;
+
+// A value flows through a container; a thin slice shows the producers,
+// a traditional slice additionally drags in the container plumbing and
+// control flow.
+static const char *Source = R"THINJ(
+class Box {
+  var items: Object[];
+  var n: int;
+  def init() {
+    items = new Object[4];
+    n = 0;
+  }
+  def put(v: Object) {
+    items[n] = v;
+    n = n + 1;
+  }
+  def take(i: int): Object {
+    return items[i];
+  }
+}
+
+def main() {
+  var box = new Box();
+  var secret = "the secret value";
+  if (secret.length() > 3) {
+    box.put(secret);
+  }
+  var out = (string) box.take(0);
+  print(out);                          // <- the slicing seed
+}
+)THINJ";
+
+int main() {
+  // 1. Compile (parse + type-check + lower to SSA IR).
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(Source, Diag);
+  if (!P) {
+    fprintf(stderr, "compilation failed:\n%s", Diag.str().c_str());
+    return 1;
+  }
+
+  // 2. Pointer analysis with on-the-fly call graph (object-sensitive
+  //    container handling on by default, as in the paper).
+  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+  printf("call graph: %zu reachable methods, %zu nodes\n",
+         PTA->callGraph().reachableMethods().size(),
+         PTA->callGraph().nodes().size());
+
+  // 3. Build the (context-insensitive) system dependence graph.
+  std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr);
+  printf("sdg: %u statements, %u edges\n\n", G->numStmtNodes(),
+         G->numEdges());
+
+  // 4. Find the seed: the print statement.
+  const Instr *Seed = nullptr;
+  for (const auto &M : P->methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (isa<PrintInstr>(I.get()))
+          Seed = I.get();
+
+  // 5. Slice.
+  SliceResult Thin = sliceBackward(*G, Seed, SliceMode::Thin);
+  SliceResult Trad = sliceBackward(*G, Seed, SliceMode::Traditional);
+
+  printf("--- thin slice (%u statements): the producers ---\n%s\n",
+         Thin.sizeStmts(), Thin.str().c_str());
+  printf("--- traditional slice (%u statements): everything relevant ---\n"
+         "%s\n",
+         Trad.sizeStmts(), Trad.str().c_str());
+  printf("the thin slice focuses on %u of %u statements\n",
+         Thin.sizeStmts(), Trad.sizeStmts());
+  return 0;
+}

@@ -1,0 +1,54 @@
+//===-- CHA.cpp - Class-hierarchy-analysis call graph ---------------------------==//
+
+#include "cg/CHA.h"
+
+#include "support/Worklist.h"
+
+using namespace tsl;
+
+std::unique_ptr<CallGraph> tsl::buildCHACallGraph(Program &P,
+                                                  const ClassHierarchy &CH,
+                                                  bool FromMainOnly) {
+  auto CG = std::make_unique<CallGraph>();
+
+  // Seed the worklist with entry methods.
+  Worklist WL;
+  auto Enqueue = [&](Method *M) {
+    if (!M->entry())
+      return;
+    unsigned Node = CG->getOrCreateNode(M, 0);
+    WL.push(Node);
+  };
+  if (FromMainOnly) {
+    if (Method *Main = P.mainMethod())
+      Enqueue(Main);
+  } else {
+    for (const auto &M : P.methods())
+      Enqueue(M.get());
+  }
+
+  while (!WL.empty()) {
+    unsigned Node = WL.pop();
+    Method *M = CG->node(Node).M;
+    for (const auto &BB : M->blocks()) {
+      for (const auto &I : BB->instrs()) {
+        const auto *Call = dyn_cast<CallInstr>(I.get());
+        if (!Call)
+          continue;
+        std::vector<Method *> Targets;
+        if (Call->isVirtual())
+          Targets = CH.chaTargets(Call->target());
+        else
+          Targets.push_back(Call->target());
+        for (Method *Target : Targets) {
+          if (!Target->entry())
+            continue;
+          unsigned CalleeNode = CG->getOrCreateNode(Target, 0);
+          CG->addEdge(Node, Call, CalleeNode);
+          WL.push(CalleeNode);
+        }
+      }
+    }
+  }
+  return CG;
+}

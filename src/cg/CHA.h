@@ -1,0 +1,35 @@
+//===-- CHA.h - Class-hierarchy-analysis call graph -------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic baseline call graph: every virtual call dispatches to
+/// every override in the declared receiver class's subtree. Coarser
+/// than the pointer-analysis-based on-the-fly graph the paper uses,
+/// but independent of points-to results — useful as a precision
+/// baseline in tests and as a fallback when no entry point exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_CG_CHA_H
+#define THINSLICER_CG_CHA_H
+
+#include "cg/CallGraph.h"
+#include "cg/ClassHierarchy.h"
+
+#include <memory>
+
+namespace tsl {
+
+/// Builds a context-insensitive CHA call graph rooted at main (or at
+/// every method when \p FromMainOnly is false). All nodes use
+/// context 0.
+std::unique_ptr<CallGraph> buildCHACallGraph(Program &P,
+                                             const ClassHierarchy &CH,
+                                             bool FromMainOnly = true);
+
+} // namespace tsl
+
+#endif // THINSLICER_CG_CHA_H

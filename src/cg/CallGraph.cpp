@@ -1,0 +1,93 @@
+//===-- CallGraph.cpp - Context-aware call graph ------------------------------==//
+
+#include "cg/CallGraph.h"
+
+#include <algorithm>
+
+using namespace tsl;
+
+static uint64_t nodeKey(const Method *M, unsigned Ctx) {
+  return (static_cast<uint64_t>(M->id()) << 32) | Ctx;
+}
+
+unsigned CallGraph::getOrCreateNode(Method *M, unsigned Ctx) {
+  uint64_t Key = nodeKey(M, Ctx);
+  auto It = NodeIndex.find(Key);
+  if (It != NodeIndex.end())
+    return It->second;
+  unsigned Id = static_cast<unsigned>(Nodes.size());
+  Nodes.push_back({M, Ctx, Id});
+  NodeIndex.emplace(Key, Id);
+  MethodNodes[M].push_back(Id);
+  return Id;
+}
+
+int CallGraph::findNode(const Method *M, unsigned Ctx) const {
+  auto It = NodeIndex.find(nodeKey(M, Ctx));
+  return It == NodeIndex.end() ? -1 : static_cast<int>(It->second);
+}
+
+bool CallGraph::addEdge(unsigned CallerNode, const CallInstr *Site,
+                        unsigned CalleeNode) {
+  if (!EdgeDedup.insert({CallerNode, Site, CalleeNode}).second)
+    return false;
+  Edges.push_back({CallerNode, Site, CalleeNode});
+  SiteEdges[Site].push_back(static_cast<unsigned>(Edges.size() - 1));
+  return true;
+}
+
+std::vector<Method *> CallGraph::calleesOf(const CallInstr *Site) const {
+  std::vector<Method *> Out;
+  auto It = SiteEdges.find(Site);
+  if (It == SiteEdges.end())
+    return Out;
+  for (unsigned EdgeIdx : It->second) {
+    Method *M = Nodes[Edges[EdgeIdx].CalleeNode].M;
+    if (std::find(Out.begin(), Out.end(), M) == Out.end())
+      Out.push_back(M);
+  }
+  return Out;
+}
+
+std::vector<unsigned> CallGraph::calleeNodesOf(const CallInstr *Site) const {
+  std::vector<unsigned> Out;
+  auto It = SiteEdges.find(Site);
+  if (It == SiteEdges.end())
+    return Out;
+  for (unsigned EdgeIdx : It->second) {
+    unsigned Node = Edges[EdgeIdx].CalleeNode;
+    if (std::find(Out.begin(), Out.end(), Node) == Out.end())
+      Out.push_back(Node);
+  }
+  return Out;
+}
+
+std::vector<std::pair<unsigned, const CallInstr *>>
+CallGraph::callersOf(const Method *M) const {
+  std::vector<std::pair<unsigned, const CallInstr *>> Out;
+  for (const CallEdge &E : Edges) {
+    if (Nodes[E.CalleeNode].M != M)
+      continue;
+    auto Entry = std::make_pair(E.CallerNode, E.Site);
+    if (std::find(Out.begin(), Out.end(), Entry) == Out.end())
+      Out.push_back(Entry);
+  }
+  return Out;
+}
+
+std::vector<Method *> CallGraph::reachableMethods() const {
+  std::vector<Method *> Out;
+  for (const auto &[M, NodeIds] : MethodNodes) {
+    (void)NodeIds;
+    Out.push_back(const_cast<Method *>(M));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const Method *A, const Method *B) { return A->id() < B->id(); });
+  return Out;
+}
+
+const std::vector<unsigned> &CallGraph::nodesOf(const Method *M) const {
+  static const std::vector<unsigned> Empty;
+  auto It = MethodNodes.find(M);
+  return It == MethodNodes.end() ? Empty : It->second;
+}

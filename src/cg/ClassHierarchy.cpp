@@ -1,0 +1,50 @@
+//===-- ClassHierarchy.cpp - Subtyping and dispatch --------------------------==//
+
+#include "cg/ClassHierarchy.h"
+
+#include <algorithm>
+
+using namespace tsl;
+
+ClassHierarchy::ClassHierarchy(const Program &P) : P(P) {
+  Subclasses.resize(P.classes().size());
+  for (const auto &C : P.classes())
+    for (ClassDef *Walk = C.get(); Walk; Walk = Walk->superclass())
+      Subclasses[Walk->id()].push_back(C.get());
+}
+
+bool ClassHierarchy::isSubtype(const Type *From, const Type *To) const {
+  if (From == To)
+    return true;
+  if (From->isNull() && To->isReference())
+    return true;
+  if (To->isClass() && To->classDef() == P.objectClass() &&
+      From->isReference())
+    return true;
+  if (From->isClass() && To->isClass())
+    return From->classDef()->isSubclassOf(To->classDef());
+  return false;
+}
+
+Method *ClassHierarchy::resolveVirtual(const ClassDef *Runtime,
+                                       const Method *Declared) const {
+  if (!Runtime->isSubclassOf(Declared->owner()))
+    return nullptr;
+  return Runtime->findMethod(Declared->name());
+}
+
+const std::vector<ClassDef *> &
+ClassHierarchy::subclassesOf(const ClassDef *C) const {
+  return Subclasses[C->id()];
+}
+
+std::vector<Method *> ClassHierarchy::chaTargets(const Method *Declared) const {
+  std::vector<Method *> Targets;
+  for (ClassDef *Sub : subclassesOf(Declared->owner())) {
+    Method *Resolved = Sub->findMethod(Declared->name());
+    if (Resolved && std::find(Targets.begin(), Targets.end(), Resolved) ==
+                        Targets.end())
+      Targets.push_back(Resolved);
+  }
+  return Targets;
+}

@@ -1,0 +1,54 @@
+//===-- ClassHierarchy.h - Subtyping and dispatch ----------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Subtype queries over ThinJ types and virtual dispatch resolution.
+/// Used by the pointer analysis (on-the-fly call graph, cast filters),
+/// the CHA baseline call graph, and the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_CG_CLASSHIERARCHY_H
+#define THINSLICER_CG_CLASSHIERARCHY_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace tsl {
+
+/// Type- and dispatch-level queries against one Program.
+class ClassHierarchy {
+public:
+  explicit ClassHierarchy(const Program &P);
+
+  const Program &program() const { return P; }
+
+  /// True when a value of runtime type \p From may be stored where
+  /// \p To is expected (reflexive; Object is the top reference type;
+  /// null is the bottom).
+  bool isSubtype(const Type *From, const Type *To) const;
+
+  /// Resolves the method actually invoked when \p Declared is called
+  /// virtually on an instance of \p Runtime. Returns null when
+  /// \p Runtime is unrelated to the declaring class.
+  Method *resolveVirtual(const ClassDef *Runtime, const Method *Declared) const;
+
+  /// All classes that are \p C or transitively extend it.
+  const std::vector<ClassDef *> &subclassesOf(const ClassDef *C) const;
+
+  /// All methods that a virtual call with declared target \p Declared
+  /// may dispatch to (the CHA approximation).
+  std::vector<Method *> chaTargets(const Method *Declared) const;
+
+private:
+  const Program &P;
+  std::vector<std::vector<ClassDef *>> Subclasses; ///< Indexed by class id.
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_CG_CLASSHIERARCHY_H

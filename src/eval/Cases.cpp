@@ -1,0 +1,545 @@
+//===-- Cases.cpp - Table 2 debugging workloads --------------------------------==//
+//
+// Benchmark models with injected bugs for the debugging experiment
+// (paper Section 6.2). Each family mirrors the dependence structure of
+// the corresponding SIR benchmark's bugs:
+//
+//  - nanoxml:  values inserted into and retrieved from one or two
+//    Vectors / a HashMap-of-Vectors index (the pattern the paper calls
+//    out as thin slicing's sweet spot), plus one aliasing bug
+//    (nanoxml-5) that needs one level of aliasing exposure;
+//  - jtopas:   failures at or adjacent to the buggy statement;
+//  - ant:      property plumbing plus a 12-return dispatcher whose
+//    returns are all control dependent near the bug (ant-3);
+//  - xml-security: a failing hash comparison where one bug is shallow
+//    (xmlsec-1) and one is buried in the hash internals, where no
+//    slicer helps (xmlsec-2, reported as excluded as in the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Workload.h"
+
+using namespace tsl;
+
+//===----------------------------------------------------------------------===//
+// nanoxml model
+//===----------------------------------------------------------------------===//
+
+static WorkloadProgram nanoxmlProgram() {
+  return makeWorkload("nanoxml", R"THINJ(
+class XmlElement {
+  var nameParts: Vector;
+  var attributes: HashMap;
+  var children: Vector;
+  var content: string;
+  def init(n: string) {
+    nameParts = new Vector();
+    nameParts.add(n); //@ name-store
+    attributes = new HashMap();
+    children = new Vector();
+    content = "?"; //@ n6-bug
+  }
+  def addChild(c: XmlElement) {
+    children.add(c); //@ n2-addchild
+  }
+  def childAt(i: int): XmlElement {
+    return (XmlElement) children.get(i); //@ child-get
+  }
+  def childCount(): int {
+    return children.size();
+  }
+  def setAttribute(k: string, v: string) {
+    attributes.put(k, v); //@ attr-put
+  }
+  def getAttribute(k: string): string {
+    return (string) attributes.get(k); //@ attr-get
+  }
+  def setContent(c: string) {
+    content = c; //@ content-store
+  }
+  def getContent(): string {
+    return content; //@ content-load
+  }
+  def getName(): string {
+    return (string) nameParts.get(0); //@ name-load
+  }
+  def clearAttributes() {
+    attributes = new HashMap(); //@ n5-clear
+  }
+}
+
+class Document {
+  var index: HashMap;
+  def init() {
+    index = new HashMap();
+  }
+  def register(e: XmlElement) {
+    var bucket = (Vector) index.get(e.getName());
+    if (bucket == null) {
+      bucket = new Vector();
+      index.put(e.getName(), bucket);
+    }
+    bucket.add(e); //@ n5-bucket-add
+  }
+  def lookupFirst(nm: string): XmlElement {
+    var bucket = (Vector) index.get(nm); //@ n5-index-get
+    return (XmlElement) bucket.get(0); //@ n5-bucket-get
+  }
+  def addHeading(level: string, text: string) {
+    var bucket = (Vector) index.get(level);
+    if (bucket == null) {
+      bucket = new Vector();
+      index.put(level, bucket); //@ n3-index-put
+    }
+    bucket.add(text); //@ n3-bucket-add
+  }
+  def firstHeading(level: string): string {
+    var bucket = (Vector) index.get(level); //@ n3-index-get
+    return (string) bucket.get(0); //@ n3-bucket-get
+  }
+}
+
+def parseAttrName(spec: string): string {
+  var eq = spec.indexOf("=");
+  var nm = spec.substring(0, eq);
+  return nm;
+}
+
+def parseAttrValue(spec: string): string {
+  var eq = spec.indexOf("=");
+  var v = spec.substring(eq + 2, spec.length()); //@ n1-bug
+  return v; //@ n1-ret
+}
+
+def parseElement(header: string): XmlElement {
+  var sp = header.indexOf(" ");
+  var nm = header;
+  if (sp >= 0) {
+    nm = header.substring(0, sp);
+  }
+  var elem = new XmlElement(nm); //@ elem-alloc
+  if (sp >= 0) {
+    var attrSpec = header.substring(sp + 1, header.length());
+    var k = parseAttrName(attrSpec);
+    var v = parseAttrValue(attrSpec); //@ n1-call
+    elem.setAttribute(k, v); //@ n1-setattr
+  }
+  return elem;
+}
+
+def normalizeName(raw: string): string {
+  var trimmed = raw.substring(1, raw.length()); //@ n2-bug
+  return trimmed;
+}
+
+def buildTree(rootName: string, childNames: Vector): XmlElement {
+  var root = new XmlElement(rootName);
+  for (var i = 0; i < childNames.size(); i = i + 1) {
+    var raw = (string) childNames.get(i); //@ n2-names-get
+    var child = new XmlElement(normalizeName(raw)); //@ n2-child-alloc
+    root.addChild(child); //@ n2-addchild-call
+  }
+  return root;
+}
+
+def featureAttrValue() {
+  var e = parseElement("item id=42");
+  print("ID: " + e.getAttribute("id")); //@ n1-seed
+}
+
+def featureTree() {
+  var names = new Vector();
+  names.add("head"); //@ n2-name-add
+  names.add("body");
+  var root = buildTree("html", names);
+  var c = root.childAt(0); //@ n2-childat
+  print("CHILD: " + c.getName()); //@ n2-seed
+}
+
+def featureIndex() {
+  var doc = new Document();
+  var raw = readLine(); //@ n3-input
+  var trimmed = raw.substring(0, 3); //@ n3-bug
+  doc.addHeading("h1", trimmed); //@ n3-add
+  doc.addHeading("h2", "subtitle");
+  var text = doc.firstHeading("h1");
+  print("HEADING: " + text); //@ n3-seed
+}
+
+def printChildren(e: XmlElement) {
+  var n = e.childCount() - 1; //@ n4-bug
+  for (var i = 0; i < n; i = i + 1) { //@ n4-cond
+    var c = e.childAt(i);
+    print("ITEM: " + c.getName()); //@ n4-seed
+  }
+}
+
+def featureChildren() {
+  var names = new Vector();
+  names.add("xa");
+  names.add("xb");
+  names.add("xc");
+  var root = buildTree("list", names);
+  printChildren(root);
+}
+
+def featureAlias() {
+  var doc = new Document();
+  var e = parseElement("form action=submit"); //@ n5-parse
+  doc.register(e); //@ n5-register
+  var alias = doc.lookupFirst("form"); //@ n5-lookup
+  alias.clearAttributes(); //@ n5-clear-call
+  print("ACTION: " + e.getAttribute("action")); //@ n5-seed
+}
+
+def featureDefault() {
+  var e = parseElement("empty");
+  print("TEXT: " + e.getContent()); //@ n6-seed
+}
+
+def main() {
+  featureAttrValue();
+  featureTree();
+  featureIndex();
+  featureChildren();
+  featureAlias();
+  featureDefault();
+}
+)THINJ");
+}
+
+//===----------------------------------------------------------------------===//
+// jtopas model
+//===----------------------------------------------------------------------===//
+
+static WorkloadProgram jtopasProgram() {
+  return makeWorkload("jtopas", R"THINJ(
+class Token {
+  var text: string;
+  var kind: int;
+  def init(t: string, k: int) {
+    text = t; //@ tok-text-store
+    kind = k;
+  }
+  def getText(): string {
+    return text;
+  }
+  def getKind(): int {
+    return kind;
+  }
+}
+
+class Tokenizer {
+  var tokens: Vector;
+  var keywordTable: HashMap;
+  def init() {
+    tokens = new Vector();
+    // Injected bug jtopas-1: keywordTable is never initialized.
+  }
+  def classify(word: string): int {
+    var entry = keywordTable.get(word); //@ jt1-seed
+    if (entry == null) {
+      return 0;
+    }
+    return 1;
+  }
+  def tokenize(line: string) {
+    var n = line.length();
+    var start = 0;
+    for (var i = 0; i < n; i = i + 1) {
+      var ch = line.charAt(i);
+      if (ch == 32) {
+        if (i > start) {
+          var word = line.substring(start, i);
+          tokens.add(new Token(word, classify(word))); //@ jt-add
+        }
+        start = i + 1;
+      }
+    }
+    if (start < n) {
+      var tail = line.substring(start, n);
+      tokens.add(new Token(tail, classify(tail)));
+    }
+  }
+  def tokenAt(i: int): Token {
+    return (Token) tokens.get(i);
+  }
+}
+
+def firstWord(line: string): string {
+  var sp = line.indexOf(" ");
+  if (sp < 0) {
+    return line;
+  }
+  return line.substring(0, sp + 1); //@ jt2-bug
+}
+
+def featureFirstWord() {
+  var w = firstWord(readLine());
+  print("WORD: [" + w + "]"); //@ jt2-seed
+}
+
+def featureTokenize() {
+  var t = new Tokenizer(); //@ jt1-ctor
+  t.tokenize(readLine());
+  if (t.tokens.size() > 0) {
+    print("FIRST: " + t.tokenAt(0).getText());
+  }
+}
+
+def main() {
+  featureFirstWord();
+  featureTokenize();
+}
+)THINJ");
+}
+
+//===----------------------------------------------------------------------===//
+// ant model
+//===----------------------------------------------------------------------===//
+
+static WorkloadProgram antProgram() {
+  return makeWorkload("ant", R"THINJ(
+class Target {
+  var name: string;
+  var deps: Vector;
+  var status: int;
+  def init(n: string) {
+    name = n;
+    deps = new Vector();
+    status = 0;
+  }
+  def addDep(d: Target) {
+    deps.add(d);
+  }
+  def getName(): string {
+    return name;
+  }
+  def setStatus(s: int) {
+    status = s; //@ status-store
+  }
+  def getStatus(): int {
+    return status;
+  }
+}
+
+class Project {
+  var targets: HashMap;
+  var props: HashMap;
+  def init() {
+    targets = new HashMap();
+    props = new HashMap();
+  }
+  def setProp(k: string, v: string) {
+    props.put(k, v); //@ prop-put
+  }
+  def getProp(k: string): string {
+    return (string) props.get(k); //@ prop-get
+  }
+  def addTarget(t: Target) {
+    targets.put(t.getName(), t);
+  }
+  def getTarget(n: string): Target {
+    return (Target) targets.get(n); //@ target-get
+  }
+}
+
+def featureMissingTarget(p: Project) {
+  var t = p.getTarget("deploy"); //@ ant1-bug
+  print("TARGET: " + t.getName()); //@ ant1-seed
+}
+
+def featureProps(p: Project) {
+  p.setProp("src", "src-dir");
+  p.setProp("build", "build-dir");
+  p.setProp("out", p.getProp("src")); //@ ant2-bug
+  print("OUT: " + p.getProp("out")); //@ ant2-seed
+}
+
+def statusName(code: int): string {
+  if (code == 0) { return "idle"; } //@ ant3-r0
+  if (code == 1) { return "parsing"; }
+  if (code == 2) { return "resolving"; }
+  if (code == 3) { return "compiling"; }
+  if (code == 4) { return "linking"; }
+  if (code == 5) { return "testing"; }
+  if (code == 6) { return "packaging"; }
+  if (code == 7) { return "deploying"; }
+  if (code == 8) { return "cleaning"; }
+  if (code == 9) { return "failed"; }
+  if (code == 10) { return "skipped"; }
+  return "unknown"; //@ ant3-r11
+}
+
+def computeCode(t: Target): int {
+  var base = t.getStatus();
+  var code = base * 2 + 1; //@ ant3-bug
+  return code;
+}
+
+def featureStatus(p: Project) {
+  var t = new Target("compile");
+  t.setStatus(readInt()); //@ ant3-status-in
+  p.addTarget(t);
+  var fetched = p.getTarget("compile");
+  var code = computeCode(fetched); //@ ant3-compute
+  var s = statusName(code);
+  print("STATUS: " + s); //@ ant3-seed
+}
+
+def pickMode(flag: bool): string {
+  var mode = "quiet";
+  if (flag) {
+    mode = "verbose"; //@ ant4-bug
+  }
+  return mode;
+}
+
+def featureMode() {
+  var verbose = readInt() == 0; //@ ant4-flag
+  var mode = pickMode(verbose);
+  print("MODE: " + mode); //@ ant4-seed
+}
+
+def main() {
+  var p = new Project();
+  featureProps(p);
+  featureStatus(p);
+  featureMode();
+  featureMissingTarget(p);
+}
+)THINJ");
+}
+
+//===----------------------------------------------------------------------===//
+// xml-security model
+//===----------------------------------------------------------------------===//
+
+static WorkloadProgram xmlsecProgram() {
+  return makeWorkload("xmlsec", R"THINJ(
+def rotate(x: int, k: int): int {
+  var y = x * 2 + k;
+  if (y < 0) {
+    y = 0 - y;
+  }
+  return y % 65536;
+}
+
+def mixRound(h: int, b: int): int {
+  var x = h * 31 + b;
+  x = x + x / 7; //@ xs2-bug
+  x = rotate(x, 3);
+  x = x * 17 + 11;
+  x = rotate(x, 5);
+  x = x + b * 13;
+  return x % 32768;
+}
+
+def computeHash(data: string): int {
+  var h = 7;
+  var n = data.length();
+  for (var i = 0; i < n; i = i + 1) {
+    h = mixRound(h, data.charAt(i)); //@ xs2-loop
+  }
+  return h;
+}
+
+def featureShallow() {
+  var payload = readLine();
+  var h = computeHash(payload);
+  var expected = h + 1; //@ xs1-bug
+  if (h != expected) {
+    print("SIG MISMATCH: " + h + " vs " + expected); //@ xs1-seed
+  }
+}
+
+def featureDeep() {
+  var payload = readLine();
+  var h = computeHash(payload); //@ xs2-compute
+  if (h != 12345) {
+    print("HASH MISMATCH: " + h); //@ xs2-seed
+  }
+}
+
+def main() {
+  featureShallow();
+  featureDeep();
+}
+)THINJ");
+}
+
+//===----------------------------------------------------------------------===//
+// Case table
+//===----------------------------------------------------------------------===//
+
+std::vector<BugCase> tsl::debuggingCases() {
+  std::vector<BugCase> Cases;
+  WorkloadProgram Nano = nanoxmlProgram();
+  WorkloadProgram Jtopas = jtopasProgram();
+  WorkloadProgram Ant = antProgram();
+  WorkloadProgram Xmlsec = xmlsecProgram();
+
+  auto Add = [&Cases](BugCase Case) { Cases.push_back(std::move(Case)); };
+
+  // nanoxml-1: attribute value truncated by an off-by-one substring,
+  // traced through the element's HashMap.
+  Add({"nanoxml-1", Nano, "n1-seed", {"n1-bug"}, 0, {}, false, {}, {}, true});
+
+  // nanoxml-2: child name mangled, traced through two Vectors (names
+  // vector, children vector).
+  Add({"nanoxml-2", Nano, "n2-seed", {"n2-bug"}, 0, {}, false, {}, {}, true});
+
+  // nanoxml-3: element content truncated, element traced through a
+  // Vector nested in a HashMap index.
+  Add({"nanoxml-3", Nano, "n3-seed", {"n3-bug"}, 0, {}, false, {}, {}, true});
+
+  // nanoxml-4: off-by-one loop bound; the user follows one control
+  // dependence (the loop condition) and slices on from it.
+  Add({"nanoxml-4", Nano, "n4-seed", {"n4-bug"}, 1, {"n4-cond"}, false, {},
+       {}, true});
+
+  // nanoxml-5: attributes cleared through an alias obtained from the
+  // index; requires one level of aliasing exposure (Sec. 6.2).
+  Add({"nanoxml-5", Nano, "n5-seed", {"n5-clear"}, 1, {}, true, {}, {},
+       true});
+
+  // nanoxml-6: wrong default content stored by the constructor.
+  Add({"nanoxml-6", Nano, "n6-seed", {"n6-bug"}, 0, {}, false, {}, {}, true});
+
+  // jtopas-1: the buggy statement itself fails (null keyword table).
+  Add({"jtopas-1", Jtopas, "jt1-seed", {"jt1-seed"}, 0, {}, false,
+       {"alpha beta"}, {}, true});
+
+  // jtopas-2: first word keeps its trailing separator.
+  Add({"jtopas-2", Jtopas, "jt2-seed", {"jt2-bug"}, 1, {}, false,
+       {"alpha beta"}, {}, true});
+
+  // ant-1: missing target; the user slices on the null receiver at the
+  // failure, whose producer is the line above — seed and desired are
+  // the same statement, as in jtopas-1, plus one control dependence.
+  Add({"ant-1", Ant, "ant1-bug", {"ant1-bug"}, 1, {}, false, {}, {}, true});
+
+  // ant-2: property initialized from the wrong property.
+  Add({"ant-2", Ant, "ant2-seed", {"ant2-bug"}, 0, {}, false, {}, {}, true});
+
+  // ant-3: a 12-return status dispatcher; each return is control
+  // dependent near the bug, so all of them are charged (paper: 15).
+  // The user keeps slicing from the dispatch conditionals.
+  Add({"ant-3", Ant, "ant3-seed", {"ant3-bug"}, 15, {"ant3-r0"}, false, {},
+       {1}, true});
+
+  // ant-4: inverted verbosity flag.
+  Add({"ant-4", Ant, "ant4-seed", {"ant4-bug"}, 2, {"ant4-flag"}, false, {},
+       {0}, true});
+
+  // xml-security-1: shallow signature comparison bug.
+  Add({"xmlsec-1", Xmlsec, "xs1-seed", {"xs1-bug"}, 1, {}, false,
+       {"payload-a", "payload-b"}, {}, true});
+
+  // xml-security-2: the bug is buried inside the hash rounds; per the
+  // paper, no kind of slicing helps here (reported as excluded).
+  Add({"xmlsec-2", Xmlsec, "xs2-seed", {"xs2-bug"}, 0, {}, false,
+       {"payload-a", "payload-b"}, {}, false});
+
+  return Cases;
+}

@@ -1,0 +1,500 @@
+//===-- CastCases.cpp - Table 3 tough-cast workloads ----------------------------==//
+//
+// Workload models for the program understanding experiment (paper
+// Section 6.3): downcasts the pointer analysis cannot verify, whose
+// safety rests on global invariants. Families mirror the SPECjvm98
+// benchmarks the paper studied:
+//
+//  - mtrt:  scene primitives tagged with a kind field;
+//  - jess:  facts and rule nodes flowing through an agenda Vector,
+//           casts guarded by instanceof checks (small slices, a couple
+//           of control deps);
+//  - javac: a large opcode-tagged Node hierarchy (Figure 5 at scale) —
+//           the desired statements are the tag writes in *all*
+//           constructors, which is where the thin/traditional gap is
+//           largest;
+//  - jack:  parser tokens stored in containers, where the NoObjSens
+//           ablation merges the token Vector with unrelated Vectors
+//           and inflates the inspection counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Generator.h"
+#include "eval/Workload.h"
+
+using namespace tsl;
+
+//===----------------------------------------------------------------------===//
+// mtrt model
+//===----------------------------------------------------------------------===//
+
+static WorkloadProgram mtrtProgram() {
+  return makeWorkload("mtrt", R"THINJ(
+class Primitive {
+  var kind: int;
+  def init(k: int) {
+    kind = k; //@ mtrt-kindstore
+  }
+}
+
+class Sphere extends Primitive {
+  var radius: int;
+  def init(r: int) {
+    super(1); //@ mtrt-sphere-tag
+    radius = r;
+  }
+}
+
+class Triangle extends Primitive {
+  var area: int;
+  def init(a: int) {
+    super(2); //@ mtrt-tri-tag
+    area = a;
+  }
+}
+
+class Scene {
+  var prims: Vector;
+  var lights: Vector;
+  def init() {
+    prims = new Vector();
+    lights = new Vector();
+  }
+  def addPrim(p: Primitive) {
+    prims.add(p); //@ mtrt-addprim
+  }
+  def primAt(i: int): Primitive {
+    return (Primitive) prims.get(i);
+  }
+  def count(): int {
+    return prims.size();
+  }
+}
+
+def loadScene(s: Scene, n: int) {
+  for (var i = 0; i < n; i = i + 1) {
+    var w = readInt();
+    if (w % 2 == 0) {
+      s.addPrim(new Sphere(w)); //@ mtrt-mk-sphere
+    } else {
+      s.addPrim(new Triangle(w)); //@ mtrt-mk-tri
+    }
+  }
+}
+
+def intersectSphere(p: Primitive): int {
+  var k = p.kind; //@ mtrt1-kindread
+  if (k == 1) {
+    var sp = (Sphere) p; //@ mtrt1-cast
+    return sp.radius * 2;
+  }
+  return 0;
+}
+
+def shadeTriangle(p: Primitive): int {
+  var k = p.kind; //@ mtrt2-kindread
+  if (k == 2) {
+    var tr = (Triangle) p; //@ mtrt2-cast
+    return tr.area + 1;
+  }
+  return 0;
+}
+
+def main() {
+  var s = new Scene();
+  loadScene(s, readInt());
+  var total = 0;
+  for (var i = 0; i < s.count(); i = i + 1) {
+    var p = s.primAt(i);
+    total = total + intersectSphere(p);
+    total = total + shadeTriangle(p);
+  }
+  print("TOTAL: " + total);
+}
+)THINJ");
+}
+
+//===----------------------------------------------------------------------===//
+// jess model
+//===----------------------------------------------------------------------===//
+
+static WorkloadProgram jessProgram() {
+  return makeWorkload("jess", R"THINJ(
+class Fact {
+  var arity: int;
+  var headName: string;
+  def init(h: string, a: int) {
+    headName = h;
+    arity = a;
+  }
+}
+
+class Rule {
+  var priority: int;
+  var ruleName: string;
+  def init(n: string, p: int) {
+    ruleName = n;
+    priority = p;
+  }
+}
+
+class Engine {
+  var memory: Vector;
+  var factCount: int;
+  var bindings: HashMap;
+  def init() {
+    memory = new Vector();
+    factCount = 0;
+    bindings = new HashMap();
+  }
+  def assert(f: Fact) {
+    memory.add(f); //@ jess-assert
+    factCount = factCount + 1;
+  }
+  def addRule(r: Rule) {
+    memory.add(r); //@ jess-addrule
+  }
+  def memoryAt(i: int): Object {
+    return memory.get(i);
+  }
+  def size(): int {
+    return memory.size();
+  }
+}
+
+def matchArity(o: Object): int {
+  if (o instanceof Fact) { //@ jess1-guard
+    var f = (Fact) o; //@ jess1-cast
+    return f.arity;
+  }
+  return 0 - 1;
+}
+
+def factName(o: Object): string {
+  var f = (Fact) o; //@ jess2-cast
+  return f.headName;
+}
+
+def rulePriority(o: Object): int {
+  if (o instanceof Rule) { //@ jess3-guard
+    var r = (Rule) o; //@ jess3-cast
+    return r.priority;
+  }
+  return 0;
+}
+
+def ruleName(o: Object): string {
+  if (o instanceof Rule) { //@ jess4-guard
+    var r = (Rule) o; //@ jess4-cast
+    return r.ruleName;
+  }
+  return "none";
+}
+
+def factPairArity(o: Object, p: Object): int {
+  var a = (Fact) o; //@ jess5-cast
+  var b = (Fact) p; //@ jess6-cast
+  return a.arity + b.arity;
+}
+
+def main() {
+  var e = new Engine();
+  // The working memory holds facts first, then rules — the casts rely
+  // on this global convention, which no pointer analysis can see.
+  e.assert(new Fact("goal", 2)); //@ jess-mkfact-1
+  e.assert(new Fact("state", 3)); //@ jess-mkfact-2
+  e.addRule(new Rule("fire", 5)); //@ jess-mkrule
+  var total = 0;
+  for (var i = 0; i < e.size(); i = i + 1) {
+    var o = e.memoryAt(i);
+    total = total + matchArity(o);
+    total = total + rulePriority(o);
+    print(ruleName(o));
+    if (i < e.factCount) {
+      print(factName(o));
+    }
+  }
+  total = total + factPairArity(e.memoryAt(0), e.memoryAt(1));
+  print("FIRED: " + total);
+}
+)THINJ");
+}
+
+//===----------------------------------------------------------------------===//
+// javac model (generated hierarchy)
+//===----------------------------------------------------------------------===//
+
+static WorkloadProgram javacProgram() {
+  std::string Body = "\n";
+  Body += generateJavacModel("jv", 32);
+  Body += R"THINJ(
+def main() {
+  var total = jvRun();
+  print("SIMPLIFIED: " + total);
+}
+)THINJ";
+  return makeWorkload("javac", Body);
+}
+
+//===----------------------------------------------------------------------===//
+// jack model
+//===----------------------------------------------------------------------===//
+
+static WorkloadProgram jackProgram() {
+  return makeWorkload("jack", R"THINJ(
+class Tok {
+  var text: string;
+  var code: int;
+  def init(t: string, c: int) {
+    text = t;
+    code = c; //@ jack-codestore
+  }
+}
+
+class TokenStream {
+  var toks: Vector;
+  var pos: int;
+  def init() {
+    toks = new Vector();
+    pos = 0;
+  }
+  def push(t: Tok) {
+    toks.add(t); //@ jack-push
+  }
+  def pushErrorMarker(on: bool) {
+    // Error recovery plants a bare string marker in the stream; the
+    // parser's casts are safe only because well-formed input never
+    // takes this path — a global invariant no pointer analysis sees.
+    if (on) {
+      toks.add("<error>"); //@ jack-marker
+    }
+  }
+  def next(): Object {
+    var t = toks.get(pos);
+    pos = pos + 1;
+    return t;
+  }
+  def peek(): Object {
+    return toks.get(pos);
+  }
+  def more(): bool {
+    return pos < toks.size();
+  }
+}
+
+class SymbolTable {
+  var names: Vector;
+  var kinds: Vector;
+  def init() {
+    names = new Vector();
+    kinds = new Vector();
+  }
+  def declare(n: string, k: string) {
+    names.add(n); //@ jack-sym-name
+    kinds.add(k);
+  }
+  def nameAt(i: int): string {
+    return (string) names.get(i);
+  }
+}
+
+def lex(stream: TokenStream, line: string) {
+  var n = line.length();
+  var start = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    if (line.charAt(i) == 32) {
+      if (i > start) {
+        var word = line.substring(start, i);
+        stream.push(new Tok(word, word.length())); //@ jack-mktok-1
+      }
+      start = i + 1;
+    }
+  }
+  if (start < n) {
+    stream.push(new Tok(line.substring(start, n), 9)); //@ jack-mktok-2
+  }
+}
+
+def parseName(stream: TokenStream): string {
+  var t = (Tok) stream.next(); //@ jack1-cast
+  return t.text;
+}
+
+def parseCode(stream: TokenStream): int {
+  var t = (Tok) stream.next(); //@ jack2-cast
+  return t.code;
+}
+
+def peekCode(stream: TokenStream): int {
+  var t = (Tok) stream.peek(); //@ jack3-cast
+  return t.code;
+}
+
+def parseDecl(stream: TokenStream, syms: SymbolTable) {
+  var t = (Tok) stream.next(); //@ jack4-cast
+  syms.declare(t.text, "decl");
+}
+
+def parseExpr(stream: TokenStream): int {
+  var t = (Tok) stream.next(); //@ jack5-cast
+  var v = t.code * 2;
+  return v;
+}
+
+def parseStmt(stream: TokenStream): int {
+  var t = (Tok) stream.next(); //@ jack6-cast
+  if (t.code > 3) {
+    return t.code;
+  }
+  return 0;
+}
+
+def parseBlock(stream: TokenStream): int {
+  var total = 0;
+  while (stream.more()) {
+    var t = (Tok) stream.next(); //@ jack7-cast
+    total = total + t.code;
+  }
+  return total;
+}
+
+def reportTok(o: Object): string {
+  var t = (Tok) o; //@ jack8-cast
+  return t.text + "/" + t.code;
+}
+
+def countLong(stream: TokenStream): int {
+  var c = 0;
+  for (var i = 0; i < stream.toks.size(); i = i + 1) {
+    var t = (Tok) stream.toks.get(i); //@ jack9-cast
+    if (t.code > 4) {
+      c = c + 1;
+    }
+  }
+  return c;
+}
+
+def lastToken(stream: TokenStream): string {
+  var t = (Tok) stream.toks.get(stream.toks.size() - 1); //@ jack10-cast
+  return t.text;
+}
+
+def buildIncludePaths(): Vector {
+  var paths = new Vector();
+  paths.add("lib/core"); //@ jack-path-1
+  paths.add("lib/net");
+  paths.add("src/main");
+  var expanded = new Vector();
+  for (var i = 0; i < paths.size(); i = i + 1) {
+    var p = (string) paths.get(i);
+    expanded.add(p + "/include");
+    expanded.add(p + "/gen");
+  }
+  return expanded;
+}
+
+def collectDiagnostics(count: int): Vector {
+  var diags = new Vector();
+  for (var i = 0; i < count; i = i + 1) {
+    diags.add("warning-" + i + ": unused symbol"); //@ jack-diag
+  }
+  return diags;
+}
+
+def main() {
+  var stream = new TokenStream();
+  var syms = new SymbolTable();
+  var includes = buildIncludePaths();
+  var diags = collectDiagnostics(4);
+  print("INC: " + (string) includes.get(0));
+  print("DIAG: " + (string) diags.get(0));
+  lex(stream, readLine());
+  stream.pushErrorMarker(readInt() == 77);
+  syms.declare("root", "unit");
+  print("NAME: " + parseName(stream));
+  print("CODE: " + parseCode(stream));
+  if (stream.more()) {
+    print("PEEK: " + peekCode(stream));
+    parseDecl(stream, syms);
+  }
+  if (stream.more()) {
+    print("EXPR: " + parseExpr(stream));
+  }
+  if (stream.more()) {
+    print("STMT: " + parseStmt(stream));
+  }
+  print("BLOCK: " + parseBlock(stream));
+  print(reportTok(stream.toks.get(0)));
+  print("LONG: " + countLong(stream));
+  print("LAST: " + lastToken(stream));
+  print("SYM: " + syms.nameAt(0));
+}
+)THINJ");
+}
+
+//===----------------------------------------------------------------------===//
+// Case table
+//===----------------------------------------------------------------------===//
+
+std::vector<CastCase> tsl::toughCastCases() {
+  std::vector<CastCase> Cases;
+  WorkloadProgram Mtrt = mtrtProgram();
+  WorkloadProgram Jess = jessProgram();
+  WorkloadProgram Javac = javacProgram();
+  WorkloadProgram Jack = jackProgram();
+
+  auto Add = [&Cases](CastCase Case) { Cases.push_back(std::move(Case)); };
+
+  // mtrt: the casts are safe because the kind tag distinguishes the
+  // constructors; the user slices from the tag read next to the cast
+  // (Figure 5 protocol); witnesses are the tag writes.
+  Add({"mtrt-1", Mtrt, "mtrt1-cast", "mtrt1-kindread",
+       {"mtrt-sphere-tag", "mtrt-tri-tag", "mtrt-kindstore"}, 0});
+  Add({"mtrt-2", Mtrt, "mtrt2-cast", "mtrt2-kindread",
+       {"mtrt-sphere-tag", "mtrt-tri-tag", "mtrt-kindstore"}, 0});
+
+  // jess: casts on agenda/rule containers; witnesses are the add
+  // sites showing only the right class flows in.
+  Add({"jess-1", Jess, "jess1-cast", "",
+       {"jess-mkfact-1", "jess-mkfact-2"}, 2});
+  Add({"jess-2", Jess, "jess2-cast", "",
+       {"jess-mkfact-1", "jess-mkfact-2"}, 0});
+  Add({"jess-3", Jess, "jess3-cast", "", {"jess-mkrule"}, 2});
+  Add({"jess-4", Jess, "jess4-cast", "", {"jess-mkrule"}, 2});
+  Add({"jess-5", Jess, "jess5-cast", "",
+       {"jess-mkfact-1", "jess-mkfact-2"}, 2});
+  Add({"jess-6", Jess, "jess6-cast", "",
+       {"jess-mkfact-1", "jess-mkfact-2"}, 2});
+
+  // javac: understanding each cast means checking the opcode written
+  // by every constructor (32 subclasses); the user slices from the
+  // opcode read after following one control dependence.
+  for (unsigned K = 0; K != 4; ++K) {
+    CastCase Case;
+    Case.Id = "javac-" + std::to_string(K + 1);
+    Case.Prog = Javac;
+    Case.CastMarker = "jv-cast-" + std::to_string(K);
+    Case.SeedMarker = "jv-opread";
+    Case.DesiredMarkers.push_back("jv-seedstore");
+    Case.DesiredMarkers.push_back("jv-opfun");
+    for (unsigned I = 0; I != 32; ++I)
+      Case.DesiredMarkers.push_back("jv-tag-" + std::to_string(I));
+    Case.NumControl = 1;
+    Add(std::move(Case));
+  }
+
+  // jack: token-stream casts; witnesses are the token constructions.
+  const char *JackDesired[] = {"jack-mktok-1", "jack-mktok-2", "jack-push"};
+  for (unsigned K = 0; K != 10; ++K) {
+    CastCase Case;
+    Case.Id = "jack-" + std::to_string(K + 1);
+    Case.Prog = Jack;
+    Case.CastMarker = "jack" + std::to_string(K + 1) + "-cast";
+    Case.SeedMarker = "";
+    Case.DesiredMarkers.assign(JackDesired, JackDesired + 3);
+    Case.NumControl = 0;
+    Add(std::move(Case));
+  }
+
+  return Cases;
+}

@@ -1,0 +1,484 @@
+//===-- Experiments.cpp - Paper experiment drivers -------------------------------==//
+
+#include "eval/Experiments.h"
+
+#include "eval/Generator.h"
+#include "lang/Lower.h"
+#include "modref/ModRef.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+#include "slicer/Inspection.h"
+#include "slicer/Slicer.h"
+#include "slicer/Tabulation.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+using namespace tsl;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// A workload compiled and analyzed under both pointer analysis
+/// configurations.
+struct Compiled {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<PointsToResult> PTA;
+  std::unique_ptr<SDG> G;
+  std::unique_ptr<PointsToResult> PTANoObj;
+  std::unique_ptr<SDG> GNoObj;
+};
+
+Compiled compileAndAnalyze(const WorkloadProgram &W, bool WithNoObjSens) {
+  Compiled C;
+  DiagnosticEngine Diag;
+  C.P = compileThinJ(W.Source, Diag);
+  if (!C.P)
+    throw std::runtime_error("workload '" + W.Name +
+                             "' failed to compile:\n" + Diag.str());
+  C.PTA = runPointsTo(*C.P);
+  C.G = buildSDG(*C.P, *C.PTA, nullptr);
+  if (WithNoObjSens) {
+    PTAOptions NoObj;
+    NoObj.ObjSensContainers = false;
+    C.PTANoObj = runPointsTo(*C.P, NoObj);
+    C.GNoObj = buildSDG(*C.P, *C.PTANoObj, nullptr);
+  }
+  return C;
+}
+
+/// Cache keyed by workload name: several cases share one program.
+Compiled &cached(std::map<std::string, Compiled> &Cache,
+                 const WorkloadProgram &W, bool WithNoObjSens) {
+  auto It = Cache.find(W.Name);
+  if (It == Cache.end())
+    It = Cache.emplace(W.Name, compileAndAnalyze(W, WithNoObjSens)).first;
+  return It->second;
+}
+
+std::vector<SourceLine> desiredLines(const Program &P,
+                                     const WorkloadProgram &W,
+                                     const std::vector<std::string> &Markers) {
+  std::vector<SourceLine> Out;
+  for (const std::string &Marker : Markers) {
+    unsigned Line = W.markerLine(Marker);
+    SourceLine SL = sourceLineAt(P, Line);
+    if (SL.M)
+      Out.push_back(SL);
+  }
+  return Out;
+}
+
+InspectionQuery makeQuery(const Compiled &C, const WorkloadProgram &W,
+                          const std::string &SeedMarker, SliceMode Mode,
+                          const std::vector<std::string> &Desired,
+                          unsigned NumControl,
+                          const std::vector<std::string> &Pivots,
+                          bool ExpandAlias) {
+  InspectionQuery Q;
+  Q.Seed = instrAtLine(*C.P, W.markerLine(SeedMarker));
+  Q.Mode = Mode;
+  Q.Desired = desiredLines(*C.P, W, Desired);
+  Q.ChargedControlDeps = NumControl;
+  for (const std::string &Pivot : Pivots) {
+    unsigned Line = W.markerLine(Pivot);
+    // A pivot is the conditional the user follows by hand; prefer the
+    // branch on that line.
+    const Instr *I = branchAtLine(*C.P, Line);
+    if (!I)
+      I = instrAtLine(*C.P, Line);
+    if (I)
+      Q.ControlPivots.push_back(I);
+  }
+  Q.ExpandAliasOneLevel = ExpandAlias;
+  return Q;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Padding
+//===----------------------------------------------------------------------===//
+
+WorkloadProgram tsl::padWorkload(const WorkloadProgram &W,
+                                 const std::string &Tag, unsigned PadClasses,
+                                 unsigned MethodsPerClass) {
+  if (PadClasses == 0)
+    return W;
+  WorkloadProgram Out = W;
+  Out.Name = W.Name + "+pad" + std::to_string(PadClasses);
+  // Rename the original entry point and synthesize one that runs both
+  // the original program and the padding.
+  const std::string Needle = "def main()";
+  size_t Pos = Out.Source.find(Needle);
+  if (Pos == std::string::npos)
+    return W;
+  Out.Source.replace(Pos, Needle.size(), "def origMain" + Tag + "()");
+  Out.Source += "\n";
+  Out.Source += generatePadding(Tag, PadClasses, MethodsPerClass);
+  Out.Source += "def main() {\n  origMain" + Tag + "();\n  var padded = "
+                "padEntry" +
+                Tag + "(readInt());\n  print(\"pad: \" + padded);\n}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1
+//===----------------------------------------------------------------------===//
+
+std::vector<Table1Row> tsl::runTable1() {
+  // The eight benchmark models at paper-like relative sizes: nanoxml
+  // and jtopas small, ant/javac larger, etc. Padding supplies the bulk
+  // of the code, as library code does for the paper's benchmarks.
+  struct Spec {
+    WorkloadProgram W;
+    unsigned Pad;
+  };
+  std::vector<BugCase> Bugs = debuggingCases();
+  std::vector<CastCase> Casts = toughCastCases();
+  auto ProgOf = [&](const std::string &Name) -> WorkloadProgram {
+    for (const BugCase &B : Bugs)
+      if (B.Prog.Name == Name)
+        return B.Prog;
+    for (const CastCase &C : Casts)
+      if (C.Prog.Name == Name)
+        return C.Prog;
+    throw std::runtime_error("unknown workload " + Name);
+  };
+
+  std::vector<Spec> Specs = {
+      {ProgOf("nanoxml"), 6},  {ProgOf("jtopas"), 4},
+      {ProgOf("ant"), 30},     {ProgOf("xmlsec"), 28},
+      {ProgOf("mtrt"), 10},    {ProgOf("jess"), 24},
+      {ProgOf("javac"), 40},   {ProgOf("jack"), 18},
+  };
+
+  std::vector<Table1Row> Rows;
+  for (const Spec &S : Specs) {
+    WorkloadProgram W = padWorkload(S.W, "T1", S.Pad, 6);
+    Table1Row Row;
+    Row.Name = S.W.Name;
+
+    auto T0 = std::chrono::steady_clock::now();
+    DiagnosticEngine Diag;
+    std::unique_ptr<Program> P = compileThinJ(W.Source, Diag);
+    if (!P)
+      throw std::runtime_error("Table 1 workload failed: " + Diag.str());
+    Row.FrontendMs = msSince(T0);
+
+    auto T1 = std::chrono::steady_clock::now();
+    std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+    Row.PTAMs = msSince(T1);
+
+    auto T2 = std::chrono::steady_clock::now();
+    std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr);
+    Row.SDGMs = msSince(T2);
+
+    Row.Classes = static_cast<unsigned>(P->classes().size());
+    for (const auto &M : P->methods())
+      Row.IRInstrs += M->numInstrs();
+    Row.ReachableMethods =
+        static_cast<unsigned>(PTA->callGraph().reachableMethods().size());
+    Row.CGNodes = static_cast<unsigned>(PTA->callGraph().nodes().size());
+    Row.SDGStmts = G->numStmtNodes();
+    Row.SDGEdges = G->numEdges();
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 2
+//===----------------------------------------------------------------------===//
+
+std::vector<InspectionRow>
+tsl::runDebuggingExperiment(InspectionStrategy Strategy) {
+  std::map<std::string, Compiled> Cache;
+  std::vector<InspectionRow> Rows;
+
+  for (const BugCase &Case : debuggingCases()) {
+    Compiled &C = cached(Cache, Case.Prog, /*WithNoObjSens=*/true);
+    InspectionRow Row;
+    Row.Id = Case.Id;
+    Row.Control = Case.NumControl;
+    Row.SlicingUseful = Case.SlicingUseful;
+
+    auto Run = [&](const SDG &G, SliceMode Mode) {
+      InspectionQuery Q = makeQuery(C, Case.Prog, Case.SeedMarker, Mode,
+                                    Case.DesiredMarkers, Case.NumControl,
+                                    Case.PivotMarkers,
+                                    Mode == SliceMode::Thin &&
+                                        Case.ExpandAliasOneLevel);
+      Q.Strategy = Strategy;
+      return simulateInspection(G, Q);
+    };
+
+    InspectionResult Thin = Run(*C.G, SliceMode::Thin);
+    InspectionResult Trad = Run(*C.G, SliceMode::Traditional);
+    InspectionResult ThinNoObj = Run(*C.GNoObj, SliceMode::Thin);
+    InspectionResult TradNoObj = Run(*C.GNoObj, SliceMode::Traditional);
+
+    Row.Thin = Thin.InspectedStatements;
+    Row.Trad = Trad.InspectedStatements;
+    Row.FoundAllThin = Thin.FoundAll;
+    Row.FoundAllTrad = Trad.FoundAll;
+    Row.ThinNoObjSens = ThinNoObj.InspectedStatements;
+    Row.TradNoObjSens = TradNoObj.InspectedStatements;
+    Row.Ratio = Row.Thin ? static_cast<double>(Row.Trad) / Row.Thin : 0;
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 3
+//===----------------------------------------------------------------------===//
+
+std::vector<InspectionRow>
+tsl::runToughCastExperiment(InspectionStrategy Strategy) {
+  std::map<std::string, Compiled> Cache;
+  std::vector<InspectionRow> Rows;
+
+  for (const CastCase &Case : toughCastCases()) {
+    Compiled &C = cached(Cache, Case.Prog, /*WithNoObjSens=*/true);
+    InspectionRow Row;
+    Row.Id = Case.Id;
+    Row.Control = Case.NumControl;
+
+    // Slice from the cast itself, or — for tag-guarded casts — from
+    // the tag read reached by following one control dependence from
+    // the cast (the paper's Figure 5 protocol).
+    const Instr *Seed = nullptr;
+    if (!Case.SeedMarker.empty())
+      Seed = instrAtLine(*C.P, Case.Prog.markerLine(Case.SeedMarker));
+    if (!Seed)
+      Seed = castAtLine(*C.P, Case.Prog.markerLine(Case.CastMarker));
+    if (!Seed) {
+      Rows.push_back(Row);
+      continue;
+    }
+
+    auto Run = [&](const SDG &G, SliceMode Mode) {
+      InspectionQuery Q;
+      Q.Seed = Seed;
+      Q.Mode = Mode;
+      Q.Strategy = Strategy;
+      Q.Desired = desiredLines(*C.P, Case.Prog, Case.DesiredMarkers);
+      Q.ChargedControlDeps = Case.NumControl;
+      return simulateInspection(G, Q);
+    };
+
+    InspectionResult Thin = Run(*C.G, SliceMode::Thin);
+    InspectionResult Trad = Run(*C.G, SliceMode::Traditional);
+    InspectionResult ThinNoObj = Run(*C.GNoObj, SliceMode::Thin);
+    InspectionResult TradNoObj = Run(*C.GNoObj, SliceMode::Traditional);
+
+    Row.Thin = Thin.InspectedStatements;
+    Row.Trad = Trad.InspectedStatements;
+    Row.FoundAllThin = Thin.FoundAll;
+    Row.FoundAllTrad = Trad.FoundAll;
+    Row.ThinNoObjSens = ThinNoObj.InspectedStatements;
+    Row.TradNoObjSens = TradNoObj.InspectedStatements;
+    Row.Ratio = Row.Thin ? static_cast<double>(Row.Trad) / Row.Thin : 0;
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+//===----------------------------------------------------------------------===//
+// Scalability
+//===----------------------------------------------------------------------===//
+
+std::vector<ScalabilityRow>
+tsl::runScalability(const std::vector<unsigned> &PadSizes) {
+  std::vector<ScalabilityRow> Rows;
+  std::vector<BugCase> Bugs = debuggingCases();
+  const WorkloadProgram &Base = Bugs.front().Prog; // nanoxml model.
+
+  for (unsigned Pad : PadSizes) {
+    WorkloadProgram W = padWorkload(Base, "S", Pad, 6);
+    DiagnosticEngine Diag;
+    std::unique_ptr<Program> P = compileThinJ(W.Source, Diag);
+    if (!P)
+      throw std::runtime_error("scalability workload failed: " + Diag.str());
+
+    ScalabilityRow Row;
+    Row.PadClasses = Pad;
+
+    auto T0 = std::chrono::steady_clock::now();
+    std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+    Row.PTAMs = msSince(T0);
+
+    auto T1 = std::chrono::steady_clock::now();
+    std::unique_ptr<SDG> CI = buildSDG(*P, *PTA, nullptr);
+    Row.CIBuildMs = msSince(T1);
+    Row.SDGStmts = CI->numStmtNodes();
+
+    const Instr *Seed = instrAtLine(*P, W.markerLine("n1-seed"));
+    auto T2 = std::chrono::steady_clock::now();
+    SliceResult Thin = sliceBackward(*CI, Seed, SliceMode::Thin);
+    Row.ThinSliceMs = msSince(T2);
+    auto T3 = std::chrono::steady_clock::now();
+    SliceResult Trad = sliceBackward(*CI, Seed, SliceMode::Traditional);
+    Row.TradSliceMs = msSince(T3);
+    (void)Thin;
+    (void)Trad;
+
+    ModRefResult MR(*P, *PTA);
+    SDGOptions CSOpts;
+    CSOpts.ContextSensitive = true;
+    auto T4 = std::chrono::steady_clock::now();
+    std::unique_ptr<SDG> CS = buildSDG(*P, *PTA, &MR, CSOpts);
+    Row.CSBuildMs = msSince(T4);
+    Row.CSHeapParamNodes = CS->numHeapParamNodes();
+
+    auto T5 = std::chrono::steady_clock::now();
+    TabulationSlicer Tab(*CS, SliceMode::Traditional);
+    Row.SummaryMs = msSince(T5);
+    Row.SummaryEdges = Tab.numSummaryEdges();
+
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+//===----------------------------------------------------------------------===//
+// Context-sensitivity ablation
+//===----------------------------------------------------------------------===//
+
+std::vector<AblationRow> tsl::runContextAblation() {
+  std::vector<AblationRow> Rows;
+  std::map<std::string, Compiled> Cache;
+
+  for (const BugCase &Case : debuggingCases()) {
+    if (Case.Id != "nanoxml-1" && Case.Id != "nanoxml-2" &&
+        Case.Id != "nanoxml-3")
+      continue;
+    Compiled &C = cached(Cache, Case.Prog, /*WithNoObjSens=*/false);
+
+    ModRefResult MR(*C.P, *C.PTA);
+    SDGOptions CSOpts;
+    CSOpts.ContextSensitive = true;
+    std::unique_ptr<SDG> CS = buildSDG(*C.P, *C.PTA, &MR, CSOpts);
+    TabulationSlicer Tab(*CS, SliceMode::Traditional);
+
+    const Instr *Seed =
+        instrAtLine(*C.P, Case.Prog.markerLine(Case.SeedMarker));
+
+    AblationRow Row;
+    Row.Id = Case.Id;
+    SliceResult CISlice = sliceBackward(*C.G, Seed, SliceMode::Traditional);
+    SliceResult CSSlice = Tab.slice(Seed);
+    // Compare in source lines: the two representations clone
+    // statements differently, lines are the common currency.
+    Row.CITradSliceStmts =
+        static_cast<unsigned>(CISlice.sourceLines().size());
+    Row.CSTradSliceStmts =
+        static_cast<unsigned>(CSSlice.sourceLines().size());
+
+    InspectionQuery Q = makeQuery(C, Case.Prog, Case.SeedMarker,
+                                  SliceMode::Traditional,
+                                  Case.DesiredMarkers, Case.NumControl,
+                                  Case.PivotMarkers, false);
+    Row.CIBfs = simulateInspection(*C.G, Q).InspectedStatements;
+    // BFS with the same discipline but restricted to statements the
+    // context-sensitive slice retains: the traversal distance barely
+    // changes even though the slice shrinks (the paper's observation).
+    std::unordered_set<const Instr *> Allowed;
+    for (const Instr *I : CSSlice.statements())
+      Allowed.insert(I);
+    Q.RestrictStmts = &Allowed;
+    Row.CSBfs = simulateInspection(*C.G, Q).InspectedStatements;
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+//===----------------------------------------------------------------------===//
+// Formatting
+//===----------------------------------------------------------------------===//
+
+std::string tsl::formatTable1(const std::vector<Table1Row> &Rows) {
+  char Buf[256];
+  std::string Out =
+      "Table 1: benchmark characteristics\n"
+      "benchmark   classes  methods  cg-nodes  ir-instrs  sdg-stmts  "
+      "sdg-edges  pta-ms  sdg-ms\n";
+  for (const Table1Row &R : Rows) {
+    snprintf(Buf, sizeof(Buf),
+             "%-11s %7u %8u %9u %10u %10u %10u %7.1f %7.1f\n",
+             R.Name.c_str(), R.Classes, R.ReachableMethods, R.CGNodes,
+             R.IRInstrs, R.SDGStmts, R.SDGEdges, R.PTAMs, R.SDGMs);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string
+tsl::formatInspectionTable(const std::string &Title,
+                           const std::vector<InspectionRow> &Rows) {
+  char Buf[256];
+  std::string Out = Title + "\n"
+                            "case         #thin  #trad  ratio  #control  "
+                            "#thin-noobj  #trad-noobj\n";
+  unsigned ThinSum = 0, TradSum = 0;
+  for (const InspectionRow &R : Rows) {
+    if (!R.SlicingUseful) {
+      snprintf(Buf, sizeof(Buf),
+               "%-12s (excluded: no kind of slicing helps; thin=%u trad=%u)\n",
+               R.Id.c_str(), R.Thin, R.Trad);
+      Out += Buf;
+      continue;
+    }
+    snprintf(Buf, sizeof(Buf), "%-12s %6u %6u %6.2f %9u %12u %12u%s\n",
+             R.Id.c_str(), R.Thin, R.Trad, R.Ratio, R.Control,
+             R.ThinNoObjSens, R.TradNoObjSens,
+             (R.FoundAllThin && R.FoundAllTrad) ? "" : "  [!found]");
+    Out += Buf;
+    ThinSum += R.Thin;
+    TradSum += R.Trad;
+  }
+  snprintf(Buf, sizeof(Buf),
+           "total (useful cases): thin=%u trad=%u overall-ratio=%.2f\n",
+           ThinSum, TradSum,
+           ThinSum ? static_cast<double>(TradSum) / ThinSum : 0.0);
+  Out += Buf;
+  return Out;
+}
+
+std::string tsl::formatScalability(const std::vector<ScalabilityRow> &Rows) {
+  char Buf[256];
+  std::string Out =
+      "Scalability sweep (nanoxml + padding)\n"
+      "pad  sdg-stmts  pta-ms  ci-build-ms  thin-slice-ms  trad-slice-ms  "
+      "cs-build-ms  cs-heap-nodes  summary-ms  summary-edges\n";
+  for (const ScalabilityRow &R : Rows) {
+    snprintf(Buf, sizeof(Buf),
+             "%3u %10u %7.1f %12.1f %14.3f %14.3f %12.1f %14u %11.1f %14u\n",
+             R.PadClasses, R.SDGStmts, R.PTAMs, R.CIBuildMs, R.ThinSliceMs,
+             R.TradSliceMs, R.CSBuildMs, R.CSHeapParamNodes, R.SummaryMs,
+             R.SummaryEdges);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string tsl::formatAblation(const std::vector<AblationRow> &Rows) {
+  char Buf[256];
+  std::string Out =
+      "Context-sensitivity ablation (traditional slices)\n"
+      "case        ci-slice  cs-slice  ci-bfs  cs-bfs\n";
+  for (const AblationRow &R : Rows) {
+    snprintf(Buf, sizeof(Buf), "%-11s %9u %9u %7u %7u\n", R.Id.c_str(),
+             R.CITradSliceStmts, R.CSTradSliceStmts, R.CIBfs, R.CSBfs);
+    Out += Buf;
+  }
+  return Out;
+}

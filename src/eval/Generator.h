@@ -1,0 +1,56 @@
+//===-- Generator.h - Program generators -------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ThinJ source generators:
+///
+///  - a javac-style AST-node hierarchy (many opcode-tagged subclasses)
+///    for the Table 3 tough-cast experiment — the pattern of the
+///    paper's Figure 5 at the scale that makes traditional slices
+///    explode;
+///  - reachable "library padding" used to grow workloads to
+///    Table 1 / scalability sizes;
+///  - a seeded random-program generator for property-based tests
+///    (every generated program parses, type-checks, terminates under
+///    the interpreter's limits, and exercises containers, virtual
+///    dispatch, and heap flow).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_EVAL_GENERATOR_H
+#define THINSLICER_EVAL_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsl {
+
+/// Emits a Node hierarchy with \p NumSubclasses opcode-tagged
+/// subclasses, builder code constructing one of each, and a
+/// simplifier whose downcasts are guarded by the opcode tag. Marker
+/// names follow "<prefix>-tag-<i>" (one per subclass super call),
+/// "<prefix>-opread", "<prefix>-cast-<k>" for k in 0..3, and
+/// "<prefix>-seedstore" (the base-class tag store).
+std::string generateJavacModel(const std::string &Prefix,
+                               unsigned NumSubclasses);
+
+/// Emits \p NumClasses padding classes whose methods are reachable
+/// from a function "padEntry<Tag>()" (call it from main). The code
+/// mixes arithmetic, fields, Vector traffic, and cross-class calls so
+/// it contributes realistically to call graph and SDG sizes.
+std::string generatePadding(const std::string &Tag, unsigned NumClasses,
+                            unsigned MethodsPerClass);
+
+/// Deterministic random ThinJ program for property tests. Programs
+/// always define main(), terminate quickly, and use only safe
+/// operations (bounded loops, in-bounds indices, non-null
+/// dereferences on the happy path).
+std::string generateRandomProgram(uint64_t Seed);
+
+} // namespace tsl
+
+#endif // THINSLICER_EVAL_GENERATOR_H

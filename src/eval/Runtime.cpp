@@ -1,0 +1,200 @@
+//===-- Runtime.cpp - ThinJ standard container library ------------------------==//
+
+#include "eval/Runtime.h"
+
+#include <algorithm>
+
+using namespace tsl;
+
+namespace {
+
+const char *const RuntimeSource = R"THINJ(
+class Vector {
+  var elems: Object[];
+  var count: int;
+  def init() {
+    elems = new Object[10];
+    count = 0;
+  }
+  def ensure() {
+    if (count >= elems.length) {
+      var bigger: Object[] = new Object[elems.length * 2 + 1];
+      for (var i = 0; i < count; i = i + 1) {
+        bigger[i] = elems[i];
+      }
+      elems = bigger;
+    }
+  }
+  def add(p: Object) {
+    ensure();
+    elems[count] = p;
+    count = count + 1;
+  }
+  def get(ind: int): Object {
+    return elems[ind];
+  }
+  def set(ind: int, p: Object) {
+    elems[ind] = p;
+  }
+  def size(): int {
+    return count;
+  }
+  def isEmpty(): bool {
+    return count == 0;
+  }
+  def removeLast(): Object {
+    count = count - 1;
+    var r = elems[count];
+    elems[count] = null;
+    return r;
+  }
+}
+
+class Stack {
+  var items: Vector;
+  def init() {
+    items = new Vector();
+  }
+  def push(p: Object) {
+    items.add(p);
+  }
+  def pop(): Object {
+    return items.removeLast();
+  }
+  def peek(): Object {
+    return items.get(items.size() - 1);
+  }
+  def isEmpty(): bool {
+    return items.isEmpty();
+  }
+  def depth(): int {
+    return items.size();
+  }
+}
+
+class ListNode {
+  var item: Object;
+  var next: ListNode;
+  def init(v: Object) {
+    item = v;
+    next = null;
+  }
+}
+
+class LinkedList {
+  var head: ListNode;
+  var tail: ListNode;
+  var length: int;
+  def init() {
+    head = null;
+    tail = null;
+    length = 0;
+  }
+  def addLast(v: Object) {
+    var node = new ListNode(v);
+    if (tail == null) {
+      head = node;
+      tail = node;
+    } else {
+      tail.next = node;
+      tail = node;
+    }
+    length = length + 1;
+  }
+  def get(ind: int): Object {
+    var cur = head;
+    var i = 0;
+    while (i < ind) {
+      cur = cur.next;
+      i = i + 1;
+    }
+    return cur.item;
+  }
+  def size(): int {
+    return length;
+  }
+}
+
+class MapEntry {
+  var skey: string;
+  var value: Object;
+  var next: MapEntry;
+  def init(k: string, v: Object) {
+    skey = k;
+    value = v;
+    next = null;
+  }
+}
+
+class HashMap {
+  var table: MapEntry[];
+  var count: int;
+  def init() {
+    table = new MapEntry[16];
+    count = 0;
+  }
+  def indexFor(key: string): int {
+    var h = 0;
+    var n = key.length();
+    for (var i = 0; i < n; i = i + 1) {
+      h = h * 31 + key.charAt(i);
+    }
+    if (h < 0) {
+      h = 0 - h;
+    }
+    return h % table.length;
+  }
+  def put(key: string, value: Object) {
+    var idx = indexFor(key);
+    var e = table[idx];
+    while (e != null) {
+      if (e.skey.equals(key)) {
+        e.value = value;
+        return;
+      }
+      e = e.next;
+    }
+    var fresh = new MapEntry(key, value);
+    fresh.next = table[idx];
+    table[idx] = fresh;
+    count = count + 1;
+  }
+  def get(key: string): Object {
+    var idx = indexFor(key);
+    var e = table[idx];
+    while (e != null) {
+      if (e.skey.equals(key)) {
+        return e.value;
+      }
+      e = e.next;
+    }
+    return null;
+  }
+  def containsKey(key: string): bool {
+    var idx = indexFor(key);
+    var e = table[idx];
+    while (e != null) {
+      if (e.skey.equals(key)) {
+        return true;
+      }
+      e = e.next;
+    }
+    return false;
+  }
+  def size(): int {
+    return count;
+  }
+}
+)THINJ";
+
+} // namespace
+
+const std::string &tsl::runtimeLibrarySource() {
+  static const std::string Source(RuntimeSource);
+  return Source;
+}
+
+unsigned tsl::runtimeLibraryLines() {
+  const std::string &S = runtimeLibrarySource();
+  return static_cast<unsigned>(std::count(S.begin(), S.end(), '\n'));
+}

@@ -1,0 +1,33 @@
+//===-- Runtime.h - ThinJ standard container library ------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ThinJ source of the container classes every workload links against
+/// (Vector, Stack, LinkedList, HashMap) — the analogue of the JDK
+/// collections the paper analyzes alongside each benchmark. These are
+/// real, analyzed code: thin slicing's whole point is tracing values
+/// through container internals, and the pointer analysis's
+/// object-sensitive cloning is keyed to these class names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_EVAL_RUNTIME_H
+#define THINSLICER_EVAL_RUNTIME_H
+
+#include <string>
+
+namespace tsl {
+
+/// Returns the runtime library source. Workload sources are appended
+/// after it; all line numbers in markers account for this prefix.
+const std::string &runtimeLibrarySource();
+
+/// Number of lines in the runtime library (offset for appended code).
+unsigned runtimeLibraryLines();
+
+} // namespace tsl
+
+#endif // THINSLICER_EVAL_RUNTIME_H

@@ -1,0 +1,60 @@
+//===-- ControlDep.cpp - Control dependence --------------------------------==//
+
+#include "ir/ControlDep.h"
+
+#include "ir/Dominators.h"
+#include "ir/Instr.h"
+#include "ir/Program.h"
+
+#include <algorithm>
+
+using namespace tsl;
+
+ControlDeps::ControlDeps(const Method &Meth) : M(Meth) {
+  unsigned NumBlocks = static_cast<unsigned>(M.blocks().size());
+  Deps.assign(NumBlocks, {});
+  if (NumBlocks == 0)
+    return;
+
+  DomTree PDT(M, /*Post=*/true);
+
+  // For every branch edge (A -> S), every node from S up the
+  // post-dominator tree to (but excluding) ipostdom(A) is control
+  // dependent on A.
+  for (const auto &BBPtr : M.blocks()) {
+    BasicBlock *A = BBPtr.get();
+    std::vector<BasicBlock *> Succs = A->successors();
+    if (Succs.size() < 2)
+      continue; // Only multi-way terminators create control deps.
+    int IPDomA = PDT.idom(A->id());
+    for (BasicBlock *S : Succs) {
+      unsigned Runner = S->id();
+      while (static_cast<int>(Runner) != IPDomA) {
+        if (Runner < NumBlocks) // Skip the virtual exit.
+          Deps[Runner].push_back(A->id());
+        int Up = PDT.idom(Runner);
+        if (Up < 0)
+          break;
+        Runner = static_cast<unsigned>(Up);
+      }
+    }
+  }
+
+  for (auto &D : Deps) {
+    std::sort(D.begin(), D.end());
+    D.erase(std::unique(D.begin(), D.end()), D.end());
+  }
+}
+
+std::vector<Instr *> ControlDeps::controllingBranches(const Instr *I) const {
+  std::vector<Instr *> Out;
+  const BasicBlock *BB = I->parent();
+  if (!BB)
+    return Out;
+  for (unsigned Controller : Deps[BB->id()]) {
+    Instr *Term = M.blocks()[Controller]->terminator();
+    if (Term)
+      Out.push_back(Term);
+  }
+  return Out;
+}

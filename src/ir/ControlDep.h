@@ -1,0 +1,50 @@
+//===-- ControlDep.h - Control dependence -----------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control dependence per Ferrante-Ottenstein-Warren: block X is
+/// control dependent on branch block A when A has a successor S such
+/// that X post-dominates S but X does not post-dominate A. Traditional
+/// slices follow these dependences transitively; thin slices exclude
+/// them and the expansion API (paper Section 4.2) surfaces them on
+/// demand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_IR_CONTROLDEP_H
+#define THINSLICER_IR_CONTROLDEP_H
+
+#include <vector>
+
+namespace tsl {
+
+class BasicBlock;
+class Instr;
+class Method;
+
+/// Control dependences of one method at basic-block granularity, with
+/// an instruction-level query layer.
+class ControlDeps {
+public:
+  explicit ControlDeps(const Method &M);
+
+  /// Blocks whose terminator controls whether \p BlockId executes.
+  const std::vector<unsigned> &controllers(unsigned BlockId) const {
+    return Deps[BlockId];
+  }
+
+  /// The branch instructions that control execution of \p I (the
+  /// terminators of controllers of I's block).
+  std::vector<Instr *> controllingBranches(const Instr *I) const;
+
+private:
+  const Method &M;
+  std::vector<std::vector<unsigned>> Deps;
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_IR_CONTROLDEP_H

@@ -1,0 +1,31 @@
+//===-- IRPrinter.h - Textual IR dumps --------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders method bodies and whole programs as text for debugging,
+/// golden tests, and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_IR_IRPRINTER_H
+#define THINSLICER_IR_IRPRINTER_H
+
+#include <string>
+
+namespace tsl {
+
+class Method;
+class Program;
+
+/// Renders one method body, block by block.
+std::string printMethod(const Program &P, const Method &M);
+
+/// Renders every method with a body.
+std::string printProgram(const Program &P);
+
+} // namespace tsl
+
+#endif // THINSLICER_IR_IRPRINTER_H

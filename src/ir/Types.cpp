@@ -1,0 +1,62 @@
+//===-- Types.cpp - ThinJ type system -------------------------------------==//
+
+#include "ir/Types.h"
+
+#include "ir/Program.h"
+
+using namespace tsl;
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Null:
+    return "null";
+  case TypeKind::String:
+    return "string";
+  case TypeKind::Class:
+    return "class#" + std::to_string(Def->id());
+  case TypeKind::Array:
+    return Elem->str() + "[]";
+  }
+  return "<bad-type>";
+}
+
+TypeTable::TypeTable() {
+  IntTy = make(TypeKind::Int);
+  BoolTy = make(TypeKind::Bool);
+  VoidTy = make(TypeKind::Void);
+  NullTy = make(TypeKind::Null);
+  StringTy = make(TypeKind::String);
+}
+
+const Type *TypeTable::make(TypeKind Kind, ClassDef *Def,
+                            const Type *Elem) const {
+  Storage.push_back(std::unique_ptr<Type>(new Type(Kind, Def, Elem)));
+  return Storage.back().get();
+}
+
+const Type *TypeTable::classType(const ClassDef *Def) const {
+  assert(Def && "class type needs a class");
+  auto It = ClassTypes.find(Def);
+  if (It != ClassTypes.end())
+    return It->second;
+  const Type *Ty = make(TypeKind::Class, const_cast<ClassDef *>(Def));
+  ClassTypes.emplace(Def, Ty);
+  return Ty;
+}
+
+const Type *TypeTable::arrayType(const Type *Elem) const {
+  assert(Elem && !Elem->isVoid() && !Elem->isNull() &&
+         "invalid array element type");
+  auto It = ArrayTypes.find(Elem);
+  if (It != ArrayTypes.end())
+    return It->second;
+  const Type *Ty = make(TypeKind::Array, nullptr, Elem);
+  ArrayTypes.emplace(Elem, Ty);
+  return Ty;
+}

@@ -1,0 +1,118 @@
+//===-- Types.h - ThinJ type system -----------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ThinJ type system: primitives (int, bool), the builtin reference
+/// type string, the null type, class types, and array types. Types are
+/// interned in a TypeTable so they compare by pointer. ThinJ mirrors
+/// the Java features thin slicing cares about: field and array accesses
+/// are the only pointer dereferences, and reference types form a
+/// single-inheritance hierarchy rooted at Object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_IR_TYPES_H
+#define THINSLICER_IR_TYPES_H
+
+#include "support/StringTable.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tsl {
+
+class ClassDef;
+
+/// Discriminator for Type.
+enum class TypeKind {
+  Int,    ///< 64-bit signed integer.
+  Bool,   ///< Boolean.
+  Void,   ///< Method return type only.
+  Null,   ///< Type of the `null` literal; subtype of every reference type.
+  String, ///< Builtin immutable string (a reference type).
+  Class,  ///< A user-declared class (reference type).
+  Array,  ///< Array of some element type (reference type).
+};
+
+/// An interned ThinJ type. Obtain instances from TypeTable; equal types
+/// are pointer-equal.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isNull() const { return Kind == TypeKind::Null; }
+  bool isString() const { return Kind == TypeKind::String; }
+  bool isClass() const { return Kind == TypeKind::Class; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+
+  /// Reference types can be stored in the heap and point to objects:
+  /// classes, arrays, strings, and null.
+  bool isReference() const {
+    return isClass() || isArray() || isString() || isNull();
+  }
+
+  /// For class types: the class definition (resolved during sema).
+  ClassDef *classDef() const {
+    assert(isClass() && "not a class type");
+    return Def;
+  }
+
+  /// For array types: the element type.
+  const Type *element() const {
+    assert(isArray() && "not an array type");
+    return Elem;
+  }
+
+  /// Renders the type in source syntax, e.g. "Vector", "int[][]".
+  std::string str() const;
+
+private:
+  friend class TypeTable;
+  Type(TypeKind Kind, ClassDef *Def, const Type *Elem)
+      : Kind(Kind), Def(Def), Elem(Elem) {}
+
+  TypeKind Kind;
+  ClassDef *Def = nullptr;   ///< Class types only.
+  const Type *Elem = nullptr; ///< Array types only.
+};
+
+/// Owns and interns all Type instances for one Program.
+class TypeTable {
+public:
+  TypeTable();
+
+  const Type *intType() const { return IntTy; }
+  const Type *boolType() const { return BoolTy; }
+  const Type *voidType() const { return VoidTy; }
+  const Type *nullType() const { return NullTy; }
+  const Type *stringType() const { return StringTy; }
+
+  /// Returns the unique type for class \p Def. Logically const: the
+  /// table memoizes on first use.
+  const Type *classType(const ClassDef *Def) const;
+
+  /// Returns the unique array type with element \p Elem.
+  const Type *arrayType(const Type *Elem) const;
+
+private:
+  const Type *make(TypeKind Kind, ClassDef *Def = nullptr,
+                   const Type *Elem = nullptr) const;
+
+  mutable std::vector<std::unique_ptr<Type>> Storage;
+  const Type *IntTy, *BoolTy, *VoidTy, *NullTy, *StringTy;
+  mutable std::unordered_map<const ClassDef *, const Type *> ClassTypes;
+  mutable std::unordered_map<const Type *, const Type *> ArrayTypes;
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_IR_TYPES_H

@@ -1,0 +1,172 @@
+//===-- Verifier.cpp - IR well-formedness checks ----------------------------==//
+
+#include "ir/Verifier.h"
+
+#include "ir/Dominators.h"
+#include "ir/Instr.h"
+#include "ir/Program.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace tsl;
+
+namespace {
+
+class MethodVerifier {
+public:
+  MethodVerifier(const Program &P, const Method &M) : P(P), M(M) {}
+
+  std::vector<std::string> run();
+
+private:
+  void fail(const std::string &Msg) {
+    Violations.push_back(M.qualifiedName(P.strings()) + ": " + Msg);
+  }
+
+  void checkStructure();
+  void checkParams();
+  void checkSSA();
+
+  const Program &P;
+  const Method &M;
+  std::vector<std::string> Violations;
+};
+
+} // namespace
+
+std::vector<std::string> MethodVerifier::run() {
+  if (!M.entry())
+    return Violations; // Bodyless (abstract/external) method.
+  checkStructure();
+  checkParams();
+  if (M.isSSA())
+    checkSSA();
+  return Violations;
+}
+
+void MethodVerifier::checkStructure() {
+  for (const auto &BB : M.blocks()) {
+    if (BB->instrs().empty()) {
+      fail("bb" + std::to_string(BB->id()) + " is empty");
+      continue;
+    }
+    for (size_t I = 0, E = BB->instrs().size(); I != E; ++I) {
+      const Instr *Ins = BB->instrs()[I].get();
+      bool IsLast = I + 1 == E;
+      if (Ins->isTerminator() != IsLast) {
+        fail("bb" + std::to_string(BB->id()) +
+             (IsLast ? " does not end in a terminator"
+                     : " has a terminator before the end"));
+        break;
+      }
+      if (Ins->parent() != BB.get())
+        fail("instruction with stale parent in bb" +
+             std::to_string(BB->id()));
+    }
+    // Phis must be grouped at the head and match predecessor counts.
+    bool SeenNonPhi = false;
+    for (const auto &Ins : BB->instrs()) {
+      if (auto *Phi = dyn_cast<PhiInstr>(Ins.get())) {
+        if (SeenNonPhi)
+          fail("phi after non-phi in bb" + std::to_string(BB->id()));
+        if (Phi->numOperands() != BB->preds().size())
+          fail("phi operand count " + std::to_string(Phi->numOperands()) +
+               " != pred count " + std::to_string(BB->preds().size()) +
+               " in bb" + std::to_string(BB->id()));
+      } else {
+        SeenNonPhi = true;
+      }
+    }
+  }
+}
+
+void MethodVerifier::checkParams() {
+  std::unordered_set<unsigned> Seen;
+  for (const auto &BB : M.blocks()) {
+    for (const auto &Ins : BB->instrs()) {
+      const auto *PI = dyn_cast<ParamInstr>(Ins.get());
+      if (!PI)
+        continue;
+      if (BB.get() != M.entry())
+        fail("param instruction outside the entry block");
+      if (PI->index() >= M.numFormals())
+        fail("param index out of range");
+      if (!Seen.insert(PI->index()).second)
+        fail("duplicate param instruction for formal " +
+             std::to_string(PI->index()));
+    }
+  }
+  if (Seen.size() != M.numFormals())
+    fail("missing param instructions: have " + std::to_string(Seen.size()) +
+         ", need " + std::to_string(M.numFormals()));
+}
+
+void MethodVerifier::checkSSA() {
+  // Unique definitions.
+  std::unordered_map<const Local *, const Instr *> Defs;
+  for (const auto &BB : M.blocks()) {
+    for (const auto &Ins : BB->instrs()) {
+      if (const Local *D = Ins->dest()) {
+        if (!Defs.emplace(D, Ins.get()).second)
+          fail("local defined more than once: " +
+               P.strings().str(D->baseName()) + "." +
+               std::to_string(D->version()));
+        if (D->def() != Ins.get())
+          fail("stale def pointer on " + P.strings().str(D->baseName()));
+      }
+    }
+  }
+
+  // Defs dominate uses.
+  DomTree DT(M, /*Post=*/false);
+  auto DefinedBefore = [&](const Instr *Def, const Instr *Use) {
+    if (Def->parent() == Use->parent())
+      return Def->id() < Use->id();
+    return DT.dominates(Def->parent()->id(), Use->parent()->id());
+  };
+  for (const auto &BB : M.blocks()) {
+    for (const auto &Ins : BB->instrs()) {
+      if (const auto *Phi = dyn_cast<PhiInstr>(Ins.get())) {
+        for (unsigned I = 0; I != Phi->numOperands(); ++I) {
+          const Local *Op = Phi->operand(I);
+          const Instr *Def = Op->def();
+          BasicBlock *Incoming = Phi->incomingBlocks()[I];
+          if (!Def) {
+            fail("phi operand without def");
+            continue;
+          }
+          if (Def->parent() != Incoming &&
+              !DT.dominates(Def->parent()->id(), Incoming->id()))
+            fail("phi operand def does not dominate incoming edge");
+        }
+        continue;
+      }
+      for (const Local *Op : Ins->operands()) {
+        const Instr *Def = Op->def();
+        if (!Def) {
+          fail("use of local without def: " +
+               P.strings().str(Op->baseName()));
+          continue;
+        }
+        if (!DefinedBefore(Def, Ins.get()))
+          fail("def does not dominate use of " +
+               P.strings().str(Op->baseName()) + "." +
+               std::to_string(Op->version()));
+      }
+    }
+  }
+}
+
+std::vector<std::string> tsl::verifyMethod(const Program &P, const Method &M) {
+  return MethodVerifier(P, M).run();
+}
+
+std::vector<std::string> tsl::verifyProgram(const Program &P) {
+  std::vector<std::string> All;
+  for (const auto &M : P.methods()) {
+    auto V = verifyMethod(P, *M);
+    All.insert(All.end(), V.begin(), V.end());
+  }
+  return All;
+}

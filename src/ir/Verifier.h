@@ -1,0 +1,36 @@
+//===-- Verifier.h - IR well-formedness checks ------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA invariant checks for lowered method bodies. The
+/// frontend and SSA pass are verified by tests through this interface,
+/// and the analyses assert on a verified program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_IR_VERIFIER_H
+#define THINSLICER_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace tsl {
+
+class Method;
+class Program;
+
+/// Checks structural invariants of \p M (every block terminated
+/// exactly once, params at entry, phi shapes) and, if the method is in
+/// SSA form, the SSA invariants (unique defs, defs dominate uses).
+/// Returns human-readable violation descriptions; empty means valid.
+std::vector<std::string> verifyMethod(const Program &P, const Method &M);
+
+/// Verifies every method; returns all violations.
+std::vector<std::string> verifyProgram(const Program &P);
+
+} // namespace tsl
+
+#endif // THINSLICER_IR_VERIFIER_H

@@ -1,0 +1,344 @@
+//===-- Lexer.cpp - ThinJ lexer ---------------------------------------------==//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace tsl;
+
+const char *tsl::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "invalid token";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::StringLit:
+    return "string literal";
+  case TokKind::KwClass:
+    return "'class'";
+  case TokKind::KwExtends:
+    return "'extends'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwDef:
+    return "'def'";
+  case TokKind::KwStatic:
+    return "'static'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwThrow:
+    return "'throw'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwNew:
+    return "'new'";
+  case TokKind::KwNull:
+    return "'null'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwThis:
+    return "'this'";
+  case TokKind::KwSuper:
+    return "'super'";
+  case TokKind::KwInstanceof:
+    return "'instanceof'";
+  case TokKind::KwPrint:
+    return "'print'";
+  case TokKind::KwReadLine:
+    return "'readLine'";
+  case TokKind::KwReadInt:
+    return "'readInt'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwBool:
+    return "'bool'";
+  case TokKind::KwString:
+    return "'string'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  }
+  return "?";
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+    } else if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::lexIdentOrKeyword() {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"class", TokKind::KwClass},
+      {"extends", TokKind::KwExtends},
+      {"var", TokKind::KwVar},
+      {"def", TokKind::KwDef},
+      {"static", TokKind::KwStatic},
+      {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},
+      {"throw", TokKind::KwThrow},
+      {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue},
+      {"new", TokKind::KwNew},
+      {"null", TokKind::KwNull},
+      {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},
+      {"this", TokKind::KwThis},
+      {"super", TokKind::KwSuper},
+      {"instanceof", TokKind::KwInstanceof},
+      {"print", TokKind::KwPrint},
+      {"readLine", TokKind::KwReadLine},
+      {"readInt", TokKind::KwReadInt},
+      {"int", TokKind::KwInt},
+      {"bool", TokKind::KwBool},
+      {"string", TokKind::KwString},
+      {"void", TokKind::KwVoid},
+  };
+
+  Token T;
+  T.Loc = here();
+  size_t Start = Pos;
+  while (Pos < Source.size() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+          peek() == '$'))
+    advance();
+  std::string_view Text = Source.substr(Start, Pos - Start);
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end()) {
+    T.Kind = It->second;
+  } else {
+    T.Kind = TokKind::Ident;
+    T.Text = std::string(Text);
+  }
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  Token T;
+  T.Kind = TokKind::IntLit;
+  T.Loc = here();
+  int64_t Value = 0;
+  while (Pos < Source.size() && std::isdigit(static_cast<unsigned char>(peek())))
+    Value = Value * 10 + (advance() - '0');
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::lexString() {
+  Token T;
+  T.Kind = TokKind::StringLit;
+  T.Loc = here();
+  advance(); // Opening quote.
+  std::string Text;
+  while (true) {
+    if (Pos >= Source.size() || peek() == '\n') {
+      Diag.error(T.Loc, "unterminated string literal");
+      T.Kind = TokKind::Error;
+      return T;
+    }
+    char C = advance();
+    if (C == '"')
+      break;
+    if (C == '\\') {
+      char Esc = Pos < Source.size() ? advance() : '\0';
+      switch (Esc) {
+      case 'n':
+        Text += '\n';
+        break;
+      case 't':
+        Text += '\t';
+        break;
+      case '\\':
+        Text += '\\';
+        break;
+      case '"':
+        Text += '"';
+        break;
+      default:
+        Diag.error(here(), "unknown escape sequence");
+        break;
+      }
+    } else {
+      Text += C;
+    }
+  }
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  if (Pos >= Source.size())
+    return makeSimple(TokKind::Eof, Loc);
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$')
+    return lexIdentOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '"')
+    return lexString();
+
+  advance();
+  switch (C) {
+  case '{':
+    return makeSimple(TokKind::LBrace, Loc);
+  case '}':
+    return makeSimple(TokKind::RBrace, Loc);
+  case '(':
+    return makeSimple(TokKind::LParen, Loc);
+  case ')':
+    return makeSimple(TokKind::RParen, Loc);
+  case '[':
+    return makeSimple(TokKind::LBracket, Loc);
+  case ']':
+    return makeSimple(TokKind::RBracket, Loc);
+  case ';':
+    return makeSimple(TokKind::Semi, Loc);
+  case ':':
+    return makeSimple(TokKind::Colon, Loc);
+  case ',':
+    return makeSimple(TokKind::Comma, Loc);
+  case '.':
+    return makeSimple(TokKind::Dot, Loc);
+  case '+':
+    return makeSimple(TokKind::Plus, Loc);
+  case '-':
+    return makeSimple(TokKind::Minus, Loc);
+  case '*':
+    return makeSimple(TokKind::Star, Loc);
+  case '/':
+    return makeSimple(TokKind::Slash, Loc);
+  case '%':
+    return makeSimple(TokKind::Percent, Loc);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeSimple(TokKind::EqEq, Loc);
+    }
+    return makeSimple(TokKind::Assign, Loc);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeSimple(TokKind::NotEq, Loc);
+    }
+    return makeSimple(TokKind::Bang, Loc);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeSimple(TokKind::Le, Loc);
+    }
+    return makeSimple(TokKind::Lt, Loc);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeSimple(TokKind::Ge, Loc);
+    }
+    return makeSimple(TokKind::Gt, Loc);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return makeSimple(TokKind::AmpAmp, Loc);
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return makeSimple(TokKind::PipePipe, Loc);
+    }
+    break;
+  default:
+    break;
+  }
+  Diag.error(Loc, std::string("unexpected character '") + C + "'");
+  return makeSimple(TokKind::Error, Loc);
+}

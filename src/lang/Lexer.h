@@ -1,0 +1,62 @@
+//===-- Lexer.h - ThinJ lexer -----------------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for ThinJ. Supports line comments, decimal
+/// integer literals, and double-quoted string literals with the usual
+/// backslash escapes (newline, tab, backslash, quote).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_LANG_LEXER_H
+#define THINSLICER_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace tsl {
+
+/// Produces the token stream for one source buffer.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diag)
+      : Source(Source), Diag(Diag) {}
+
+  /// Lexes and returns the next token. At end of input repeatedly
+  /// returns an Eof token.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  SourceLoc here() const { return SourceLoc(Line, Col); }
+
+  Token makeSimple(TokKind Kind, SourceLoc Loc) {
+    Token T;
+    T.Kind = Kind;
+    T.Loc = Loc;
+    return T;
+  }
+
+  Token lexIdentOrKeyword();
+  Token lexNumber();
+  Token lexString();
+
+  std::string_view Source;
+  DiagnosticEngine &Diag;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_LANG_LEXER_H

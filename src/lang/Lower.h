@@ -1,0 +1,49 @@
+//===-- Lower.h - AST -> IR lowering ----------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis and lowering of a parsed ThinJ module into the
+/// analyzable Program IR, plus the one-call compile pipeline used by
+/// tools, tests, and workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_LANG_LOWER_H
+#define THINSLICER_LANG_LOWER_H
+
+#include "ir/Program.h"
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace tsl {
+
+/// Knobs for the compile pipeline.
+struct CompileOptions {
+  /// Run SSA construction on every method body (required by all
+  /// analyses; off only for frontend-focused tests).
+  bool BuildSSA = true;
+  /// Require a parameterless static entry point named "main".
+  bool RequireMain = true;
+};
+
+/// Type-checks and lowers \p Module. Returns null after reporting
+/// diagnostics when the module has semantic errors.
+std::unique_ptr<Program> lowerModule(const AstModule &Module,
+                                     DiagnosticEngine &Diag,
+                                     const CompileOptions &Options = {});
+
+/// Full pipeline: parse + lower + (optionally) SSA. Returns null and
+/// reports diagnostics on any error.
+std::unique_ptr<Program> compileThinJ(std::string_view Source,
+                                      DiagnosticEngine &Diag,
+                                      const CompileOptions &Options = {});
+
+} // namespace tsl
+
+#endif // THINSLICER_LANG_LOWER_H

@@ -1,0 +1,29 @@
+//===-- Parser.h - ThinJ parser ---------------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing an AstModule. Errors are reported
+/// to the DiagnosticEngine; the parser recovers at declaration and
+/// statement boundaries so multiple errors can be reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_LANG_PARSER_H
+#define THINSLICER_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+
+namespace tsl {
+
+/// Parses one ThinJ source buffer into \p Module. Returns false when
+/// any syntax error was reported.
+bool parseModule(std::string_view Source, AstModule &Module,
+                 DiagnosticEngine &Diag);
+
+} // namespace tsl
+
+#endif // THINSLICER_LANG_PARSER_H

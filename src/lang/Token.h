@@ -1,0 +1,103 @@
+//===-- Token.h - ThinJ tokens ----------------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value produced by the ThinJ lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_LANG_TOKEN_H
+#define THINSLICER_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace tsl {
+
+/// ThinJ token kinds.
+enum class TokKind {
+  Eof,
+  Error,
+  // Literals and identifiers.
+  Ident,
+  IntLit,
+  StringLit,
+  // Keywords.
+  KwClass,
+  KwExtends,
+  KwVar,
+  KwDef,
+  KwStatic,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwThrow,
+  KwBreak,
+  KwContinue,
+  KwNew,
+  KwNull,
+  KwTrue,
+  KwFalse,
+  KwThis,
+  KwSuper,
+  KwInstanceof,
+  KwPrint,
+  KwReadLine,
+  KwReadInt,
+  KwInt,
+  KwBool,
+  KwString,
+  KwVoid,
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Colon,
+  Comma,
+  Dot,
+  // Operators.
+  Assign,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  AmpAmp,
+  PipePipe,
+};
+
+/// Returns a printable name for diagnostics ("identifier", "'{'", ...).
+const char *tokKindName(TokKind Kind);
+
+/// One lexed token. Text is only meaningful for Ident/IntLit/StringLit
+/// (for StringLit it holds the decoded contents).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_LANG_TOKEN_H

@@ -1,0 +1,170 @@
+//===-- ModRef.cpp - Interprocedural mod-ref analysis --------------------------==//
+
+#include "modref/ModRef.h"
+
+using namespace tsl;
+
+static uint64_t partKey(HeapPartition::Kind K, unsigned Obj, const Field *F) {
+  uint64_t Tag = static_cast<uint64_t>(K) << 60;
+  uint64_t FieldBits = F ? (static_cast<uint64_t>(F->id()) << 28) : 0;
+  return Tag | FieldBits | Obj;
+}
+
+unsigned ModRefResult::getPartition(HeapPartition::Kind K, unsigned Obj,
+                                    const Field *F) {
+  auto [It, New] = PartIndex.emplace(partKey(K, Obj, F), 0);
+  if (New) {
+    It->second = static_cast<unsigned>(Partitions.size());
+    Partitions.push_back({K, Obj, F, It->second});
+  }
+  return It->second;
+}
+
+BitSet ModRefResult::partitionsOf(const Instr *I) const {
+  // Note: const_cast-free requires partitions to exist already; this
+  // query is used after construction, when every reachable access has
+  // been interned.
+  BitSet Out;
+  auto Lookup = [&](HeapPartition::Kind K, unsigned Obj, const Field *F) {
+    auto It = PartIndex.find(partKey(K, Obj, F));
+    if (It != PartIndex.end())
+      Out.insert(It->second);
+  };
+  switch (I->kind()) {
+  case InstrKind::Load: {
+    const auto *L = cast<LoadInstr>(I);
+    if (L->isStaticAccess())
+      Lookup(HeapPartition::Kind::Static, 0, L->field());
+    else
+      PTA.pointsTo(L->base()).forEach([&](unsigned Obj) {
+        Lookup(HeapPartition::Kind::Field, Obj, L->field());
+      });
+    break;
+  }
+  case InstrKind::Store: {
+    const auto *S = cast<StoreInstr>(I);
+    if (S->isStaticAccess())
+      Lookup(HeapPartition::Kind::Static, 0, S->field());
+    else
+      PTA.pointsTo(S->base()).forEach([&](unsigned Obj) {
+        Lookup(HeapPartition::Kind::Field, Obj, S->field());
+      });
+    break;
+  }
+  case InstrKind::ArrayLoad:
+    PTA.pointsTo(cast<ArrayLoadInstr>(I)->array()).forEach([&](unsigned Obj) {
+      Lookup(HeapPartition::Kind::ArrayElem, Obj, nullptr);
+    });
+    break;
+  case InstrKind::ArrayStore:
+    PTA.pointsTo(cast<ArrayStoreInstr>(I)->array()).forEach([&](unsigned Obj) {
+      Lookup(HeapPartition::Kind::ArrayElem, Obj, nullptr);
+    });
+    break;
+  default:
+    break;
+  }
+  return Out;
+}
+
+void ModRefResult::collectDirect(const Method *M, const PointsToResult &PTA,
+                                 BitSet &Mod, BitSet &Ref) {
+  if (!M->entry())
+    return;
+  for (const auto &BB : M->blocks()) {
+    for (const auto &I : BB->instrs()) {
+      switch (I->kind()) {
+      case InstrKind::Load: {
+        const auto *L = cast<LoadInstr>(I.get());
+        if (L->isStaticAccess()) {
+          Ref.insert(getPartition(HeapPartition::Kind::Static, 0, L->field()));
+        } else {
+          PTA.pointsTo(L->base()).forEach([&](unsigned Obj) {
+            Ref.insert(
+                getPartition(HeapPartition::Kind::Field, Obj, L->field()));
+          });
+        }
+        break;
+      }
+      case InstrKind::Store: {
+        const auto *S = cast<StoreInstr>(I.get());
+        if (S->isStaticAccess()) {
+          Mod.insert(getPartition(HeapPartition::Kind::Static, 0, S->field()));
+        } else {
+          PTA.pointsTo(S->base()).forEach([&](unsigned Obj) {
+            Mod.insert(
+                getPartition(HeapPartition::Kind::Field, Obj, S->field()));
+          });
+        }
+        break;
+      }
+      case InstrKind::ArrayLoad:
+        PTA.pointsTo(cast<ArrayLoadInstr>(I.get())->array())
+            .forEach([&](unsigned Obj) {
+              Ref.insert(
+                  getPartition(HeapPartition::Kind::ArrayElem, Obj, nullptr));
+            });
+        break;
+      case InstrKind::ArrayStore:
+        PTA.pointsTo(cast<ArrayStoreInstr>(I.get())->array())
+            .forEach([&](unsigned Obj) {
+              Mod.insert(
+                  getPartition(HeapPartition::Kind::ArrayElem, Obj, nullptr));
+            });
+        break;
+      default:
+        break;
+      }
+    }
+  }
+}
+
+ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn)
+    : PTA(PTAIn) {
+  (void)P;
+  const CallGraph &CG = PTA.callGraph();
+  std::vector<Method *> Reachable = CG.reachableMethods();
+
+  // Direct effects.
+  for (Method *M : Reachable)
+    collectDirect(M, PTA, Mod[M], Ref[M]);
+
+  // Transitive closure over the (method-level) call graph.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const CallEdge &E : CG.edges()) {
+      Method *Caller = CG.node(E.CallerNode).M;
+      Method *Callee = CG.node(E.CalleeNode).M;
+      if (Caller == Callee)
+        continue;
+      Changed |= Mod[Caller].unionWith(Mod[Callee]);
+      Changed |= Ref[Caller].unionWith(Ref[Callee]);
+    }
+  }
+}
+
+const BitSet &ModRefResult::modOf(const Method *M) const {
+  auto It = Mod.find(M);
+  return It == Mod.end() ? EmptySet : It->second;
+}
+
+const BitSet &ModRefResult::refOf(const Method *M) const {
+  auto It = Ref.find(M);
+  return It == Ref.end() ? EmptySet : It->second;
+}
+
+std::string ModRefResult::partitionName(unsigned Id, const Program &P) const {
+  const HeapPartition &Part = Partitions[Id];
+  switch (Part.K) {
+  case HeapPartition::Kind::Field:
+    return "obj" + std::to_string(Part.Obj) + "." +
+           P.strings().str(Part.F->name());
+  case HeapPartition::Kind::ArrayElem:
+    return "obj" + std::to_string(Part.Obj) + "[*]";
+  case HeapPartition::Kind::Static:
+    return P.strings().str(Part.F->owner()->name()) + "." +
+           P.strings().str(Part.F->name());
+  }
+  return "?";
+}

@@ -1,0 +1,77 @@
+//===-- ModRef.h - Interprocedural mod-ref analysis -------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transitive mod/ref sets over heap partitions (paper Section 5.3,
+/// following Ryder et al. [24]): for each method, which heap locations
+/// it (or any transitive callee) may write or read. The context-
+/// sensitive SDG builder uses these sets to introduce heap formal-in /
+/// formal-out parameters, "using the same heap partitions used by the
+/// preliminary pointer analysis" — a partition is an (abstract object,
+/// field) pair, an abstract array's element storage, or a static
+/// field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_MODREF_MODREF_H
+#define THINSLICER_MODREF_MODREF_H
+
+#include "ir/Instr.h"
+#include "ir/Program.h"
+#include "pta/PointsTo.h"
+#include "support/BitSet.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tsl {
+
+/// One heap partition.
+struct HeapPartition {
+  enum class Kind { Field, ArrayElem, Static } K;
+  unsigned Obj;   ///< Abstract object id (Field/ArrayElem).
+  const Field *F; ///< Field (Field/Static).
+  unsigned Id;
+};
+
+/// Mod/ref facts for every reachable method.
+class ModRefResult {
+public:
+  ModRefResult(const Program &P, const PointsToResult &PTA);
+
+  unsigned numPartitions() const {
+    return static_cast<unsigned>(Partitions.size());
+  }
+  const HeapPartition &partition(unsigned Id) const { return Partitions[Id]; }
+
+  /// Heap partitions the method or its transitive callees may write.
+  const BitSet &modOf(const Method *M) const;
+  /// Heap partitions the method or its transitive callees may read.
+  const BitSet &refOf(const Method *M) const;
+
+  /// Partitions a single heap access (Load/Store/ArrayLoad/ArrayStore)
+  /// may touch, per the points-to sets of its base.
+  BitSet partitionsOf(const Instr *I) const;
+
+  /// Human-readable partition label for debugging and tests.
+  std::string partitionName(unsigned Id, const Program &P) const;
+
+private:
+  unsigned getPartition(HeapPartition::Kind K, unsigned Obj, const Field *F);
+  void collectDirect(const Method *M, const PointsToResult &PTA,
+                     BitSet &Mod, BitSet &Ref);
+
+  std::vector<HeapPartition> Partitions;
+  std::unordered_map<uint64_t, unsigned> PartIndex;
+  std::unordered_map<const Method *, BitSet> Mod, Ref;
+  const PointsToResult &PTA;
+  BitSet EmptySet;
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_MODREF_MODREF_H

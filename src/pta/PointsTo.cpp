@@ -1,0 +1,581 @@
+//===-- PointsTo.cpp - Andersen points-to analysis ----------------------------==//
+
+#include "pta/PointsTo.h"
+
+#include "support/Worklist.h"
+
+#include <cassert>
+
+using namespace tsl;
+
+namespace {
+
+/// Worklist-based subset solver with on-the-fly call graph.
+class Solver final : public PointsToResult {
+public:
+  Solver(Program &P, const PTAOptions &Opts)
+      : P(P), Opts(Opts), CH(P) {}
+
+  void run();
+
+  //===------------------------------------------------------------------===//
+  // PointsToResult
+  //===------------------------------------------------------------------===//
+
+  const std::vector<AbstractObject> &objects() const override {
+    return Objects;
+  }
+
+  const BitSet &pointsTo(const Local *L) const override {
+    auto It = Merged.find(L);
+    return It == Merged.end() ? EmptySet : It->second;
+  }
+
+  const BitSet &pointsTo(const Local *L, unsigned Ctx) const override {
+    auto ByCtx = LocalNodes.find(L);
+    if (ByCtx == LocalNodes.end())
+      return EmptySet;
+    auto It = ByCtx->second.find(Ctx);
+    return It == ByCtx->second.end() ? EmptySet : Nodes[It->second].Pts;
+  }
+
+  const CallGraph &callGraph() const override { return CG; }
+  const ClassHierarchy &hierarchy() const override { return CH; }
+
+  bool castCannotFail(const CastInstr *Cast) const override {
+    const BitSet &Pts = pointsTo(Cast->src());
+    bool Safe = true;
+    Pts.forEach([&](unsigned ObjId) {
+      if (!CH.isSubtype(Objects[ObjId].Ty, Cast->targetType()))
+        Safe = false;
+    });
+    return Safe;
+  }
+
+  unsigned numConstraintNodes() const override {
+    return static_cast<unsigned>(Nodes.size());
+  }
+
+  //===------------------------------------------------------------------===//
+  // Node key helpers shared with ModRef / SDG construction
+  //===------------------------------------------------------------------===//
+
+private:
+  struct NodeData {
+    BitSet Pts;
+    /// Copy edges: (target node, optional type filter for casts).
+    std::vector<std::pair<unsigned, const Type *>> Succs;
+    /// Indices of constraints triggered by this node's points-to set.
+    std::vector<unsigned> Cons;
+  };
+
+  struct Constraint {
+    enum class Kind { Load, Store, ArrLoad, ArrStore, Call } K;
+    const Instr *I;
+    unsigned Ctx; ///< Context of the method containing I.
+    BitSet Done;  ///< Objects already processed.
+  };
+
+  //===------------------------------------------------------------------===//
+  // Node management
+  //===------------------------------------------------------------------===//
+
+  unsigned newNode() {
+    Nodes.emplace_back();
+    return static_cast<unsigned>(Nodes.size() - 1);
+  }
+
+  unsigned localNode(const Local *L, unsigned Ctx) {
+    auto [It, New] = LocalNodes[L].emplace(Ctx, 0);
+    if (New) {
+      It->second = newNode();
+      LocalOfNode.resize(Nodes.size(), nullptr);
+      LocalOfNode[It->second] = L;
+    }
+    return It->second;
+  }
+
+  unsigned fieldNode(unsigned Obj, const Field *F) {
+    // Exact: both components get 32 disjoint bits.
+    uint64_t Key = (static_cast<uint64_t>(Obj) << 32) | F->id();
+    auto [It, New] = FieldNodes.emplace(Key, 0);
+    if (New)
+      It->second = newNode();
+    return It->second;
+  }
+
+  unsigned elemNode(unsigned Obj) {
+    auto [It, New] = ElemNodes.emplace(Obj, 0);
+    if (New)
+      It->second = newNode();
+    return It->second;
+  }
+
+  unsigned staticNode(const Field *F) {
+    auto [It, New] = StaticNodes.emplace(F, 0);
+    if (New)
+      It->second = newNode();
+    return It->second;
+  }
+
+  unsigned retNode(const Method *M, unsigned Ctx) {
+    // Exact: both components get 32 disjoint bits.
+    uint64_t Key = (static_cast<uint64_t>(M->id()) << 32) | Ctx;
+    auto [It, New] = RetNodes.emplace(Key, 0);
+    if (New)
+      It->second = newNode();
+    return It->second;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Objects and contexts
+  //===------------------------------------------------------------------===//
+
+  unsigned getObject(const Instr *Site, unsigned AllocCtx, const Type *Ty) {
+    auto [It, New] = ObjIndex[Site].emplace(AllocCtx, 0);
+    if (!New)
+      return It->second;
+    unsigned Depth = 0;
+    if (AllocCtx != 0)
+      Depth = Objects[CtxObject[AllocCtx]].CtxDepth + 1;
+    unsigned Id = static_cast<unsigned>(Objects.size());
+    Objects.push_back({Site, AllocCtx, Ty, Depth, Id});
+    It->second = Id;
+    return Id;
+  }
+
+  unsigned ctxForObject(unsigned Obj) {
+    auto [It, New] = ObjCtx.emplace(Obj, 0);
+    if (New) {
+      It->second = static_cast<unsigned>(CtxObject.size());
+      CtxObject.push_back(Obj);
+    }
+    return It->second;
+  }
+
+  bool isContainerClass(const ClassDef *C) const {
+    return C && C->id() < IsContainer.size() && IsContainer[C->id()];
+  }
+
+  //===------------------------------------------------------------------===//
+  // Propagation primitives
+  //===------------------------------------------------------------------===//
+
+  void addObject(unsigned Node, unsigned Obj) {
+    if (Nodes[Node].Pts.insert(Obj))
+      WL.push(Node);
+  }
+
+  /// Unions \p From (filtered by \p Filter) into \p Node's set.
+  void flowInto(unsigned Node, const BitSet &From, const Type *Filter) {
+    if (&From == &Nodes[Node].Pts)
+      return; // Self-union is a no-op (and would mutate during forEach).
+    bool Changed = false;
+    if (!Filter) {
+      Changed = Nodes[Node].Pts.unionWith(From);
+    } else {
+      From.forEach([&](unsigned Obj) {
+        if (CH.isSubtype(Objects[Obj].Ty, Filter))
+          Changed |= Nodes[Node].Pts.insert(Obj);
+      });
+    }
+    if (Changed)
+      WL.push(Node);
+  }
+
+  void addCopyEdge(unsigned Src, unsigned Dst, const Type *Filter = nullptr) {
+    if (Src == Dst && !Filter)
+      return;
+    for (const auto &[Existing, F] : Nodes[Src].Succs)
+      if (Existing == Dst && F == Filter)
+        return;
+    Nodes[Src].Succs.emplace_back(Dst, Filter);
+    flowInto(Dst, Nodes[Src].Pts, Filter);
+  }
+
+  void attachConstraint(unsigned Node, Constraint::Kind K, const Instr *I,
+                        unsigned Ctx) {
+    Constraints.push_back({K, I, Ctx, BitSet()});
+    unsigned Idx = static_cast<unsigned>(Constraints.size() - 1);
+    Nodes[Node].Cons.push_back(Idx);
+    applyConstraint(Idx, Nodes[Node].Pts);
+  }
+
+  void applyConstraint(unsigned ConsIdx, const BitSet &Pts);
+  void applyCall(const CallInstr *Call, unsigned CallerCtx, unsigned Obj);
+
+  //===------------------------------------------------------------------===//
+  // Method processing
+  //===------------------------------------------------------------------===//
+
+  void processMethodCtx(unsigned MCId);
+  void processInstr(const Instr *I, Method *M, unsigned Ctx, unsigned MCId);
+  void wireCall(unsigned CallerMC, const CallInstr *Call, unsigned CallerCtx,
+                Method *Target, unsigned CalleeCtx, unsigned BindObj,
+                bool BindReceiverObject);
+
+  const std::vector<Local *> &paramLocals(const Method *M);
+
+  static bool isPointer(const Local *L) { return L->type()->isReference(); }
+
+  //===------------------------------------------------------------------===//
+  // State
+  //===------------------------------------------------------------------===//
+
+  Program &P;
+  PTAOptions Opts;
+  ClassHierarchy CH;
+  CallGraph CG;
+
+  std::vector<AbstractObject> Objects;
+  std::unordered_map<const Instr *, std::unordered_map<unsigned, unsigned>>
+      ObjIndex;
+
+  std::vector<NodeData> Nodes;
+  std::vector<const Local *> LocalOfNode;
+  std::unordered_map<const Local *, std::unordered_map<unsigned, unsigned>>
+      LocalNodes;
+  std::unordered_map<uint64_t, unsigned> FieldNodes;
+  std::unordered_map<unsigned, unsigned> ElemNodes;
+  std::unordered_map<const Field *, unsigned> StaticNodes;
+  std::unordered_map<uint64_t, unsigned> RetNodes;
+
+  std::vector<Constraint> Constraints;
+  Worklist WL;
+  std::vector<bool> ProcessedMC;
+
+  std::vector<unsigned> CtxObject = {~0u}; ///< Ctx id -> defining object.
+  std::unordered_map<unsigned, unsigned> ObjCtx;
+  std::vector<bool> IsContainer;
+
+  std::unordered_map<const Method *, std::vector<Local *>> ParamCache;
+  std::unordered_map<const Local *, BitSet> Merged;
+  BitSet EmptySet;
+};
+
+} // namespace
+
+const std::vector<Local *> &Solver::paramLocals(const Method *M) {
+  auto It = ParamCache.find(M);
+  if (It != ParamCache.end())
+    return It->second;
+  std::vector<Local *> Params(M->numFormals(), nullptr);
+  if (M->entry())
+    for (const auto &I : M->entry()->instrs())
+      if (const auto *PI = dyn_cast<ParamInstr>(I.get()))
+        Params[PI->index()] = PI->dest();
+  return ParamCache.emplace(M, std::move(Params)).first->second;
+}
+
+void Solver::run() {
+  // Mark container classes by name.
+  IsContainer.assign(P.classes().size(), false);
+  if (Opts.ObjSensContainers) {
+    for (const std::string &Name : Opts.ContainerClasses) {
+      Symbol Sym = P.strings().lookup(Name);
+      if (!Sym)
+        continue;
+      if (ClassDef *C = P.findClass(Sym))
+        IsContainer[C->id()] = true;
+    }
+  }
+
+  Method *Main = P.mainMethod();
+  assert(Main && "points-to analysis needs an entry point");
+  unsigned Entry = CG.getOrCreateNode(Main, 0);
+  ProcessedMC.resize(1, false);
+  processMethodCtx(Entry);
+
+  while (!WL.empty()) {
+    unsigned Node = WL.pop();
+    // Copy-edge propagation. Copy the edge list: constraint application
+    // below can add edges and reallocate node storage.
+    std::vector<std::pair<unsigned, const Type *>> Succs = Nodes[Node].Succs;
+    for (const auto &[Dst, Filter] : Succs)
+      flowInto(Dst, Nodes[Node].Pts, Filter);
+    // Complex constraints; same copy discipline.
+    std::vector<unsigned> Cons = Nodes[Node].Cons;
+    for (unsigned ConsIdx : Cons)
+      applyConstraint(ConsIdx, Nodes[Node].Pts);
+  }
+
+  // Finalize context-merged per-local sets for client queries.
+  for (const auto &[L, ByCtx] : LocalNodes)
+    for (const auto &[Ctx, Node] : ByCtx) {
+      (void)Ctx;
+      Merged[L].unionWith(Nodes[Node].Pts);
+    }
+}
+
+void Solver::processMethodCtx(unsigned MCId) {
+  if (MCId >= ProcessedMC.size())
+    ProcessedMC.resize(MCId + 1, false);
+  if (ProcessedMC[MCId])
+    return;
+  ProcessedMC[MCId] = true;
+
+  // Copy: node storage reallocates as nested processing adds nodes.
+  const MethodCtx MC = CG.node(MCId);
+  Method *M = MC.M;
+  if (!M->entry())
+    return;
+  for (const auto &BB : M->blocks())
+    for (const auto &I : BB->instrs())
+      processInstr(I.get(), M, MC.Ctx, MCId);
+}
+
+void Solver::processInstr(const Instr *I, Method *M, unsigned Ctx,
+                          unsigned MCId) {
+  TypeTable &TT = P.types();
+  switch (I->kind()) {
+  case InstrKind::New: {
+    const auto *NI = cast<NewInstr>(I);
+    unsigned Obj =
+        getObject(I, Ctx, TT.classType(NI->allocatedClass()));
+    addObject(localNode(I->dest(), Ctx), Obj);
+    return;
+  }
+  case InstrKind::NewArray: {
+    const auto *NA = cast<NewArrayInstr>(I);
+    unsigned Obj = getObject(I, Ctx, TT.arrayType(NA->elementType()));
+    addObject(localNode(I->dest(), Ctx), Obj);
+    return;
+  }
+  case InstrKind::ConstString: {
+    unsigned Obj = getObject(I, Ctx, TT.stringType());
+    addObject(localNode(I->dest(), Ctx), Obj);
+    return;
+  }
+  case InstrKind::Read:
+    if (cast<ReadInstr>(I)->readKind() == ReadKind::Line) {
+      unsigned Obj = getObject(I, Ctx, TT.stringType());
+      addObject(localNode(I->dest(), Ctx), Obj);
+    }
+    return;
+  case InstrKind::StrOp: {
+    const auto *SO = cast<StrOpInstr>(I);
+    if (SO->allocatesString()) {
+      unsigned Obj = getObject(I, Ctx, TT.stringType());
+      addObject(localNode(I->dest(), Ctx), Obj);
+    }
+    return;
+  }
+  case InstrKind::Move: {
+    const auto *MV = cast<MoveInstr>(I);
+    if (isPointer(MV->dest()))
+      addCopyEdge(localNode(MV->src(), Ctx), localNode(MV->dest(), Ctx));
+    return;
+  }
+  case InstrKind::Cast: {
+    const auto *C = cast<CastInstr>(I);
+    if (isPointer(C->dest()))
+      addCopyEdge(localNode(C->src(), Ctx), localNode(C->dest(), Ctx),
+                  C->targetType());
+    return;
+  }
+  case InstrKind::Phi: {
+    const auto *Phi = cast<PhiInstr>(I);
+    if (!isPointer(Phi->dest()))
+      return;
+    for (const Local *Op : Phi->operands())
+      addCopyEdge(localNode(Op, Ctx), localNode(Phi->dest(), Ctx));
+    return;
+  }
+  case InstrKind::Load: {
+    const auto *L = cast<LoadInstr>(I);
+    if (!isPointer(L->dest()))
+      return;
+    if (L->isStaticAccess())
+      addCopyEdge(staticNode(L->field()), localNode(L->dest(), Ctx));
+    else
+      attachConstraint(localNode(L->base(), Ctx), Constraint::Kind::Load, I,
+                       Ctx);
+    return;
+  }
+  case InstrKind::Store: {
+    const auto *S = cast<StoreInstr>(I);
+    if (!isPointer(S->src()))
+      return;
+    if (S->isStaticAccess())
+      addCopyEdge(localNode(S->src(), Ctx), staticNode(S->field()));
+    else
+      attachConstraint(localNode(S->base(), Ctx), Constraint::Kind::Store, I,
+                       Ctx);
+    return;
+  }
+  case InstrKind::ArrayLoad: {
+    const auto *AL = cast<ArrayLoadInstr>(I);
+    if (isPointer(AL->dest()))
+      attachConstraint(localNode(AL->array(), Ctx),
+                       Constraint::Kind::ArrLoad, I, Ctx);
+    return;
+  }
+  case InstrKind::ArrayStore: {
+    const auto *AS = cast<ArrayStoreInstr>(I);
+    if (isPointer(AS->src()))
+      attachConstraint(localNode(AS->array(), Ctx),
+                       Constraint::Kind::ArrStore, I, Ctx);
+    return;
+  }
+  case InstrKind::Call: {
+    const auto *C = cast<CallInstr>(I);
+    if (C->target()->isStatic()) {
+      unsigned CalleeNode = CG.getOrCreateNode(C->target(), 0);
+      CG.addEdge(MCId, C, CalleeNode);
+      processMethodCtx(CalleeNode);
+      wireCall(MCId, C, Ctx, C->target(), 0, /*BindObj=*/~0u,
+               /*BindReceiverObject=*/false);
+    } else {
+      attachConstraint(localNode(C->receiver(), Ctx), Constraint::Kind::Call,
+                       I, Ctx);
+    }
+    return;
+  }
+  case InstrKind::Ret: {
+    const auto *R = cast<RetInstr>(I);
+    if (R->src() && isPointer(R->src()))
+      addCopyEdge(localNode(R->src(), Ctx), retNode(M, Ctx));
+    return;
+  }
+  default:
+    return; // Scalar computation, terminators, effects: no pointers.
+  }
+}
+
+/// Wires argument/return copy edges for one resolved call edge. When
+/// \p BindReceiverObject is set, only \p BindObj flows into the callee
+/// `this` (the object-sensitive receiver filter); argument and return
+/// edges are ordinary subset edges.
+void Solver::wireCall(unsigned CallerMC, const CallInstr *Call,
+                      unsigned CallerCtx, Method *Target, unsigned CalleeCtx,
+                      unsigned BindObj, bool BindReceiverObject) {
+  (void)CallerMC;
+  const std::vector<Local *> &Formals = paramLocals(Target);
+  unsigned FormalBase = 0;
+  if (!Target->isStatic()) {
+    FormalBase = 1;
+    if (BindReceiverObject && Formals[0] && isPointer(Formals[0]))
+      addObject(localNode(Formals[0], CalleeCtx), BindObj);
+  }
+  for (unsigned ArgIdx = 0; ArgIdx != Call->numArgs(); ++ArgIdx) {
+    Local *Formal = FormalBase + ArgIdx < Formals.size()
+                        ? Formals[FormalBase + ArgIdx]
+                        : nullptr;
+    if (!Formal || !isPointer(Formal))
+      continue;
+    addCopyEdge(localNode(Call->arg(ArgIdx), CallerCtx),
+                localNode(Formal, CalleeCtx));
+  }
+  if (Call->dest() && isPointer(Call->dest()) &&
+      !Target->returnType()->isVoid())
+    addCopyEdge(retNode(Target, CalleeCtx),
+                localNode(Call->dest(), CallerCtx));
+}
+
+void Solver::applyCall(const CallInstr *Call, unsigned CallerCtx,
+                       unsigned Obj) {
+  const AbstractObject &O = Objects[Obj];
+
+  Method *Target = nullptr;
+  if (Call->isVirtual()) {
+    if (!O.Ty->isClass())
+      return; // Strings/arrays have no user methods.
+    Target = CH.resolveVirtual(O.Ty->classDef(), Call->target());
+  } else {
+    // Statically dispatched instance call (constructor / super): the
+    // receiver object must still be type-compatible.
+    if (!O.Ty->isClass() ||
+        !O.Ty->classDef()->isSubclassOf(Call->target()->owner()))
+      return;
+    Target = Call->target();
+  }
+  if (!Target || !Target->entry())
+    return;
+
+  unsigned CalleeCtx = 0;
+  if (Opts.ObjSensContainers && isContainerClass(Target->owner()) &&
+      O.CtxDepth < Opts.MaxObjSensDepth)
+    CalleeCtx = ctxForObject(Obj);
+
+  // The caller method context node must exist because the constraint
+  // was attached while processing it.
+  Method *Caller = Call->parent()->parent();
+  int CallerMC = CG.findNode(Caller, CallerCtx);
+  assert(CallerMC >= 0 && "call constraint from unprocessed method");
+
+  unsigned CalleeNode = CG.getOrCreateNode(Target, CalleeCtx);
+  CG.addEdge(static_cast<unsigned>(CallerMC), Call, CalleeNode);
+  processMethodCtx(CalleeNode);
+  wireCall(static_cast<unsigned>(CallerMC), Call, CallerCtx, Target,
+           CalleeCtx, Obj, /*BindReceiverObject=*/true);
+}
+
+void Solver::applyConstraint(unsigned ConsIdx, const BitSet &Pts) {
+  // Collect the unprocessed objects first: applying a constraint can
+  // attach new constraints/nodes and must not iterate a set that is
+  // being mutated elsewhere.
+  std::vector<unsigned> Fresh;
+  {
+    Constraint &C = Constraints[ConsIdx];
+    Pts.forEach([&](unsigned Obj) {
+      if (!C.Done.test(Obj)) {
+        C.Done.insert(Obj);
+        Fresh.push_back(Obj);
+      }
+    });
+  }
+  if (Fresh.empty())
+    return;
+
+  for (unsigned Obj : Fresh) {
+    // Re-fetch: recursion through applyCall may grow the vector.
+    Constraint &C = Constraints[ConsIdx];
+    const AbstractObject &O = Objects[Obj];
+    switch (C.K) {
+    case Constraint::Kind::Load: {
+      const auto *L = cast<LoadInstr>(C.I);
+      if (!O.Ty->isClass() ||
+          !O.Ty->classDef()->isSubclassOf(L->field()->owner()))
+        break;
+      addCopyEdge(fieldNode(Obj, L->field()), localNode(L->dest(), C.Ctx));
+      break;
+    }
+    case Constraint::Kind::Store: {
+      const auto *S = cast<StoreInstr>(C.I);
+      if (!O.Ty->isClass() ||
+          !O.Ty->classDef()->isSubclassOf(S->field()->owner()))
+        break;
+      addCopyEdge(localNode(S->src(), C.Ctx), fieldNode(Obj, S->field()));
+      break;
+    }
+    case Constraint::Kind::ArrLoad: {
+      const auto *AL = cast<ArrayLoadInstr>(C.I);
+      if (!O.Ty->isArray())
+        break;
+      addCopyEdge(elemNode(Obj), localNode(AL->dest(), C.Ctx));
+      break;
+    }
+    case Constraint::Kind::ArrStore: {
+      const auto *AS = cast<ArrayStoreInstr>(C.I);
+      if (!O.Ty->isArray())
+        break;
+      addCopyEdge(localNode(AS->src(), C.Ctx), elemNode(Obj));
+      break;
+    }
+    case Constraint::Kind::Call: {
+      // Copy out of C: applyCall can grow Constraints (reallocation).
+      const auto *Call = cast<CallInstr>(C.I);
+      unsigned CallerCtx = C.Ctx;
+      applyCall(Call, CallerCtx, Obj);
+      break;
+    }
+    }
+  }
+}
+
+std::unique_ptr<PointsToResult> tsl::runPointsTo(Program &P,
+                                                 const PTAOptions &Options) {
+  auto S = std::make_unique<Solver>(P, Options);
+  S->run();
+  return S;
+}

@@ -1,0 +1,89 @@
+//===-- SDG.cpp - System dependence graph ------------------------------------==//
+
+#include "sdg/SDG.h"
+
+using namespace tsl;
+
+const char *tsl::sdgEdgeKindName(SDGEdgeKind K) {
+  switch (K) {
+  case SDGEdgeKind::Flow:
+    return "flow";
+  case SDGEdgeKind::BaseFlow:
+    return "base-flow";
+  case SDGEdgeKind::Control:
+    return "control";
+  case SDGEdgeKind::ParamIn:
+    return "param-in";
+  case SDGEdgeKind::ParamOut:
+    return "param-out";
+  case SDGEdgeKind::Summary:
+    return "summary";
+  }
+  return "?";
+}
+
+unsigned SDG::addStmtNode(const Instr *I, const Method *M, unsigned Ctx) {
+  std::vector<unsigned> &Clones = StmtIndex[I];
+  for (unsigned Id : Clones)
+    if (Nodes[Id].Ctx == Ctx)
+      return Id;
+  unsigned Id = static_cast<unsigned>(Nodes.size());
+  Nodes.push_back({SDGNodeKind::Stmt, I, M, 0, Ctx, Id});
+  In.emplace_back();
+  Out.emplace_back();
+  Clones.push_back(Id);
+  ++NumStmts;
+  return Id;
+}
+
+int SDG::nodeFor(const Instr *I, unsigned Ctx) const {
+  auto It = StmtIndex.find(I);
+  if (It == StmtIndex.end())
+    return -1;
+  for (unsigned Id : It->second)
+    if (Nodes[Id].Ctx == Ctx)
+      return static_cast<int>(Id);
+  return -1;
+}
+
+unsigned SDG::addHeapNode(SDGNodeKind K, const Instr *CallOrNull,
+                          const Method *M, unsigned Part, unsigned Ctx) {
+  const void *Anchor =
+      CallOrNull ? static_cast<const void *>(CallOrNull)
+                 : static_cast<const void *>(M);
+  auto [It, New] = HeapIndex.emplace(std::make_tuple(K, Anchor, Part, Ctx), 0);
+  if (!New)
+    return It->second;
+  unsigned Id = static_cast<unsigned>(Nodes.size());
+  Nodes.push_back({K, CallOrNull, M, Part, Ctx, Id});
+  In.emplace_back();
+  Out.emplace_back();
+  It->second = Id;
+  if (K == SDGNodeKind::ScalarActualIn)
+    ++NumStmts; // Scalar parameter passing counts as a statement.
+  return Id;
+}
+
+int SDG::heapNodeFor(SDGNodeKind K, const void *MethodOrCall, unsigned Part,
+                     unsigned Ctx) const {
+  auto It = HeapIndex.find(std::make_tuple(K, MethodOrCall, Part, Ctx));
+  return It == HeapIndex.end() ? -1 : static_cast<int>(It->second);
+}
+
+bool SDG::addEdge(unsigned From, unsigned To, SDGEdgeKind K,
+                  const CallInstr *Site) {
+  if (!EdgeDedup.insert({From, To, K, Site}).second)
+    return false;
+  unsigned Id = static_cast<unsigned>(Edges.size());
+  Edges.push_back({From, To, K, Site});
+  In[To].push_back(Id);
+  Out[From].push_back(Id);
+  return true;
+}
+
+unsigned SDG::numEdgesOfKind(SDGEdgeKind K) const {
+  unsigned N = 0;
+  for (const SDGEdge &E : Edges)
+    N += E.K == K;
+  return N;
+}

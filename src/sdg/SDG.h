@@ -1,0 +1,230 @@
+//===-- SDG.h - System dependence graph --------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The system dependence graph (Horwitz-Reps-Binkley [11]) variant used
+/// by both slicers (paper Section 5). Nodes are statements plus — in
+/// the context-sensitive variant only — heap formal/actual parameter
+/// nodes derived from mod-ref (Section 5.3). Edges carry the kind
+/// distinctions thin slicing is built on:
+///
+///  - Flow:     producer flow dependence (value use) — the only
+///              intraprocedural kind thin slices follow;
+///  - BaseFlow: flow into a base pointer or array index (explainer);
+///  - Control:  control dependence, including virtual-dispatch
+///              dependence of a call on its receiver (explainer);
+///  - ParamIn / ParamOut: interprocedural parameter/return linkage,
+///              annotated with the call site for context-sensitive
+///              matching;
+///  - Summary:  actual-in -> actual-out shortcuts added by the
+///              tabulation slicer.
+///
+/// Edges are stored in dependence direction: an edge From -> To means
+/// "To depends on From"; backward slicing walks inEdges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_SDG_SDG_H
+#define THINSLICER_SDG_SDG_H
+
+#include "ir/Instr.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+namespace tsl {
+
+class ModRefResult;
+class PointsToResult;
+
+enum class SDGNodeKind {
+  Stmt,
+  /// Scalar actual-in: one per (call, operand). Renders at the call's
+  /// source line — parameter passing is a producer statement (the
+  /// paper's Figure 1 thin slice includes the call line 17).
+  ScalarActualIn,
+  HeapFormalIn,
+  HeapFormalOut,
+  HeapActualIn,
+  HeapActualOut,
+};
+
+enum class SDGEdgeKind {
+  Flow,
+  BaseFlow,
+  Control,
+  ParamIn,
+  ParamOut,
+  Summary,
+};
+
+/// Returns a short printable edge-kind name.
+const char *sdgEdgeKindName(SDGEdgeKind K);
+
+/// One SDG node.
+///
+/// In the context-insensitive graph (paper Sec. 5.2), statements are
+/// cloned per analysis context of their method — exactly as WALA's SDG
+/// keys statements by call-graph node — so the object-sensitive
+/// container precision survives into the dependence graph. Ctx is 0
+/// everywhere in the context-sensitive (heap-parameter) variant, which
+/// models calling contexts with the tabulation instead.
+struct SDGNode {
+  SDGNodeKind K;
+  /// Stmt: the instruction. HeapActual*: the call instruction.
+  const Instr *I;
+  /// The owning method (for formal nodes and statements alike).
+  const Method *M;
+  /// Heap partition id (heap parameter nodes), or operand index
+  /// (scalar actual-in nodes).
+  unsigned Part;
+  /// Analysis context of the owning method's clone.
+  unsigned Ctx;
+  unsigned Id;
+
+  bool isStmt() const { return K == SDGNodeKind::Stmt; }
+
+  /// True for nodes a user inspects as a source statement: plain
+  /// statements and scalar parameter passing at call sites. These are
+  /// what the paper's "SDG Statements" metric counts (heap parameter
+  /// nodes are excluded).
+  bool isSourceStmt() const {
+    return K == SDGNodeKind::Stmt || K == SDGNodeKind::ScalarActualIn;
+  }
+
+  bool isFormalIn() const {
+    return K == SDGNodeKind::HeapFormalIn ||
+           (K == SDGNodeKind::Stmt && I && I->kind() == InstrKind::Param);
+  }
+  bool isFormalOut() const {
+    return K == SDGNodeKind::HeapFormalOut ||
+           (K == SDGNodeKind::Stmt && I && I->kind() == InstrKind::Ret);
+  }
+};
+
+/// One SDG edge (From -> To: "To depends on From").
+struct SDGEdge {
+  unsigned From;
+  unsigned To;
+  SDGEdgeKind K;
+  /// Call site for ParamIn/ParamOut/Summary edges; null otherwise.
+  const CallInstr *Site;
+};
+
+/// The dependence graph plus node/edge indexes.
+class SDG {
+public:
+  explicit SDG(const Program &P) : P(P) {}
+
+  const Program &program() const { return P; }
+
+  //===------------------------------------------------------------------===//
+  // Construction (used by SDGBuilder and the tabulation slicer)
+  //===------------------------------------------------------------------===//
+
+  unsigned addStmtNode(const Instr *I, const Method *M, unsigned Ctx = 0);
+  unsigned addHeapNode(SDGNodeKind K, const Instr *CallOrNull,
+                       const Method *M, unsigned Part, unsigned Ctx = 0);
+
+  /// Adds an edge if not already present; returns true when new.
+  bool addEdge(unsigned From, unsigned To, SDGEdgeKind K,
+               const CallInstr *Site = nullptr);
+
+  //===------------------------------------------------------------------===//
+  // Queries
+  //===------------------------------------------------------------------===//
+
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  const SDGNode &node(unsigned Id) const { return Nodes[Id]; }
+  const std::vector<SDGNode> &nodes() const { return Nodes; }
+
+  unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
+  const SDGEdge &edge(unsigned Id) const { return Edges[Id]; }
+
+  /// Edge ids whose To is \p Node (the node's dependences).
+  const std::vector<unsigned> &inEdges(unsigned Node) const {
+    return In[Node];
+  }
+  /// Edge ids whose From is \p Node (the node's dependents).
+  const std::vector<unsigned> &outEdges(unsigned Node) const {
+    return Out[Node];
+  }
+
+  /// One node of the instruction (the first clone), or -1 when the
+  /// instruction has no node.
+  int nodeFor(const Instr *I) const {
+    auto It = StmtIndex.find(I);
+    return It == StmtIndex.end() || It->second.empty()
+               ? -1
+               : static_cast<int>(It->second.front());
+  }
+
+  /// All clones of the instruction (one per analysis context). A
+  /// source-statement seed means slicing from every clone.
+  const std::vector<unsigned> &nodesFor(const Instr *I) const {
+    static const std::vector<unsigned> Empty;
+    auto It = StmtIndex.find(I);
+    return It == StmtIndex.end() ? Empty : It->second;
+  }
+
+  /// The clone of \p I in context \p Ctx, or -1.
+  int nodeFor(const Instr *I, unsigned Ctx) const;
+
+  /// Heap parameter node lookup; returns -1 when absent.
+  int heapNodeFor(SDGNodeKind K, const void *MethodOrCall, unsigned Part,
+                  unsigned Ctx = 0) const;
+
+  /// Statement count excluding parameter-passing machinery, matching
+  /// the paper's Table 1 "SDG Statements" metric.
+  unsigned numStmtNodes() const { return NumStmts; }
+
+  /// Number of heap parameter nodes (the CS blowup statistic).
+  unsigned numHeapParamNodes() const { return numNodes() - NumStmts; }
+
+  unsigned numEdgesOfKind(SDGEdgeKind K) const;
+
+private:
+  const Program &P;
+  std::vector<SDGNode> Nodes;
+  std::vector<SDGEdge> Edges;
+  std::vector<std::vector<unsigned>> In, Out;
+  std::unordered_map<const Instr *, std::vector<unsigned>> StmtIndex;
+  /// Exact node identity: (kind, anchor, partition/operand, ctx).
+  std::map<std::tuple<SDGNodeKind, const void *, unsigned, unsigned>,
+           unsigned>
+      HeapIndex;
+  /// Exact edge identity: a silently merged or dropped edge would
+  /// corrupt slices.
+  std::set<std::tuple<unsigned, unsigned, SDGEdgeKind, const CallInstr *>>
+      EdgeDedup;
+  unsigned NumStmts = 0;
+};
+
+/// SDG construction options.
+struct SDGOptions {
+  /// Build the context-sensitive representation: heap formal/actual
+  /// parameter nodes from mod-ref (paper Section 5.3) instead of
+  /// direct interprocedural heap edges (Section 5.2).
+  bool ContextSensitive = false;
+  /// Include statements of methods the call graph never reaches
+  /// (their intraprocedural edges are still built).
+  bool IncludeUnreachable = true;
+};
+
+/// Builds the dependence graph. \p ModRef may be null unless
+/// \p Options.ContextSensitive is set.
+std::unique_ptr<SDG> buildSDG(const Program &P, const PointsToResult &PTA,
+                              const ModRefResult *ModRef,
+                              const SDGOptions &Options = {});
+
+} // namespace tsl
+
+#endif // THINSLICER_SDG_SDG_H

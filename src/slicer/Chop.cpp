@@ -1,0 +1,14 @@
+//===-- Chop.cpp - Chopping (source-to-sink slices) ------------------------------==//
+
+#include "slicer/Chop.h"
+
+using namespace tsl;
+
+SliceResult tsl::chop(const SDG &G, const Instr *Source, const Instr *Sink,
+                      SliceMode Mode) {
+  SliceResult Forward = sliceForward(G, Source, Mode);
+  SliceResult Backward = sliceBackward(G, Sink, Mode);
+  BitSet Nodes = Forward.nodeSet();
+  Nodes.intersectWith(Backward.nodeSet());
+  return SliceResult(&G, std::move(Nodes));
+}

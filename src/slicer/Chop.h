@@ -1,0 +1,30 @@
+//===-- Chop.h - Chopping (source-to-sink slices) ---------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chopping: the statements on dependence paths from a source to a
+/// sink — the intersection of the source's forward slice with the
+/// sink's backward slice. A thin chop answers "how does this value get
+/// from here to there?" with producer statements only, the natural
+/// question-form of the paper's Figure 1 walkthrough.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_SLICER_CHOP_H
+#define THINSLICER_SLICER_CHOP_H
+
+#include "slicer/Slicer.h"
+
+namespace tsl {
+
+/// Statements lying on Mode-dependence paths from \p Source to
+/// \p Sink. Empty when no such path exists.
+SliceResult chop(const SDG &G, const Instr *Source, const Instr *Sink,
+                 SliceMode Mode);
+
+} // namespace tsl
+
+#endif // THINSLICER_SLICER_CHOP_H

@@ -1,0 +1,123 @@
+//===-- Inspection.cpp - BFS inspection-metric simulator ------------------------==//
+
+#include "slicer/Inspection.h"
+
+#include <deque>
+#include <set>
+
+using namespace tsl;
+
+namespace {
+
+bool isHeapAccess(const Instr *I) {
+  switch (I->kind()) {
+  case InstrKind::Load:
+  case InstrKind::Store:
+  case InstrKind::ArrayLoad:
+  case InstrKind::ArrayStore:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+InspectionResult tsl::simulateInspection(const SDG &G,
+                                         const InspectionQuery &Q) {
+  InspectionResult R;
+  R.InspectedStatements = Q.ChargedControlDeps;
+
+  std::set<SourceLine> Remaining(Q.Desired.begin(), Q.Desired.end());
+  std::set<SourceLine> Seen;
+
+  BitSet Visited(G.numNodes());
+  std::deque<unsigned> Queue;
+  bool Dfs = Q.Strategy == InspectionStrategy::DFS;
+  auto Root = [&](const Instr *I) {
+    if (!I)
+      return;
+    for (unsigned Node : G.nodesFor(I)) // Every clone of the statement.
+      if (Visited.insert(Node))
+        Queue.push_back(Node);
+  };
+  Root(Q.Seed);
+  if (Queue.empty() && Q.ControlPivots.empty()) {
+    R.FoundAll = Remaining.empty();
+    return R;
+  }
+
+  // The user explores the seed's frontier first; only when it is
+  // exhausted without success do they follow the manually identified
+  // control dependences and slice on from the conditionals.
+  bool PivotsUsed = false;
+  while (true) {
+    if (Queue.empty()) {
+      if (PivotsUsed || Q.ControlPivots.empty())
+        break;
+      PivotsUsed = true;
+      for (const Instr *Pivot : Q.ControlPivots)
+        Root(Pivot);
+      if (Queue.empty())
+        break;
+    }
+    unsigned Node;
+    if (Dfs) {
+      Node = Queue.back();
+      Queue.pop_back();
+    } else {
+      Node = Queue.front();
+      Queue.pop_front();
+    }
+    const SDGNode &N = G.node(Node);
+
+    if (Q.RestrictStmts && N.isStmt() && !Q.RestrictStmts->count(N.I))
+      continue; // Outside the restricting slice: not browsable.
+
+    // Inspect: each distinct source statement costs one unit.
+    if (N.isSourceStmt() && N.I->loc().isValid()) {
+      SourceLine Line{N.M, N.I->loc().Line};
+      if (Seen.insert(Line).second) {
+        ++R.InspectedStatements;
+        R.Order.push_back(Line);
+        Remaining.erase(Line);
+        if (Remaining.empty()) {
+          R.FoundAll = true;
+          return R;
+        }
+      }
+    }
+
+    for (unsigned EdgeId : G.inEdges(Node)) {
+      const SDGEdge &E = G.edge(EdgeId);
+      bool Follow = sliceFollowsEdge(Q.Mode, E.K);
+      // Never walk control edges; they are charged manually (Sec 6.1).
+      if (E.K == SDGEdgeKind::Control)
+        Follow = false;
+      // Optional one-level aliasing exposure: follow base-pointer flow
+      // into this heap access.
+      if (!Follow && Q.ExpandAliasOneLevel && E.K == SDGEdgeKind::BaseFlow &&
+          N.isStmt() && isHeapAccess(N.I))
+        Follow = true;
+      if (!Follow)
+        continue;
+      if (Visited.insert(E.From))
+        Queue.push_back(E.From);
+    }
+  }
+
+  R.FoundAll = Remaining.empty();
+  return R;
+}
+
+InspectionResult
+tsl::simulateInspection(const SDG &G, const Instr *Seed, SliceMode Mode,
+                        const std::vector<SourceLine> &Desired,
+                        unsigned ChargedControlDeps) {
+  InspectionQuery Q;
+  Q.Seed = Seed;
+  Q.Mode = Mode;
+  Q.Desired = Desired;
+  Q.ChargedControlDeps = ChargedControlDeps;
+  return simulateInspection(G, Q);
+}

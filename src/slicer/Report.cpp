@@ -1,0 +1,93 @@
+//===-- Report.cpp - Provenance-annotated slice narration -------------------==//
+
+#include "slicer/Report.h"
+
+#include "support/BitSet.h"
+
+#include <deque>
+#include <set>
+
+using namespace tsl;
+
+namespace {
+
+const char *reasonFor(SDGEdgeKind K) {
+  switch (K) {
+  case SDGEdgeKind::Flow:
+    return "produces the value used by";
+  case SDGEdgeKind::BaseFlow:
+    return "produces a base pointer/index of";
+  case SDGEdgeKind::Control:
+    return "controls whether it executes";
+  case SDGEdgeKind::ParamIn:
+    return "passes an argument into";
+  case SDGEdgeKind::ParamOut:
+    return "returns the value to";
+  case SDGEdgeKind::Summary:
+    return "summarizes a call used by";
+  }
+  return "?";
+}
+
+} // namespace
+
+SliceNarration tsl::narrateSlice(const SDG &G, const Instr *Seed,
+                                 SliceMode Mode) {
+  std::vector<NarrationStep> Steps;
+  BitSet Visited(G.numNodes());
+  std::deque<NarrationStep> Queue;
+  for (unsigned Node : G.nodesFor(Seed))
+    if (Visited.insert(Node))
+      Queue.push_back({Node, -1, SDGEdgeKind::Flow, 0});
+
+  while (!Queue.empty()) {
+    NarrationStep Step = Queue.front();
+    Queue.pop_front();
+    Steps.push_back(Step);
+    for (unsigned EdgeId : G.inEdges(Step.Node)) {
+      const SDGEdge &E = G.edge(EdgeId);
+      if (!sliceFollowsEdge(Mode, E.K))
+        continue;
+      if (Visited.insert(E.From))
+        Queue.push_back({E.From, static_cast<int>(Step.Node), E.K,
+                         Step.Depth + 1});
+    }
+  }
+  return SliceNarration(G, std::move(Steps));
+}
+
+std::string SliceNarration::str(unsigned LineOffset) const {
+  const Program &P = G.program();
+  std::string Out;
+  std::set<std::pair<const Method *, unsigned>> SeenLines;
+  for (const NarrationStep &Step : Steps) {
+    const SDGNode &N = G.node(Step.Node);
+    if (!N.isSourceStmt() || !N.I->loc().isValid())
+      continue;
+    // One narration line per source statement (first reaching edge).
+    if (!SeenLines.insert({N.M, N.I->loc().Line}).second)
+      continue;
+    auto ShowLine = [LineOffset](unsigned Line) {
+      return Line > LineOffset ? Line - LineOffset : Line;
+    };
+    for (unsigned I = 0; I != Step.Depth && I < 12; ++I)
+      Out += "  ";
+    Out += N.M->qualifiedName(P.strings()) + ":" +
+           std::to_string(ShowLine(N.I->loc().Line));
+    if (LineOffset && N.I->loc().Line <= LineOffset)
+      Out += " [runtime]";
+    Out += "  " + N.I->str(P);
+    if (Step.ViaNode >= 0) {
+      const SDGNode &Via = G.node(static_cast<unsigned>(Step.ViaNode));
+      Out += "   [";
+      Out += reasonFor(Step.ViaKind);
+      if (Via.isSourceStmt() && Via.I->loc().isValid())
+        Out += " line " + std::to_string(ShowLine(Via.I->loc().Line));
+      Out += "]";
+    } else {
+      Out += "   [seed]";
+    }
+    Out += "\n";
+  }
+  return Out;
+}

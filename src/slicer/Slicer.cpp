@@ -1,0 +1,139 @@
+//===-- Slicer.cpp - Thin and traditional slicing ------------------------------==//
+
+#include "slicer/Slicer.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace tsl;
+
+bool tsl::sliceFollowsEdge(SliceMode Mode, SDGEdgeKind K) {
+  switch (K) {
+  case SDGEdgeKind::Flow:
+  case SDGEdgeKind::ParamIn:
+  case SDGEdgeKind::ParamOut:
+    return true;
+  case SDGEdgeKind::BaseFlow:
+  case SDGEdgeKind::Control:
+    return Mode == SliceMode::Traditional;
+  case SDGEdgeKind::Summary:
+    return false; // Summary edges belong to the tabulation slicer.
+  }
+  return false;
+}
+
+bool SliceResult::containsLine(const Method *M, unsigned Line) const {
+  bool Found = false;
+  Nodes.forEach([&](unsigned Node) {
+    const SDGNode &N = G->node(Node);
+    if (N.isSourceStmt() && N.M == M && N.I->loc().Line == Line)
+      Found = true;
+  });
+  return Found;
+}
+
+std::vector<const Instr *> SliceResult::statements() const {
+  std::vector<const Instr *> Out;
+  Nodes.forEach([&](unsigned Node) {
+    const SDGNode &N = G->node(Node);
+    if (N.isSourceStmt() &&
+        std::find(Out.begin(), Out.end(), N.I) == Out.end())
+      Out.push_back(N.I);
+  });
+  return Out;
+}
+
+std::vector<SourceLine> SliceResult::sourceLines() const {
+  std::vector<SourceLine> Out;
+  Nodes.forEach([&](unsigned Node) {
+    const SDGNode &N = G->node(Node);
+    if (N.isSourceStmt() && N.I->loc().isValid())
+      Out.push_back({N.M, N.I->loc().Line});
+  });
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+unsigned SliceResult::sizeStmts() const {
+  unsigned N = 0;
+  Nodes.forEach([&](unsigned Node) { N += G->node(Node).isSourceStmt(); });
+  return N;
+}
+
+std::string SliceResult::str() const {
+  std::string Out;
+  const Program &P = G->program();
+  Nodes.forEach([&](unsigned Node) {
+    const SDGNode &N = G->node(Node);
+    if (!N.isSourceStmt())
+      return;
+    Out += N.M->qualifiedName(P.strings());
+    Out += ":" + std::to_string(N.I->loc().Line) + ": " + N.I->str(P);
+    if (N.K == SDGNodeKind::ScalarActualIn)
+      Out += "  [actual #" + std::to_string(N.Part) + "]";
+    Out += "\n";
+  });
+  return Out;
+}
+
+namespace {
+
+/// Shared reachability engine for both directions.
+SliceResult reachNodes(const SDG &G, const std::vector<unsigned> &SeedNodes,
+                       SliceMode Mode, bool Backward) {
+  BitSet Visited(G.numNodes());
+  std::deque<unsigned> Queue;
+  for (unsigned Node : SeedNodes)
+    if (Visited.insert(Node))
+      Queue.push_back(Node);
+  while (!Queue.empty()) {
+    unsigned Node = Queue.front();
+    Queue.pop_front();
+    const std::vector<unsigned> &EdgeIds =
+        Backward ? G.inEdges(Node) : G.outEdges(Node);
+    for (unsigned EdgeId : EdgeIds) {
+      const SDGEdge &E = G.edge(EdgeId);
+      if (!sliceFollowsEdge(Mode, E.K))
+        continue;
+      unsigned Next = Backward ? E.From : E.To;
+      if (Visited.insert(Next))
+        Queue.push_back(Next);
+    }
+  }
+  return SliceResult(&G, std::move(Visited));
+}
+
+/// Expands instruction seeds into every clone of each statement.
+SliceResult reach(const SDG &G, const std::vector<const Instr *> &Seeds,
+                  SliceMode Mode, bool Backward) {
+  std::vector<unsigned> Nodes;
+  for (const Instr *Seed : Seeds)
+    for (unsigned Node : G.nodesFor(Seed))
+      Nodes.push_back(Node);
+  return reachNodes(G, Nodes, Mode, Backward);
+}
+
+} // namespace
+
+SliceResult tsl::sliceBackward(const SDG &G, const Instr *Seed,
+                               SliceMode Mode) {
+  return reach(G, {Seed}, Mode, /*Backward=*/true);
+}
+
+SliceResult tsl::sliceBackward(const SDG &G,
+                               const std::vector<const Instr *> &Seeds,
+                               SliceMode Mode) {
+  return reach(G, Seeds, Mode, /*Backward=*/true);
+}
+
+SliceResult tsl::sliceBackwardNodes(const SDG &G,
+                                    const std::vector<unsigned> &SeedNodes,
+                                    SliceMode Mode) {
+  return reachNodes(G, SeedNodes, Mode, /*Backward=*/true);
+}
+
+SliceResult tsl::sliceForward(const SDG &G, const Instr *Seed,
+                              SliceMode Mode) {
+  return reach(G, {Seed}, Mode, /*Backward=*/false);
+}

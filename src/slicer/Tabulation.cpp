@@ -1,0 +1,156 @@
+//===-- Tabulation.cpp - Context-sensitive slicing ------------------------------==//
+
+#include "slicer/Tabulation.h"
+
+#include "support/BitSet.h"
+
+#include <deque>
+
+using namespace tsl;
+
+TabulationSlicer::TabulationSlicer(const SDG &G, SliceMode Mode)
+    : G(G), Mode(Mode) {
+  computeSummaries();
+}
+
+void TabulationSlicer::computeSummaries() {
+  // Path edges (FormalOut, Node): Node same-level-reaches FormalOut
+  // within one procedure instance, using intraprocedural edges and
+  // already-discovered summary edges. When a path edge reaches a
+  // formal-in, a summary edge (actual source -> actual out) is emitted
+  // at every matching call site.
+
+  // Index formal-out nodes densely.
+  std::vector<unsigned> FormalOuts;
+  std::unordered_map<unsigned, unsigned> FormalOutIndex;
+  for (const SDGNode &N : G.nodes()) {
+    if (N.isFormalOut()) {
+      FormalOutIndex.emplace(N.Id, static_cast<unsigned>(FormalOuts.size()));
+      FormalOuts.push_back(N.Id);
+    }
+  }
+
+  // ParamOut map: (site, formal-out) -> actual-out node. Exact keys:
+  // a collision would emit a summary edge to the wrong call.
+  std::map<std::pair<const CallInstr *, unsigned>, unsigned> ActualOutOf;
+  for (unsigned EdgeId = 0; EdgeId != G.numEdges(); ++EdgeId) {
+    const SDGEdge &E = G.edge(EdgeId);
+    if (E.K == SDGEdgeKind::ParamOut)
+      ActualOutOf.emplace(std::make_pair(E.Site, E.From), E.To);
+  }
+
+  // Path-edge state: per formal-out, the set of same-level reaching
+  // nodes.
+  std::vector<BitSet> Reaches(FormalOuts.size());
+  std::deque<std::pair<unsigned, unsigned>> WL; // (foIdx, node)
+
+  auto Propagate = [&](unsigned FoIdx, unsigned Node) {
+    if (Reaches[FoIdx].insert(Node))
+      WL.emplace_back(FoIdx, Node);
+  };
+
+  // Per actual-out node, the path edges seen so far (for re-triggering
+  // when a summary into that actual-out appears later).
+  std::unordered_map<unsigned, std::vector<unsigned>> PathAtNode;
+
+  for (unsigned FoIdx = 0; FoIdx != FormalOuts.size(); ++FoIdx)
+    Propagate(FoIdx, FormalOuts[FoIdx]);
+
+  std::unordered_set<uint64_t> SummaryDedup;
+
+  while (!WL.empty()) {
+    auto [FoIdx, Node] = WL.front();
+    WL.pop_front();
+    PathAtNode[Node].push_back(FoIdx);
+
+    // Same-level expansion.
+    for (unsigned EdgeId : G.inEdges(Node)) {
+      const SDGEdge &E = G.edge(EdgeId);
+      if (intraEdge(E.K))
+        Propagate(FoIdx, E.From);
+    }
+    auto SumIt = SummaryIn.find(Node);
+    if (SumIt != SummaryIn.end())
+      for (unsigned Src : SumIt->second)
+        Propagate(FoIdx, Src);
+
+    // Summary creation at formal-ins.
+    const SDGNode &N = G.node(Node);
+    if (!N.isFormalIn())
+      continue;
+    unsigned Fo = FormalOuts[FoIdx];
+    for (unsigned EdgeId : G.inEdges(Node)) {
+      const SDGEdge &E = G.edge(EdgeId);
+      if (E.K != SDGEdgeKind::ParamIn)
+        continue;
+      auto AoIt = ActualOutOf.find(std::make_pair(E.Site, Fo));
+      if (AoIt == ActualOutOf.end())
+        continue; // This call site never receives Fo's value.
+      unsigned Ao = AoIt->second;
+      unsigned Src = E.From;
+      uint64_t Key = (static_cast<uint64_t>(Src) << 32) | Ao;
+      if (!SummaryDedup.insert(Key).second)
+        continue;
+      SummaryIn[Ao].push_back(Src);
+      ++NumSummaries;
+      // Re-trigger path edges already sitting at the actual-out.
+      for (unsigned Fo2Idx : PathAtNode[Ao])
+        Propagate(Fo2Idx, Src);
+    }
+  }
+}
+
+SliceResult TabulationSlicer::slice(const Instr *Seed) const {
+  return slice(std::vector<const Instr *>{Seed});
+}
+
+SliceResult
+TabulationSlicer::slice(const std::vector<const Instr *> &Seeds) const {
+  BitSet Visited(G.numNodes());
+  std::deque<unsigned> Queue;
+
+  auto Enqueue = [&](unsigned Node) {
+    if (Visited.insert(Node))
+      Queue.push_back(Node);
+  };
+
+  // Phase 1: ascend — intraprocedural edges, summaries, and param-in
+  // (into callers); never param-out.
+  BitSet Phase1(G.numNodes());
+  for (const Instr *Seed : Seeds)
+    for (unsigned Node : G.nodesFor(Seed))
+      Enqueue(Node);
+  while (!Queue.empty()) {
+    unsigned Node = Queue.front();
+    Queue.pop_front();
+    Phase1.insert(Node);
+    for (unsigned EdgeId : G.inEdges(Node)) {
+      const SDGEdge &E = G.edge(EdgeId);
+      if (intraEdge(E.K) || E.K == SDGEdgeKind::ParamIn)
+        Enqueue(E.From);
+    }
+    auto SumIt = SummaryIn.find(Node);
+    if (SumIt != SummaryIn.end())
+      for (unsigned Src : SumIt->second)
+        Enqueue(Src);
+  }
+
+  // Phase 2: descend — intraprocedural edges, summaries, and param-out
+  // (into callees); never param-in.
+  Phase1.forEach([&](unsigned Node) { Queue.push_back(Node); });
+  while (!Queue.empty()) {
+    unsigned Node = Queue.front();
+    Queue.pop_front();
+    for (unsigned EdgeId : G.inEdges(Node)) {
+      const SDGEdge &E = G.edge(EdgeId);
+      if (intraEdge(E.K) || E.K == SDGEdgeKind::ParamOut)
+        Enqueue(E.From);
+    }
+    auto SumIt = SummaryIn.find(Node);
+    if (SumIt != SummaryIn.end())
+      for (unsigned Src : SumIt->second)
+        Enqueue(Src);
+  }
+
+  return SliceResult(&G, std::move(Visited));
+}

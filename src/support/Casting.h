@@ -1,0 +1,60 @@
+//===-- Casting.h - LLVM-style isa/cast/dyn_cast ----------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal reimplementation of LLVM's opt-in RTTI templates. A class
+/// hierarchy participates by exposing a \c Kind discriminator and a
+/// static \c classof(const Base*) predicate on every derived class;
+/// \c isa / \c cast / \c dyn_cast then work exactly like in LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_SUPPORT_CASTING_H
+#define THINSLICER_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace tsl {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the dynamic type matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null argument (returns null).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace tsl
+
+#endif // THINSLICER_SUPPORT_CASTING_H

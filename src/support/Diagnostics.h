@@ -1,0 +1,71 @@
+//===-- Diagnostics.h - Error reporting -------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic engine shared by the ThinJ frontend and the analyses. The
+/// library never throws; failures are reported through this sink and
+/// callers test \c hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_SUPPORT_DIAGNOSTICS_H
+#define THINSLICER_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace tsl {
+
+/// Severity of a diagnostic message.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic: severity, position, and rendered message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "line:col: error: message" in the LLVM style (lowercase
+  /// first word, no trailing period).
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while parsing and analyzing a program.
+///
+/// A DiagnosticEngine is passed by reference through the frontend; any
+/// component may append to it. It deliberately has no global state so
+/// tests can assert on exact diagnostic sequences.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic on its own line; convenient for test
+  /// failure messages and tool output.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,50 @@
+//===-- SourceLoc.h - Source positions --------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source positions used to map IR statements and slice
+/// results back to ThinJ source lines. Lines are what the paper's
+/// evaluation counts, so every IR instruction carries a SourceLoc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_SUPPORT_SOURCELOC_H
+#define THINSLICER_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace tsl {
+
+/// A (line, column) position in one ThinJ source buffer. Line 0 means
+/// "unknown" (compiler-synthesized code such as implicit returns).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+  bool operator!=(const SourceLoc &RHS) const { return !(*this == RHS); }
+  bool operator<(const SourceLoc &RHS) const {
+    return Line != RHS.Line ? Line < RHS.Line : Col < RHS.Col;
+  }
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_SUPPORT_SOURCELOC_H

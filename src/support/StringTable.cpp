@@ -1,0 +1,24 @@
+//===-- StringTable.cpp - String interner ---------------------------------==//
+
+#include "support/StringTable.h"
+
+#include <cassert>
+
+using namespace tsl;
+
+Symbol StringTable::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return It->second;
+  Symbol Sym = static_cast<Symbol>(Strings.size());
+  Strings.emplace_back(Text);
+  // Key the index by the stable heap storage of the stored string, not
+  // by the caller's buffer.
+  Index.emplace(std::string_view(Strings.back()), Sym);
+  return Sym;
+}
+
+Symbol StringTable::lookup(std::string_view Text) const {
+  auto It = Index.find(Text);
+  return It == Index.end() ? 0 : It->second;
+}

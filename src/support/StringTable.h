@@ -1,0 +1,58 @@
+//===-- StringTable.h - String interner -------------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns identifier strings into dense 32-bit symbols so that names
+/// (classes, fields, methods, locals) compare and hash as integers
+/// throughout the analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_SUPPORT_STRINGTABLE_H
+#define THINSLICER_SUPPORT_STRINGTABLE_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace tsl {
+
+/// A dense id for an interned string. Symbol 0 is the empty string.
+using Symbol = uint32_t;
+
+/// Bidirectional string <-> Symbol mapping with stable ids.
+class StringTable {
+public:
+  StringTable() { intern(""); }
+
+  /// Returns the symbol for \p Text, interning it on first use.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the symbol for \p Text, or 0 if it was never interned.
+  /// Note that 0 is also the symbol of "", which is never a valid
+  /// identifier, so 0 doubles as "not found" for identifier lookups.
+  Symbol lookup(std::string_view Text) const;
+
+  const std::string &str(Symbol Sym) const {
+    assert(Sym < Strings.size() && "invalid symbol");
+    return Strings[Sym];
+  }
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  // Deque keeps element addresses stable so the string_view keys in
+  // Index (which alias the stored strings) never dangle.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, Symbol> Index;
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_SUPPORT_STRINGTABLE_H

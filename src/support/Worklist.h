@@ -1,0 +1,53 @@
+//===-- Worklist.h - Deduplicating FIFO worklist ----------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FIFO worklist over densely numbered ids that never holds the same id
+/// twice. The points-to solver and the slicers are all fixed-point
+/// worklist algorithms over dense id spaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_SUPPORT_WORKLIST_H
+#define THINSLICER_SUPPORT_WORKLIST_H
+
+#include "support/BitSet.h"
+
+#include <deque>
+
+namespace tsl {
+
+/// FIFO queue of unsigned ids; enqueueing an id already in the queue is
+/// a no-op. Ids may be re-enqueued after being popped.
+class Worklist {
+public:
+  /// Enqueues \p Id unless it is already pending; returns true if added.
+  bool push(unsigned Id) {
+    if (!Pending.insert(Id))
+      return false;
+    Queue.push_back(Id);
+    return true;
+  }
+
+  unsigned pop() {
+    assert(!Queue.empty() && "pop from empty worklist");
+    unsigned Id = Queue.front();
+    Queue.pop_front();
+    Pending.erase(Id);
+    return Id;
+  }
+
+  bool empty() const { return Queue.empty(); }
+  size_t size() const { return Queue.size(); }
+
+private:
+  std::deque<unsigned> Queue;
+  BitSet Pending;
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_SUPPORT_WORKLIST_H

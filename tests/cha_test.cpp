@@ -1,0 +1,110 @@
+//===-- cha_test.cpp - Class hierarchy unit tests -------------------------------==//
+
+#include "cg/ClassHierarchy.h"
+#include "lang/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsl;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<ClassHierarchy> CH;
+
+  explicit Fixture(const std::string &Source) {
+    DiagnosticEngine Diag;
+    P = compileThinJ(Source, Diag);
+    EXPECT_NE(P, nullptr) << Diag.str();
+    if (P)
+      CH = std::make_unique<ClassHierarchy>(*P);
+  }
+
+  ClassDef *cls(const std::string &Name) {
+    return P->findClass(P->strings().lookup(Name));
+  }
+  Method *method(const std::string &ClassName, const std::string &Name) {
+    return cls(ClassName)->findMethod(P->strings().lookup(Name));
+  }
+};
+
+const char *Zoo = R"(
+class Animal {
+  def speak(): string { return "..."; }
+  def name(): string { return "animal"; }
+}
+class Cat extends Animal {
+  def speak(): string { return "meow"; }
+}
+class Lion extends Cat {
+  def speak(): string { return "roar"; }
+}
+class Dog extends Animal {
+  def speak(): string { return "woof"; }
+}
+def main() {
+  var a: Animal = new Cat();
+  print(a.speak());
+}
+)";
+
+} // namespace
+
+TEST(ClassHierarchy, SubtypeBasics) {
+  Fixture F(Zoo);
+  const TypeTable &T = F.P->types();
+  const Type *Animal = T.classType(F.cls("Animal"));
+  const Type *Cat = T.classType(F.cls("Cat"));
+  const Type *Lion = T.classType(F.cls("Lion"));
+  const Type *Object = T.classType(F.P->objectClass());
+
+  EXPECT_TRUE(F.CH->isSubtype(Cat, Animal));
+  EXPECT_TRUE(F.CH->isSubtype(Lion, Animal));
+  EXPECT_TRUE(F.CH->isSubtype(Lion, Cat));
+  EXPECT_FALSE(F.CH->isSubtype(Animal, Cat));
+  EXPECT_TRUE(F.CH->isSubtype(Cat, Cat));
+
+  // Object is the top reference type; null the bottom.
+  EXPECT_TRUE(F.CH->isSubtype(Cat, Object));
+  EXPECT_TRUE(F.CH->isSubtype(T.stringType(), Object));
+  EXPECT_TRUE(F.CH->isSubtype(T.arrayType(T.intType()), Object));
+  EXPECT_TRUE(F.CH->isSubtype(T.nullType(), Cat));
+  EXPECT_FALSE(F.CH->isSubtype(T.intType(), Object));
+  // Arrays are invariant.
+  EXPECT_FALSE(
+      F.CH->isSubtype(T.arrayType(Cat), T.arrayType(Animal)));
+}
+
+TEST(ClassHierarchy, ResolveVirtual) {
+  Fixture F(Zoo);
+  Method *AnimalSpeak = F.method("Animal", "speak");
+  EXPECT_EQ(F.CH->resolveVirtual(F.cls("Cat"), AnimalSpeak),
+            F.cls("Cat")->findOwnMethod(AnimalSpeak->name()));
+  EXPECT_EQ(F.CH->resolveVirtual(F.cls("Lion"), AnimalSpeak),
+            F.cls("Lion")->findOwnMethod(AnimalSpeak->name()));
+  // Inherited (not overridden) method resolves to the superclass impl.
+  Method *AnimalName = F.method("Animal", "name");
+  EXPECT_EQ(F.CH->resolveVirtual(F.cls("Lion"), AnimalName), AnimalName);
+  // Unrelated runtime class resolves to null.
+  EXPECT_EQ(F.CH->resolveVirtual(F.P->objectClass(), AnimalSpeak), nullptr);
+}
+
+TEST(ClassHierarchy, SubclassesOf) {
+  Fixture F(Zoo);
+  const auto &Subs = F.CH->subclassesOf(F.cls("Cat"));
+  EXPECT_EQ(Subs.size(), 2u); // Cat and Lion.
+  const auto &AnimalSubs = F.CH->subclassesOf(F.cls("Animal"));
+  EXPECT_EQ(AnimalSubs.size(), 4u);
+}
+
+TEST(ClassHierarchy, ChaTargets) {
+  Fixture F(Zoo);
+  Method *AnimalSpeak = F.method("Animal", "speak");
+  auto Targets = F.CH->chaTargets(AnimalSpeak);
+  // Animal, Cat, Lion, Dog all provide (or inherit a distinct) speak.
+  EXPECT_EQ(Targets.size(), 4u);
+  Method *CatSpeak = F.cls("Cat")->findOwnMethod(AnimalSpeak->name());
+  auto CatTargets = F.CH->chaTargets(CatSpeak);
+  EXPECT_EQ(CatTargets.size(), 2u); // Cat's and Lion's.
+}

@@ -1,0 +1,159 @@
+//===-- cli_test.cpp - End-to-end tests of the thinslice tool -------------------==//
+//
+// Drives the installed binary the way a user would: writes a .tsj
+// file, runs the tool, checks stdout. Tests run from build/tests (the
+// gtest working directory), so the binary lives at ../tools/thinslice.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <algorithm>
+#include <string>
+
+namespace {
+
+const char *ToolPath = "../tools/thinslice";
+
+bool toolExists() {
+  std::ifstream F(ToolPath);
+  return F.good();
+}
+
+/// Runs a command, captures stdout(+stderr), returns exit status.
+int runCapture(const std::string &Cmd, std::string &Out) {
+  Out.clear();
+  FILE *Pipe = popen((Cmd + " 2>&1").c_str(), "r");
+  if (!Pipe)
+    return -1;
+  char Buf[4096];
+  while (size_t N = fread(Buf, 1, sizeof(Buf), Pipe))
+    Out.append(Buf, N);
+  return pclose(Pipe);
+}
+
+class CliTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!toolExists())
+      GTEST_SKIP() << "thinslice binary not found at " << ToolPath;
+    Program = "cli_test_prog.tsj";
+    std::ofstream F(Program);
+    F << R"THINJ(
+def readNames(count: int): Vector {
+  var firstNames = new Vector();
+  for (var i = 0; i < count; i = i + 1) {
+    var fullName = readLine();
+    var spaceInd = fullName.indexOf(" ");
+    var firstName = fullName.substring(0, spaceInd - 1);
+    firstNames.add(firstName);
+  }
+  return firstNames;
+}
+def main() {
+  var names = readNames(readInt());
+  for (var i = 0; i < names.size(); i = i + 1) {
+    print("FIRST NAME: " + (string) names.get(i));
+  }
+}
+)THINJ";
+  }
+
+  void TearDown() override { remove(Program.c_str()); }
+
+  std::string run(const std::string &Args, int *Status = nullptr) {
+    std::string Out;
+    int S = runCapture(std::string(ToolPath) + " " + Program + " " + Args,
+                       Out);
+    if (Status)
+      *Status = S;
+    return Out;
+  }
+
+  std::string Program;
+};
+
+} // namespace
+
+TEST_F(CliTest, RunExecutesTheProgram) {
+  std::string Out = run("--run --int 1 --in \"John Doe\"");
+  EXPECT_NE(Out.find("FIRST NAME: Joh"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, ThinSliceFindsTheBugLine) {
+  std::string Out = run("--line 15");
+  EXPECT_NE(Out.find("thin slice from line 15"), std::string::npos) << Out;
+  // The buggy substring (user line 7) is in the slice; runtime lines
+  // are tagged.
+  EXPECT_NE(Out.find("readNames:7"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("[runtime]"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, TraditionalIsLarger) {
+  std::string Thin = run("--line 15");
+  std::string Trad = run("--line 15 --mode trad");
+  auto Lines = [](const std::string &S) {
+    return std::count(S.begin(), S.end(), '\n');
+  };
+  EXPECT_GT(Lines(Trad), Lines(Thin));
+}
+
+TEST_F(CliTest, WhyNarratesProvenance) {
+  std::string Out = run("--line 15 --why");
+  EXPECT_NE(Out.find("[seed]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("produces the value used by"), std::string::npos)
+      << Out;
+}
+
+TEST_F(CliTest, StatsAndDumpIr) {
+  std::string Out = run("--stats --line 15");
+  EXPECT_NE(Out.find("sdg: "), std::string::npos) << Out;
+  std::string Ir = run("--dump-ir");
+  EXPECT_NE(Ir.find("param#"), std::string::npos) << Ir;
+}
+
+TEST_F(CliTest, DotExport) {
+  std::string Out = run("--line 15 --dot cli_test_slice.dot");
+  EXPECT_NE(Out.find("wrote cli_test_slice.dot"), std::string::npos) << Out;
+  std::ifstream Dot("cli_test_slice.dot");
+  ASSERT_TRUE(Dot.good());
+  std::string First;
+  std::getline(Dot, First);
+  EXPECT_NE(First.find("digraph"), std::string::npos);
+  remove("cli_test_slice.dot");
+}
+
+TEST_F(CliTest, ErrorsReportUserFileLines) {
+  std::ofstream F(Program);
+  F << "def main() { print(nope); }\n";
+  F.close();
+  int Status = 0;
+  std::string Out = run("--line 1", &Status);
+  EXPECT_NE(Status, 0);
+  // Position is relative to the user's file (line 1), not the
+  // prepended runtime.
+  EXPECT_NE(Out.find(":1:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("unknown variable"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, BadUsageExitsNonZero) {
+  std::string Out;
+  int Status = runCapture(std::string(ToolPath), Out);
+  EXPECT_NE(Status, 0);
+  EXPECT_NE(Out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, ContextSensitiveMode) {
+  std::string Out = run("--line 15 --context-sensitive");
+  EXPECT_NE(Out.find("context-sensitive slice"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("readNames:7"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, ChopMode) {
+  std::string Out = run("--line 5 --chop 15");
+  EXPECT_NE(Out.find("chop from line 5"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("main:15"), std::string::npos) << Out;
+}

@@ -1,0 +1,213 @@
+//===-- inspection_test.cpp - BFS inspection metric unit tests ------------------==//
+
+#include "lang/Lower.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+#include "slicer/Inspection.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsl;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<PointsToResult> PTA;
+  std::unique_ptr<SDG> G;
+
+  explicit Fixture(const std::string &Source) {
+    DiagnosticEngine Diag;
+    P = compileThinJ(Source, Diag);
+    EXPECT_NE(P, nullptr) << Diag.str();
+    if (!P)
+      return;
+    PTA = runPointsTo(*P);
+    G = buildSDG(*P, *PTA, nullptr);
+  }
+
+  const Instr *lastAtLine(unsigned Line) {
+    const Instr *Last = nullptr;
+    for (const auto &M : P->methods())
+      for (const auto &BB : M->blocks())
+        for (const auto &I : BB->instrs())
+          if (I->loc().Line == Line)
+            Last = I.get();
+    return Last;
+  }
+
+  SourceLine line(unsigned Line) {
+    for (const auto &M : P->methods())
+      for (const auto &BB : M->blocks())
+        for (const auto &I : BB->instrs())
+          if (I->loc().Line == Line)
+            return {M.get(), Line};
+    return {nullptr, Line};
+  }
+};
+
+const char *Chain = R"(
+def main() {
+  var a = readInt();
+  var b = a + 1;
+  var c = b + 1;
+  var d = c + 1;
+  print(d);
+}
+)";
+
+} // namespace
+
+TEST(Inspection, CountsUntilDesiredFound) {
+  Fixture F(Chain);
+  // Seed at print(d), desired at b's definition: the user inspects the
+  // seed line, then d, c, b in BFS order -> 4 statements.
+  InspectionResult R = simulateInspection(
+      *F.G, F.lastAtLine(7), SliceMode::Thin, {F.line(4)});
+  EXPECT_TRUE(R.FoundAll);
+  EXPECT_EQ(R.InspectedStatements, 4u);
+  // The order starts at the seed.
+  ASSERT_FALSE(R.Order.empty());
+  EXPECT_EQ(R.Order.front().Line, 7u);
+}
+
+TEST(Inspection, NearerDesiredCostsLess) {
+  Fixture F(Chain);
+  InspectionResult Near = simulateInspection(
+      *F.G, F.lastAtLine(7), SliceMode::Thin, {F.line(6)});
+  InspectionResult Far = simulateInspection(
+      *F.G, F.lastAtLine(7), SliceMode::Thin, {F.line(3)});
+  EXPECT_LT(Near.InspectedStatements, Far.InspectedStatements);
+}
+
+TEST(Inspection, SeedEqualsDesiredIsOne) {
+  Fixture F(Chain);
+  InspectionResult R = simulateInspection(
+      *F.G, F.lastAtLine(7), SliceMode::Thin, {F.line(7)});
+  EXPECT_TRUE(R.FoundAll);
+  EXPECT_EQ(R.InspectedStatements, 1u);
+}
+
+TEST(Inspection, ChargedControlDepsAddToCount) {
+  Fixture F(Chain);
+  InspectionQuery Q;
+  Q.Seed = F.lastAtLine(7);
+  Q.Mode = SliceMode::Thin;
+  Q.Desired = {F.line(7)};
+  Q.ChargedControlDeps = 3;
+  InspectionResult R = simulateInspection(*F.G, Q);
+  EXPECT_EQ(R.InspectedStatements, 4u); // 1 + 3 charged.
+}
+
+TEST(Inspection, UnreachableDesiredReportsNotFound) {
+  Fixture F(Chain);
+  // Line 3 feeds the chain, but a *forward* target like the print is
+  // unreachable from a's def by backward traversal.
+  InspectionResult R = simulateInspection(
+      *F.G, F.lastAtLine(3), SliceMode::Thin, {F.line(7)});
+  EXPECT_FALSE(R.FoundAll);
+}
+
+TEST(Inspection, TraditionalExploresMore) {
+  Fixture F(R"(
+class Box { var v: Object; }
+def main() {
+  var b1 = new Box();
+  var b2 = b1;
+  b2.v = new Object();
+  var r = b1.v;
+  print(r == null);
+}
+)");
+  // Desired: a statement only reachable through base-pointer flow.
+  InspectionResult Thin = simulateInspection(
+      *F.G, F.lastAtLine(8), SliceMode::Thin, {F.line(5)});
+  InspectionResult Trad = simulateInspection(
+      *F.G, F.lastAtLine(8), SliceMode::Traditional, {F.line(5)});
+  EXPECT_FALSE(Thin.FoundAll);
+  EXPECT_TRUE(Trad.FoundAll);
+}
+
+TEST(Inspection, PivotsExploredAfterSeedFrontier) {
+  Fixture F(R"(
+def main() {
+  var bound = readInt() * 2;
+  var i = 0;
+  while (i < bound) {
+    print(i);
+    i = i + 1;
+  }
+}
+)");
+  // From print(i), the bound is control-only. With the loop condition
+  // as pivot, the user reaches it after exhausting the seed frontier.
+  InspectionQuery Q;
+  Q.Seed = F.lastAtLine(6);
+  Q.Mode = SliceMode::Thin;
+  Q.Desired = {F.line(3)};
+  Q.ChargedControlDeps = 1;
+  InspectionResult WithoutPivot = simulateInspection(*F.G, Q);
+  EXPECT_FALSE(WithoutPivot.FoundAll);
+
+  // The pivot is the while branch.
+  const Instr *Branch = nullptr;
+  for (const auto &BB : F.P->mainMethod()->blocks())
+    if (BB->terminator() && isa<BranchInstr>(BB->terminator()))
+      Branch = BB->terminator();
+  ASSERT_NE(Branch, nullptr);
+  Q.ControlPivots = {Branch};
+  InspectionResult WithPivot = simulateInspection(*F.G, Q);
+  EXPECT_TRUE(WithPivot.FoundAll);
+  // The seed frontier was charged before the pivot chain.
+  EXPECT_GT(WithPivot.InspectedStatements, 2u);
+}
+
+TEST(Inspection, AliasOneLevelExposesBaseProducers) {
+  Fixture F(R"(
+class Box { var v: Object; }
+def main() {
+  var b1 = new Box();
+  var b2 = b1;
+  b2.v = new Object();
+  var r = b1.v;
+  print(r == null);
+}
+)");
+  InspectionQuery Q;
+  Q.Seed = F.lastAtLine(8);
+  Q.Mode = SliceMode::Thin;
+  Q.Desired = {F.line(4)}; // The Box allocation: base-pointer material.
+  InspectionResult Plain = simulateInspection(*F.G, Q);
+  EXPECT_FALSE(Plain.FoundAll);
+  Q.ExpandAliasOneLevel = true;
+  InspectionResult Expanded = simulateInspection(*F.G, Q);
+  EXPECT_TRUE(Expanded.FoundAll);
+}
+
+TEST(Inspection, RestrictionPrunesTraversal) {
+  Fixture F(Chain);
+  // Restricting to nothing but the seed terminates immediately.
+  std::unordered_set<const Instr *> OnlySeed = {F.lastAtLine(7)};
+  InspectionQuery Q;
+  Q.Seed = F.lastAtLine(7);
+  Q.Mode = SliceMode::Thin;
+  Q.Desired = {F.line(3)};
+  Q.RestrictStmts = &OnlySeed;
+  InspectionResult R = simulateInspection(*F.G, Q);
+  EXPECT_FALSE(R.FoundAll);
+  EXPECT_LE(R.InspectedStatements, 2u);
+}
+
+TEST(Inspection, DuplicateLinesCostOnce) {
+  Fixture F(R"(
+def main() {
+  var a = readInt(); var b = a + 1; var c = b + a;
+  print(c);
+}
+)");
+  // Everything on line 3 counts as one inspected statement.
+  InspectionResult R = simulateInspection(
+      *F.G, F.lastAtLine(4), SliceMode::Thin, {F.line(3)});
+  EXPECT_TRUE(R.FoundAll);
+  EXPECT_EQ(R.InspectedStatements, 2u);
+}

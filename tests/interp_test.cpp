@@ -1,0 +1,364 @@
+//===-- interp_test.cpp - Interpreter and dynamic slicing tests -----------------==//
+
+#include "dyn/Interp.h"
+#include "lang/Lower.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace tsl;
+
+namespace {
+
+InterpResult run(const std::string &Source, InterpOptions Opts = {}) {
+  DiagnosticEngine Diag;
+  auto P = compileThinJ(Source, Diag);
+  EXPECT_NE(P, nullptr) << Diag.str();
+  if (!P)
+    return {};
+  return interpret(*P, Opts);
+}
+
+} // namespace
+
+TEST(Interp, ArithmeticAndPrinting) {
+  InterpResult R = run(R"(
+def main() {
+  print(2 + 3 * 4);
+  print(10 / 3);
+  print(10 % 3);
+  print(-5);
+  print(2 < 3);
+  print(2 == 2);
+  print(true);
+  print(!true);
+}
+)");
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.Output,
+            (std::vector<std::string>{"14", "3", "1", "-5", "true", "true",
+                                      "true", "false"}));
+}
+
+TEST(Interp, ControlFlow) {
+  InterpResult R = run(R"(
+def main() {
+  var total = 0;
+  for (var i = 0; i < 5; i = i + 1) {
+    if (i % 2 == 0) {
+      total = total + i;
+    }
+  }
+  print(total);
+  var j = 0;
+  while (true) {
+    j = j + 1;
+    if (j == 3) { break; }
+  }
+  print(j);
+}
+)");
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"6", "3"}));
+}
+
+TEST(Interp, ShortCircuitDoesNotEvaluateRhs) {
+  InterpResult R = run(R"(
+def boom(): bool {
+  var arr = new int[1];
+  print(arr[5]);
+  return true;
+}
+def main() {
+  if (false && boom()) { print("no"); }
+  if (true || boom()) { print("yes"); }
+}
+)");
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"yes"}));
+}
+
+TEST(Interp, StringsAndBuiltins) {
+  InterpResult R = run(R"(
+def main() {
+  var s = "hello world";
+  print(s.length());
+  print(s.indexOf("world"));
+  print(s.substring(0, 5));
+  print(s + "!");
+  print("a".equals("a"));
+  print(s.charAt(0));
+  print(str(42) + "x");
+}
+)");
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.Output,
+            (std::vector<std::string>{"11", "6", "hello", "hello world!",
+                                      "true", "104", "42x"}));
+}
+
+TEST(Interp, ObjectsFieldsDispatch) {
+  InterpResult R = run(R"(
+class Animal {
+  var name: string;
+  def rename(n: string) { name = n; }
+  def speak(): string { return "..."; }
+}
+class Cat extends Animal {
+  def speak(): string { return name + " says meow"; }
+}
+def main() {
+  var c = new Cat();
+  c.rename("tom");
+  var a: Animal = c;
+  print(a.speak());
+}
+)");
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"tom says meow"}));
+}
+
+TEST(Interp, StaticFieldsAndClinit) {
+  InterpResult R = run(R"(
+class Cfg {
+  static var level: int = 7;
+  static var name: string = "prod";
+}
+def main() {
+  print(Cfg.level);
+  Cfg.level = 9;
+  print(Cfg.level);
+  print(Cfg.name);
+}
+)");
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"7", "9", "prod"}));
+}
+
+TEST(Interp, ArraysAndDefaults) {
+  InterpResult R = run(R"(
+def main() {
+  var a = new int[3];
+  print(a[0]);
+  a[1] = 5;
+  print(a[1] + a.length);
+  var objs = new string[2];
+  print(objs[0] == null);
+}
+)");
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"0", "8", "true"}));
+}
+
+TEST(Interp, InputsConsumedInOrder) {
+  InterpOptions Opts;
+  Opts.InputInts = {10, 20};
+  Opts.InputLines = {"first", "second"};
+  InterpResult R = run(R"(
+def main() {
+  print(readInt() + readInt());
+  print(readLine());
+  print(readLine());
+  print(readInt());
+}
+)",
+                       Opts);
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.Output,
+            (std::vector<std::string>{"30", "first", "second", "0"}));
+}
+
+TEST(Interp, InstanceOfAndCasts) {
+  InterpResult R = run(R"(
+class A { }
+class B extends A { }
+def main() {
+  var b: A = new B();
+  print(b instanceof B);
+  print(b instanceof A);
+  var a: A = new A();
+  print(a instanceof B);
+  var back = (B) b;
+  print(back == b);
+  print(null instanceof A);
+}
+)");
+  ASSERT_TRUE(R.Completed) << R.Error;
+  EXPECT_EQ(R.Output, (std::vector<std::string>{"true", "true", "false",
+                                                "true", "false"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Failures
+//===----------------------------------------------------------------------===//
+
+TEST(InterpFailures, NullDereference) {
+  InterpResult R = run(R"(
+class A { var f: int; }
+def main() {
+  var a: A = null;
+  print(a.f);
+}
+)");
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("null dereference"), std::string::npos);
+  ASSERT_NE(R.FailurePoint, nullptr);
+  EXPECT_EQ(R.FailurePoint->loc().Line, 5u);
+}
+
+TEST(InterpFailures, ArrayBounds) {
+  InterpResult R = run("def main() { var a = new int[2]; print(a[5]); }");
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpFailures, BadCast) {
+  InterpResult R = run(R"(
+class A { }
+class B extends A { }
+def main() {
+  var a: A = new A();
+  var b = (B) a;
+}
+)");
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("bad cast"), std::string::npos);
+}
+
+TEST(InterpFailures, DivisionByZero) {
+  InterpResult R = run("def main() { var z = 0; print(1 / z); }");
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(InterpFailures, UncaughtThrowReportsLine) {
+  InterpResult R = run(R"(
+class Oops { }
+def main() {
+  throw new Oops();
+}
+)");
+  EXPECT_TRUE(R.ThrewException);
+  ASSERT_NE(R.FailurePoint, nullptr);
+  EXPECT_EQ(R.FailurePoint->loc().Line, 4u);
+}
+
+TEST(InterpFailures, StepLimit) {
+  InterpOptions Opts;
+  Opts.MaxSteps = 1000;
+  InterpResult R = run("def main() { while (true) { } }", Opts);
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(InterpFailures, SubstringBounds) {
+  InterpResult R = run(R"(
+def main() {
+  var s = "abc";
+  print(s.substring(1, 9));
+}
+)");
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.Error.find("substring"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic thin slicing
+//===----------------------------------------------------------------------===//
+
+TEST(DynSlice, TracesProducerChain) {
+  DiagnosticEngine Diag;
+  auto P = compileThinJ(R"(
+def main() {
+  var a = 5;
+  var junk = 9;
+  var b = a + 1;
+  var c = b * 2;
+  print(c);
+  print(junk);
+}
+)",
+                        Diag);
+  ASSERT_NE(P, nullptr);
+  InterpOptions Opts;
+  Opts.TraceDeps = true;
+  InterpResult R = interpret(*P, Opts);
+  ASSERT_TRUE(R.Completed) << R.Error;
+
+  // Find the print(c) instruction.
+  const Instr *PrintC = nullptr;
+  for (const auto &M : P->methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (isa<PrintInstr>(I.get()) && I->loc().Line == 7)
+          PrintC = I.get();
+  ASSERT_NE(PrintC, nullptr);
+
+  auto Stmts = R.Trace.dynamicThinSliceOfLast(PrintC);
+  ASSERT_FALSE(Stmts.empty());
+  std::set<unsigned> Lines;
+  for (const Instr *I : Stmts)
+    Lines.insert(I->loc().Line);
+  EXPECT_TRUE(Lines.count(3)); // a
+  EXPECT_TRUE(Lines.count(5)); // b
+  EXPECT_TRUE(Lines.count(6)); // c
+  EXPECT_FALSE(Lines.count(4)); // junk
+}
+
+TEST(DynSlice, HeapFlowRecordsTheWritingStore) {
+  DiagnosticEngine Diag;
+  auto P = compileThinJ(R"(
+class Box { var v: int; }
+def main() {
+  var b = new Box();
+  b.v = 41;
+  b.v = 42;
+  print(b.v);
+}
+)",
+                        Diag);
+  ASSERT_NE(P, nullptr);
+  InterpOptions Opts;
+  Opts.TraceDeps = true;
+  InterpResult R = interpret(*P, Opts);
+  ASSERT_TRUE(R.Completed);
+  const Instr *Print = nullptr;
+  for (const auto &M : P->methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (isa<PrintInstr>(I.get()))
+          Print = I.get();
+  auto Stmts = R.Trace.dynamicThinSliceOfLast(Print);
+  std::set<unsigned> Lines;
+  for (const Instr *I : Stmts)
+    Lines.insert(I->loc().Line);
+  // Only the second store actually produced the printed value.
+  EXPECT_TRUE(Lines.count(6));
+  EXPECT_FALSE(Lines.count(5));
+}
+
+TEST(DynSlice, SeedNeverExecutedIsEmpty) {
+  DiagnosticEngine Diag;
+  auto P = compileThinJ(R"(
+def main() {
+  if (false) {
+    print("never");
+  }
+  print("always");
+}
+)",
+                        Diag);
+  ASSERT_NE(P, nullptr);
+  InterpOptions Opts;
+  Opts.TraceDeps = true;
+  InterpResult R = interpret(*P, Opts);
+  const Instr *Never = nullptr;
+  for (const auto &M : P->methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (isa<PrintInstr>(I.get()) && I->loc().Line == 4)
+          Never = I.get();
+  ASSERT_NE(Never, nullptr);
+  EXPECT_TRUE(R.Trace.dynamicThinSliceOfLast(Never).empty());
+}

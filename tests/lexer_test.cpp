@@ -1,0 +1,129 @@
+//===-- lexer_test.cpp - Lexer unit tests ---------------------------------------==//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsl;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Source, DiagnosticEngine &Diag) {
+  Lexer L(Source, Diag);
+  std::vector<Token> Out;
+  while (true) {
+    Token T = L.next();
+    bool IsEof = T.is(TokKind::Eof);
+    Out.push_back(std::move(T));
+    if (IsEof)
+      break;
+  }
+  return Out;
+}
+
+std::vector<TokKind> kindsOf(const std::string &Source) {
+  DiagnosticEngine Diag;
+  std::vector<TokKind> Out;
+  for (const Token &T : lexAll(Source, Diag))
+    Out.push_back(T.Kind);
+  EXPECT_FALSE(Diag.hasErrors()) << Diag.str();
+  return Out;
+}
+
+} // namespace
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kindsOf("class def var"),
+            (std::vector<TokKind>{TokKind::KwClass, TokKind::KwDef,
+                                  TokKind::KwVar, TokKind::Eof}));
+  EXPECT_EQ(kindsOf("if else while for return"),
+            (std::vector<TokKind>{TokKind::KwIf, TokKind::KwElse,
+                                  TokKind::KwWhile, TokKind::KwFor,
+                                  TokKind::KwReturn, TokKind::Eof}));
+}
+
+TEST(Lexer, IdentifiersVsKeywords) {
+  DiagnosticEngine Diag;
+  auto Toks = lexAll("classy if0 _x $gen", Diag);
+  ASSERT_EQ(Toks.size(), 5u);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(Toks[I].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[0].Text, "classy");
+  EXPECT_EQ(Toks[1].Text, "if0");
+  EXPECT_EQ(Toks[2].Text, "_x");
+  EXPECT_EQ(Toks[3].Text, "$gen");
+}
+
+TEST(Lexer, Numbers) {
+  DiagnosticEngine Diag;
+  auto Toks = lexAll("0 42 123456789", Diag);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, 123456789);
+}
+
+TEST(Lexer, StringsAndEscapes) {
+  DiagnosticEngine Diag;
+  auto Toks = lexAll(R"("hello" "a\nb" "q\"q" "back\\slash")", Diag);
+  ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].Text, "hello");
+  EXPECT_EQ(Toks[1].Text, "a\nb");
+  EXPECT_EQ(Toks[2].Text, "q\"q");
+  EXPECT_EQ(Toks[3].Text, "back\\slash");
+}
+
+TEST(Lexer, UnterminatedString) {
+  DiagnosticEngine Diag;
+  lexAll("\"oops", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  EXPECT_EQ(kindsOf("== = != ! <= < >= > && ||"),
+            (std::vector<TokKind>{TokKind::EqEq, TokKind::Assign,
+                                  TokKind::NotEq, TokKind::Bang, TokKind::Le,
+                                  TokKind::Lt, TokKind::Ge, TokKind::Gt,
+                                  TokKind::AmpAmp, TokKind::PipePipe,
+                                  TokKind::Eof}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  EXPECT_EQ(kindsOf("a // comment with stuff == != \"notastring\n b"),
+            (std::vector<TokKind>{TokKind::Ident, TokKind::Ident,
+                                  TokKind::Eof}));
+}
+
+TEST(Lexer, PositionsTrackLinesAndColumns) {
+  DiagnosticEngine Diag;
+  auto Toks = lexAll("a\n  b\n\nc", Diag);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Col, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+  EXPECT_EQ(Toks[2].Loc.Line, 4u);
+}
+
+TEST(Lexer, UnknownCharacterIsError) {
+  DiagnosticEngine Diag;
+  auto Toks = lexAll("a # b", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+  // The error token is produced but lexing continues.
+  EXPECT_EQ(Toks.back().Kind, TokKind::Eof);
+}
+
+TEST(Lexer, SingleAmpIsError) {
+  DiagnosticEngine Diag;
+  lexAll("a & b", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(Lexer, EofIsSticky) {
+  DiagnosticEngine Diag;
+  Lexer L("x", Diag);
+  EXPECT_EQ(L.next().Kind, TokKind::Ident);
+  EXPECT_EQ(L.next().Kind, TokKind::Eof);
+  EXPECT_EQ(L.next().Kind, TokKind::Eof);
+}

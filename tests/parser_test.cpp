@@ -1,0 +1,261 @@
+//===-- parser_test.cpp - Parser unit tests -------------------------------------==//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsl;
+
+namespace {
+
+AstModule parseOk(const std::string &Source) {
+  AstModule M;
+  DiagnosticEngine Diag;
+  bool Ok = parseModule(Source, M, Diag);
+  EXPECT_TRUE(Ok) << Diag.str();
+  return M;
+}
+
+void parseFails(const std::string &Source) {
+  AstModule M;
+  DiagnosticEngine Diag;
+  EXPECT_FALSE(parseModule(Source, M, Diag)) << "expected syntax error";
+}
+
+/// Digs the single expression out of "def f() { return <expr>; }".
+const ExprAst *exprOf(const AstModule &M) {
+  EXPECT_EQ(M.Functions.size(), 1u);
+  const BlockStmt *Body = M.Functions[0].Body;
+  EXPECT_EQ(Body->Stmts.size(), 1u);
+  return cast<ReturnStmt>(Body->Stmts[0])->Value;
+}
+
+AstModule parseExpr(const std::string &Expr) {
+  return parseOk("def f(): int { return " + Expr + "; }");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, EmptyModule) {
+  AstModule M = parseOk("");
+  EXPECT_TRUE(M.Classes.empty());
+  EXPECT_TRUE(M.Functions.empty());
+}
+
+TEST(Parser, ClassWithMembers) {
+  AstModule M = parseOk(R"(
+class Point extends Shape {
+  var x: int;
+  var tags: string[];
+  static var origin: Point;
+  def move(dx: int, dy: int) { }
+  static def make(): Point { return null; }
+}
+)");
+  ASSERT_EQ(M.Classes.size(), 1u);
+  const ClassDeclAst &C = M.Classes[0];
+  EXPECT_EQ(C.Name, "Point");
+  EXPECT_EQ(C.SuperName, "Shape");
+  ASSERT_EQ(C.Fields.size(), 3u);
+  EXPECT_EQ(C.Fields[1].Type.ArrayRank, 1u);
+  EXPECT_TRUE(C.Fields[2].IsStatic);
+  ASSERT_EQ(C.Methods.size(), 2u);
+  EXPECT_FALSE(C.Methods[0].IsStatic);
+  EXPECT_EQ(C.Methods[0].Params.size(), 2u);
+  EXPECT_TRUE(C.Methods[1].IsStatic);
+  EXPECT_TRUE(C.Methods[1].HasReturnType);
+}
+
+TEST(Parser, TopLevelFunction) {
+  AstModule M = parseOk("def main() { print(1); }");
+  ASSERT_EQ(M.Functions.size(), 1u);
+  EXPECT_TRUE(M.Functions[0].IsStatic);
+  EXPECT_FALSE(M.Functions[0].HasReturnType);
+}
+
+TEST(Parser, MultiDimensionalTypes) {
+  AstModule M = parseOk("def f(g: int[][]): string[] { return null; }");
+  EXPECT_EQ(M.Functions[0].Params[0].Type.ArrayRank, 2u);
+  EXPECT_EQ(M.Functions[0].ReturnType.ArrayRank, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, StatementKinds) {
+  AstModule M = parseOk(R"(
+def f(c: bool) {
+  var x = 1;
+  var y: int = 2;
+  x = y;
+  if (c) { return; } else { throw null; }
+  while (c) { break; }
+  for (var i = 0; i < 3; i = i + 1) { continue; }
+  print(x);
+}
+)");
+  const BlockStmt *Body = M.Functions[0].Body;
+  ASSERT_GE(Body->Stmts.size(), 7u);
+  EXPECT_EQ(Body->Stmts[0]->Kind, StmtKind::VarDecl);
+  EXPECT_FALSE(cast<VarDeclStmt>(Body->Stmts[0])->HasType);
+  EXPECT_TRUE(cast<VarDeclStmt>(Body->Stmts[1])->HasType);
+  EXPECT_EQ(Body->Stmts[2]->Kind, StmtKind::Assign);
+  EXPECT_EQ(Body->Stmts[3]->Kind, StmtKind::If);
+  EXPECT_EQ(Body->Stmts[4]->Kind, StmtKind::While);
+  EXPECT_EQ(Body->Stmts[5]->Kind, StmtKind::Block); // for desugars.
+  EXPECT_EQ(Body->Stmts[6]->Kind, StmtKind::Print);
+}
+
+TEST(Parser, ForDesugarsToWhile) {
+  AstModule M = parseOk("def f() { for (var i = 0; i < 2; i = i + 1) { } }");
+  const auto *Outer = cast<BlockStmt>(M.Functions[0].Body->Stmts[0]);
+  ASSERT_EQ(Outer->Stmts.size(), 2u);
+  EXPECT_EQ(Outer->Stmts[0]->Kind, StmtKind::VarDecl);
+  EXPECT_EQ(Outer->Stmts[1]->Kind, StmtKind::While);
+}
+
+TEST(Parser, SuperCall) {
+  AstModule M = parseOk(R"(
+class A extends B {
+  def init() { super(1, "x"); }
+}
+)");
+  const auto *S = cast<SuperCallStmt>(M.Classes[0].Methods[0].Body->Stmts[0]);
+  EXPECT_EQ(S->Args.size(), 2u);
+}
+
+TEST(Parser, VarRequiresInitializer) { parseFails("def f() { var x; }"); }
+
+TEST(Parser, AssignmentTargetValidated) {
+  parseFails("def f() { 1 + 2 = 3; }");
+}
+
+TEST(Parser, UselessExpressionStatementRejected) {
+  parseFails("def f(x: int) { x + 1; }");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, ArithmeticPrecedence) {
+  // a + b * c parses as a + (b * c).
+  AstModule M = parseExpr("a + b * c");
+  const auto *Add = cast<BinaryExpr>(exprOf(M));
+  EXPECT_EQ(Add->O, BinaryExpr::Op::Add);
+  EXPECT_EQ(Add->LHS->Kind, ExprKind::NameRef);
+  const auto *Mul = cast<BinaryExpr>(Add->RHS);
+  EXPECT_EQ(Mul->O, BinaryExpr::Op::Mul);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  AstModule M = parseExpr("(a + b) * c");
+  const auto *Mul = cast<BinaryExpr>(exprOf(M));
+  EXPECT_EQ(Mul->O, BinaryExpr::Op::Mul);
+  const auto *Add = cast<BinaryExpr>(Mul->LHS);
+  EXPECT_EQ(Add->O, BinaryExpr::Op::Add);
+}
+
+TEST(Parser, ComparisonBindsLooserThanAddition) {
+  AstModule M = parseExpr("a + 1 < b * 2");
+  const auto *Cmp = cast<BinaryExpr>(exprOf(M));
+  EXPECT_EQ(Cmp->O, BinaryExpr::Op::Lt);
+}
+
+TEST(Parser, LogicalOperatorsShortCircuitShape) {
+  AstModule M = parseExpr("a && b || c && d");
+  const auto *Or = cast<LogicalExpr>(exprOf(M));
+  EXPECT_EQ(Or->O, LogicalExpr::Op::Or);
+  EXPECT_EQ(cast<LogicalExpr>(Or->LHS)->O, LogicalExpr::Op::And);
+  EXPECT_EQ(cast<LogicalExpr>(Or->RHS)->O, LogicalExpr::Op::And);
+}
+
+TEST(Parser, CastVsParenthesizedName) {
+  // "(Foo) x" is a cast; "(foo) + x" is a parenthesized name.
+  AstModule M1 = parseExpr("(Foo) x");
+  EXPECT_EQ(exprOf(M1)->Kind, ExprKind::Cast);
+
+  AstModule M2 = parseExpr("(foo) + x");
+  const auto *Add = cast<BinaryExpr>(exprOf(M2));
+  EXPECT_EQ(Add->LHS->Kind, ExprKind::NameRef);
+}
+
+TEST(Parser, CastOfArrayAndPrimitiveTypes) {
+  EXPECT_EQ(exprOf(parseExpr("(string[]) x"))->Kind, ExprKind::Cast);
+  EXPECT_EQ(exprOf(parseExpr("(string) x"))->Kind, ExprKind::Cast);
+  const auto *C = cast<CastExpr>(exprOf(parseExpr("(Foo[][]) x")));
+  EXPECT_EQ(C->Target.ArrayRank, 2u);
+}
+
+TEST(Parser, CastChainsWithPostfix) {
+  // ((Vector) v).get(i)
+  AstModule M = parseExpr("((Vector) v).get(i)");
+  const auto *Call = cast<CallExprAst>(exprOf(M));
+  const auto *Callee = cast<FieldAccessExpr>(Call->Callee);
+  EXPECT_EQ(Callee->Base->Kind, ExprKind::Cast);
+}
+
+TEST(Parser, PostfixChains) {
+  AstModule M = parseExpr("a.b.c[i].d(x, y)");
+  const auto *Call = cast<CallExprAst>(exprOf(M));
+  EXPECT_EQ(Call->Args.size(), 2u);
+  const auto *Callee = cast<FieldAccessExpr>(Call->Callee);
+  EXPECT_EQ(Callee->Name, "d");
+  EXPECT_EQ(Callee->Base->Kind, ExprKind::Index);
+}
+
+TEST(Parser, NewForms) {
+  EXPECT_EQ(exprOf(parseExpr("new Foo(1, null)"))->Kind,
+            ExprKind::NewObject);
+  const auto *NA = cast<NewArrayExpr>(exprOf(parseExpr("new int[10]")));
+  EXPECT_EQ(NA->ElemType.BaseKind, TypeExprAst::Base::Int);
+  // new Foo[n][] makes an array of Foo arrays.
+  const auto *NA2 = cast<NewArrayExpr>(exprOf(parseExpr("new Foo[n][]")));
+  EXPECT_EQ(NA2->ElemType.ArrayRank, 1u);
+}
+
+TEST(Parser, InstanceOf) {
+  AstModule M = parseExpr("x instanceof Foo");
+  EXPECT_EQ(exprOf(M)->Kind, ExprKind::InstanceOf);
+}
+
+TEST(Parser, ReadBuiltins) {
+  EXPECT_EQ(exprOf(parseExpr("readLine()"))->Kind, ExprKind::Read);
+  EXPECT_EQ(exprOf(parseExpr("readInt()"))->Kind, ExprKind::Read);
+}
+
+TEST(Parser, UnaryOperators) {
+  const auto *Neg = cast<UnaryExpr>(exprOf(parseExpr("-x")));
+  EXPECT_EQ(Neg->O, UnaryExpr::Op::Neg);
+  const auto *Not = cast<UnaryExpr>(exprOf(parseExpr("!x")));
+  EXPECT_EQ(Not->O, UnaryExpr::Op::Not);
+}
+
+//===----------------------------------------------------------------------===//
+// Error recovery
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, RecoversAcrossBadDeclarations) {
+  AstModule M;
+  DiagnosticEngine Diag;
+  parseModule("class { } def ok() { } class Fine { }", M, Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+  // The good declarations still parse.
+  EXPECT_EQ(M.Functions.size(), 1u);
+  bool SawFine = false;
+  for (const auto &C : M.Classes)
+    SawFine |= C.Name == "Fine";
+  EXPECT_TRUE(SawFine);
+}
+
+TEST(Parser, ReportsMultipleErrors) {
+  AstModule M;
+  DiagnosticEngine Diag;
+  parseModule("def f() { var = 1; } def g() { if ) } ", M, Diag);
+  EXPECT_GE(Diag.errorCount(), 2u);
+}

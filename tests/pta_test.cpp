@@ -1,0 +1,338 @@
+//===-- pta_test.cpp - Points-to analysis unit tests ----------------------------==//
+
+#include "lang/Lower.h"
+#include "pta/PointsTo.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsl;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<PointsToResult> PTA;
+
+  explicit Fixture(const std::string &Source, PTAOptions Opts = {}) {
+    DiagnosticEngine Diag;
+    P = compileThinJ(Source, Diag);
+    EXPECT_NE(P, nullptr) << Diag.str();
+    if (P)
+      PTA = runPointsTo(*P, Opts);
+  }
+
+  /// The SSA local the given source variable name resolves to in
+  /// method \p MethodName (any version with a non-empty set preferred,
+  /// else the last version).
+  const Local *local(const std::string &MethodName,
+                     const std::string &VarName) {
+    Symbol Name = P->strings().lookup(VarName);
+    const Local *Best = nullptr;
+    for (const auto &M : P->methods()) {
+      if (M->qualifiedName(P->strings()) != MethodName)
+        continue;
+      for (const auto &L : M->locals())
+        if (L->baseName() == Name && L->version() > 0)
+          Best = L.get();
+    }
+    return Best;
+  }
+
+  unsigned ptsSize(const std::string &MethodName, const std::string &Var) {
+    const Local *L = local(MethodName, Var);
+    EXPECT_NE(L, nullptr) << MethodName << "." << Var;
+    return L ? PTA->pointsTo(L).count() : 0;
+  }
+};
+
+} // namespace
+
+TEST(PointsTo, AllocationAndCopies) {
+  Fixture F(R"(
+class A { }
+def main() {
+  var x = new A();
+  var y = x;
+  var z = new A();
+  print(x == y);
+  print(z == y);
+}
+)");
+  const Local *X = F.local("main", "x");
+  const Local *Y = F.local("main", "y");
+  const Local *Z = F.local("main", "z");
+  EXPECT_EQ(F.PTA->pointsTo(X).count(), 1u);
+  EXPECT_TRUE(F.PTA->mayAlias(X, Y));
+  EXPECT_FALSE(F.PTA->mayAlias(X, Z));
+}
+
+TEST(PointsTo, FieldFlow) {
+  Fixture F(R"(
+class Holder { var item: Object; }
+def main() {
+  var h1 = new Holder();
+  var h2 = new Holder();
+  var a = new Object();
+  var b = new Object();
+  h1.item = a;
+  h2.item = b;
+  var ra = h1.item;
+  var rb = h2.item;
+  print(ra == rb);
+}
+)");
+  const Local *Ra = F.local("main", "ra");
+  const Local *Rb = F.local("main", "rb");
+  // Field-sensitivity on distinct objects keeps the loads apart.
+  EXPECT_EQ(F.PTA->pointsTo(Ra).count(), 1u);
+  EXPECT_EQ(F.PTA->pointsTo(Rb).count(), 1u);
+  EXPECT_FALSE(F.PTA->mayAlias(Ra, Rb));
+}
+
+TEST(PointsTo, ArrayElementsMerge) {
+  Fixture F(R"(
+def main() {
+  var arr = new Object[2];
+  arr[0] = new Object();
+  arr[1] = new Object();
+  var r = arr[0];
+  print(r == null);
+}
+)");
+  // Array elements are a single partition per array object.
+  EXPECT_EQ(F.ptsSize("main", "r"), 2u);
+}
+
+TEST(PointsTo, InterproceduralReturnAndParams) {
+  Fixture F(R"(
+class A { }
+def makeA(): A { return new A(); }
+def pass(x: A): A { return x; }
+def main() {
+  var a = makeA();
+  var b = pass(a);
+  print(a == b);
+}
+)");
+  const Local *A = F.local("main", "a");
+  const Local *B = F.local("main", "b");
+  EXPECT_TRUE(F.PTA->mayAlias(A, B));
+  EXPECT_EQ(F.PTA->pointsTo(B).count(), 1u);
+}
+
+TEST(PointsTo, OnTheFlyCallGraphNarrowerThanCHA) {
+  Fixture F(R"(
+class Animal { def speak(): string { return "..."; } }
+class Cat extends Animal { def speak(): string { return "meow"; } }
+class Dog extends Animal { def speak(): string { return "woof"; } }
+def main() {
+  var a: Animal = new Cat();
+  print(a.speak());
+}
+)");
+  // Only Cat.speak should be reachable; Dog.speak never.
+  Method *DogSpeak =
+      F.P->findClass(F.P->strings().lookup("Dog"))
+          ->findOwnMethod(F.P->strings().lookup("speak"));
+  ASSERT_NE(DogSpeak, nullptr);
+  EXPECT_FALSE(F.PTA->callGraph().isReachable(DogSpeak));
+  Method *CatSpeak =
+      F.P->findClass(F.P->strings().lookup("Cat"))
+          ->findOwnMethod(F.P->strings().lookup("speak"));
+  EXPECT_TRUE(F.PTA->callGraph().isReachable(CatSpeak));
+}
+
+TEST(PointsTo, VirtualDispatchBindsReceiverObjectwise) {
+  Fixture F(R"(
+class Animal { def self(): Animal { return this; } }
+class Cat extends Animal { }
+class Dog extends Animal { }
+def main() {
+  var c: Animal = new Cat();
+  var d: Animal = new Dog();
+  var rc = c.self();
+  var rd = d.self();
+  print(rc == rd);
+}
+)");
+  const Local *Rc = F.local("main", "rc");
+  const Local *Rd = F.local("main", "rd");
+  // Context-insensitive `this` merges both receivers, so both results
+  // may alias — but each still contains its own object.
+  EXPECT_TRUE(F.PTA->pointsTo(Rc).count() >= 1);
+  EXPECT_TRUE(F.PTA->mayAlias(Rc, Rd)); // CI merging, expected.
+}
+
+TEST(PointsTo, CastFiltersByType) {
+  Fixture F(R"(
+class A { }
+class B extends A { }
+def main() {
+  var box = new Object[2];
+  box[0] = new A();
+  box[1] = new B();
+  var any = box[0];
+  var b = (B) any;
+  print(b == null);
+}
+)");
+  EXPECT_EQ(F.ptsSize("main", "any"), 2u);
+  EXPECT_EQ(F.ptsSize("main", "b"), 1u); // The filter dropped the A.
+}
+
+TEST(PointsTo, CastCannotFailDetection) {
+  Fixture F(R"(
+class A { }
+class B extends A { }
+def main() {
+  var objs = new Object[1];
+  objs[0] = new B();
+  var good = (B) objs[0];
+  var mixed = new Object[2];
+  mixed[0] = new A();
+  mixed[1] = new B();
+  var risky = (B) mixed[1];
+  print(good == risky);
+}
+)");
+  std::vector<const CastInstr *> Casts;
+  for (const auto &M : F.P->methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (const auto *C = dyn_cast<CastInstr>(I.get()))
+          Casts.push_back(C);
+  ASSERT_EQ(Casts.size(), 2u);
+  EXPECT_TRUE(F.PTA->castCannotFail(Casts[0]));
+  EXPECT_FALSE(F.PTA->castCannotFail(Casts[1])); // "Tough" cast.
+}
+
+TEST(PointsTo, StaticFields) {
+  Fixture F(R"(
+class G {
+  static var shared: Object;
+}
+def main() {
+  G.shared = new Object();
+  var r = G.shared;
+  print(r == null);
+}
+)");
+  EXPECT_EQ(F.ptsSize("main", "r"), 1u);
+}
+
+TEST(PointsTo, StringsAreObjects) {
+  Fixture F(R"(
+def main() {
+  var s = "lit";
+  var t = s.substring(0, 1);
+  var u = s + t;
+  var v = readLine();
+  print(u.equals(v));
+}
+)");
+  EXPECT_EQ(F.ptsSize("main", "s"), 1u);
+  EXPECT_EQ(F.ptsSize("main", "t"), 1u);
+  EXPECT_EQ(F.ptsSize("main", "u"), 1u);
+  EXPECT_EQ(F.ptsSize("main", "v"), 1u);
+  const Local *S = F.local("main", "s");
+  const Local *T = F.local("main", "t");
+  EXPECT_FALSE(F.PTA->mayAlias(S, T));
+}
+
+//===----------------------------------------------------------------------===//
+// Object-sensitive containers (the paper's Sec. 6.1 configuration)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *TwoVectors = R"(
+class Vector {
+  var elems: Object[];
+  var count: int;
+  def init() { elems = new Object[4]; count = 0; }
+  def add(p: Object) { elems[count] = p; count = count + 1; }
+  def get(i: int): Object { return elems[i]; }
+}
+class A { }
+class B { }
+def main() {
+  var va = new Vector();
+  var vb = new Vector();
+  va.add(new A());
+  vb.add(new B());
+  var ra = va.get(0);
+  var rb = vb.get(0);
+  print(ra == rb);
+}
+)";
+
+} // namespace
+
+TEST(PointsTo, ObjSensSeparatesContainers) {
+  Fixture F(TwoVectors);
+  const Local *Ra = F.local("main", "ra");
+  const Local *Rb = F.local("main", "rb");
+  // With object-sensitive cloning, va's contents never leak into vb.
+  EXPECT_EQ(F.PTA->pointsTo(Ra).count(), 1u);
+  EXPECT_EQ(F.PTA->pointsTo(Rb).count(), 1u);
+  EXPECT_FALSE(F.PTA->mayAlias(Ra, Rb));
+  // The call graph has multiple (method, context) nodes for Vector.add.
+  Method *Add = F.P->findClass(F.P->strings().lookup("Vector"))
+                    ->findOwnMethod(F.P->strings().lookup("add"));
+  EXPECT_EQ(F.PTA->callGraph().nodesOf(Add).size(), 2u);
+}
+
+TEST(PointsTo, NoObjSensMergesContainers) {
+  PTAOptions Opts;
+  Opts.ObjSensContainers = false;
+  Fixture F(TwoVectors, Opts);
+  const Local *Ra = F.local("main", "ra");
+  const Local *Rb = F.local("main", "rb");
+  EXPECT_EQ(F.PTA->pointsTo(Ra).count(), 2u);
+  EXPECT_TRUE(F.PTA->mayAlias(Ra, Rb));
+}
+
+TEST(PointsTo, PerContextQueries) {
+  Fixture F(TwoVectors);
+  // The merged set of `p` in Vector.add covers both objects; each
+  // context sees exactly one.
+  Method *Add = F.P->findClass(F.P->strings().lookup("Vector"))
+                    ->findOwnMethod(F.P->strings().lookup("add"));
+  const Local *PParam = nullptr;
+  for (const auto &L : Add->locals())
+    if (F.P->strings().str(L->baseName()) == "p" && L->version())
+      PParam = L.get();
+  ASSERT_NE(PParam, nullptr);
+  EXPECT_EQ(F.PTA->pointsTo(PParam).count(), 2u);
+  unsigned NonEmptyCtxs = 0;
+  for (unsigned Node : F.PTA->callGraph().nodesOf(Add)) {
+    unsigned Ctx = F.PTA->callGraph().node(Node).Ctx;
+    unsigned N = F.PTA->pointsTo(PParam, Ctx).count();
+    EXPECT_LE(N, 1u);
+    NonEmptyCtxs += N != 0;
+  }
+  EXPECT_EQ(NonEmptyCtxs, 2u);
+}
+
+TEST(PointsTo, ConstraintNodeCountIsPositive) {
+  Fixture F(TwoVectors);
+  EXPECT_GT(F.PTA->numConstraintNodes(), 10u);
+}
+
+TEST(PointsTo, CommonObjectsForAliasExplanation) {
+  Fixture F(R"(
+class A { }
+def main() {
+  var x = new A();
+  var y = x;
+  var z = new A();
+  print(x == y);
+  print(z == null);
+}
+)");
+  const Local *X = F.local("main", "x");
+  const Local *Y = F.local("main", "y");
+  const Local *Z = F.local("main", "z");
+  EXPECT_EQ(F.PTA->commonObjects(X, Y).count(), 1u);
+  EXPECT_EQ(F.PTA->commonObjects(X, Z).count(), 0u);
+}

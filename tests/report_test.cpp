@@ -1,0 +1,136 @@
+//===-- report_test.cpp - Slice narration unit tests ----------------------------==//
+
+#include "eval/Workload.h"
+#include "lang/Lower.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+#include "slicer/Report.h"
+#include "slicer/Slicer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsl;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<PointsToResult> PTA;
+  std::unique_ptr<SDG> G;
+
+  explicit Fixture(const std::string &Source) {
+    DiagnosticEngine Diag;
+    P = compileThinJ(Source, Diag);
+    EXPECT_NE(P, nullptr) << Diag.str();
+    if (!P)
+      return;
+    PTA = runPointsTo(*P);
+    G = buildSDG(*P, *PTA, nullptr);
+  }
+
+  const Instr *lastAtLine(unsigned Line) {
+    const Instr *Last = nullptr;
+    for (const auto &M : P->methods())
+      for (const auto &BB : M->blocks())
+        for (const auto &I : BB->instrs())
+          if (I->loc().Line == Line)
+            Last = I.get();
+    return Last;
+  }
+};
+
+} // namespace
+
+TEST(Report, SeedFirstAndDepthsMonotoneInBfsOrder) {
+  Fixture F(R"(
+def main() {
+  var a = readInt();
+  var b = a + 1;
+  print(b);
+}
+)");
+  SliceNarration Story = narrateSlice(*F.G, F.lastAtLine(5), SliceMode::Thin);
+  const auto &Steps = Story.steps();
+  ASSERT_FALSE(Steps.empty());
+  EXPECT_EQ(Steps.front().ViaNode, -1);
+  EXPECT_EQ(Steps.front().Depth, 0u);
+  for (size_t I = 1; I < Steps.size(); ++I) {
+    EXPECT_GE(Steps[I].Depth, Steps[I - 1].Depth); // BFS order.
+    EXPECT_GE(Steps[I].ViaNode, 0);
+    EXPECT_GT(Steps[I].Depth, 0u);
+  }
+}
+
+TEST(Report, EveryStepHasReachedProvenance) {
+  Fixture F(makeFigure1().Source);
+  WorkloadProgram W = makeFigure1();
+  SliceNarration Story = narrateSlice(
+      *F.G, F.lastAtLine(W.markerLine("seed")), SliceMode::Thin);
+  // Each non-seed step's ViaNode must itself appear earlier.
+  BitSet Seen;
+  for (const NarrationStep &Step : Story.steps()) {
+    if (Step.ViaNode >= 0) {
+      EXPECT_TRUE(Seen.test(static_cast<unsigned>(Step.ViaNode)));
+    }
+    Seen.insert(Step.Node);
+  }
+}
+
+TEST(Report, RenderingNamesTheReasons) {
+  Fixture F(R"(
+class Box { var v: Object; }
+def fill(b: Box, x: Object) {
+  b.v = x;
+}
+def main() {
+  var b = new Box();
+  fill(b, new Object());
+  var r = b.v;
+  print(r == null);
+}
+)");
+  SliceNarration Story = narrateSlice(*F.G, F.lastAtLine(10),
+                                      SliceMode::Thin);
+  std::string Text = Story.str();
+  EXPECT_NE(Text.find("[seed]"), std::string::npos);
+  EXPECT_NE(Text.find("produces the value used by"), std::string::npos);
+  EXPECT_NE(Text.find("passes an argument into"), std::string::npos);
+  // Thin narration never explains via base pointers or control.
+  EXPECT_EQ(Text.find("base pointer"), std::string::npos);
+  EXPECT_EQ(Text.find("controls whether"), std::string::npos);
+
+  SliceNarration Trad = narrateSlice(*F.G, F.lastAtLine(10),
+                                     SliceMode::Traditional);
+  EXPECT_NE(Trad.str().find("base pointer"), std::string::npos);
+}
+
+TEST(Report, LineOffsetRendering) {
+  Fixture F(R"(
+def main() {
+  var a = 1;
+  print(a);
+}
+)");
+  SliceNarration Story = narrateSlice(*F.G, F.lastAtLine(4), SliceMode::Thin);
+  // With an offset of 1, line 4 renders as 3.
+  std::string Text = Story.str(1);
+  EXPECT_NE(Text.find("main:3"), std::string::npos);
+  EXPECT_EQ(Text.find("main:4"), std::string::npos);
+}
+
+TEST(Report, NarrationCoversTheThinSliceLines) {
+  WorkloadProgram W = makeFigure1();
+  Fixture F(W.Source);
+  const Instr *Seed = F.lastAtLine(W.markerLine("seed"));
+  SliceNarration Story = narrateSlice(*F.G, Seed, SliceMode::Thin);
+  SliceResult Slice = sliceBackward(*F.G, Seed, SliceMode::Thin);
+  // Every narration node is in the slice and vice versa.
+  BitSet Narrated;
+  for (const NarrationStep &Step : Story.steps())
+    Narrated.insert(Step.Node);
+  EXPECT_TRUE(Narrated == Slice.nodeSet());
+  // The buggy line is narrated.
+  EXPECT_NE(Story.str().find(
+                ":" + std::to_string(W.markerLine("bug"))),
+            std::string::npos);
+}

@@ -1,0 +1,190 @@
+//===-- robustness_test.cpp - Frontend robustness / fuzz-ish tests --------------==//
+//
+// The frontend must never crash: arbitrary bytes, truncated programs,
+// deeply nested expressions, and pathological-but-valid inputs all
+// either compile or produce diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dyn/Interp.h"
+#include "ir/Verifier.h"
+#include "lang/Lower.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+#include "slicer/Slicer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsl;
+
+namespace {
+
+/// Compiles and, on success, verifies; never crashes.
+void compileAnything(const std::string &Source) {
+  DiagnosticEngine Diag;
+  CompileOptions Opts;
+  Opts.RequireMain = false;
+  std::unique_ptr<Program> P = compileThinJ(Source, Diag);
+  if (P)
+    EXPECT_TRUE(verifyProgram(*P).empty());
+  else
+    EXPECT_TRUE(Diag.hasErrors());
+}
+
+} // namespace
+
+TEST(Robustness, ArbitraryBytes) {
+  uint64_t S = 0x12345;
+  auto Next = [&S]() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  };
+  for (int Round = 0; Round != 200; ++Round) {
+    std::string Junk;
+    unsigned Len = Next() % 200;
+    for (unsigned I = 0; I != Len; ++I)
+      Junk += static_cast<char>(32 + Next() % 95); // Printable ASCII.
+    compileAnything(Junk);
+  }
+}
+
+TEST(Robustness, TruncatedRealProgram) {
+  const std::string Full = R"(
+class Box {
+  var v: Object;
+  def set(x: Object) { v = x; }
+}
+def main() {
+  var b = new Box();
+  b.set("payload");
+  if (b.v != null) {
+    print("ok");
+  }
+}
+)";
+  for (size_t Len = 0; Len <= Full.size(); Len += 7)
+    compileAnything(Full.substr(0, Len));
+}
+
+TEST(Robustness, TokenSoup) {
+  // Valid tokens in invalid orders.
+  const char *Soups[] = {
+      "def def def",
+      "class A extends A extends A { }",
+      "def f() { return return; }",
+      "def f() { if while for }",
+      "def f() { var x = ((((((1)))))); }",
+      "def f() { x = = 3; }",
+      "class { var : ; def ( ) }",
+      "def f() { a.b.c.d.e.f.g.h(); }",
+      "def f() { \"unterminated }",
+      "def f(x: int[][][][][]) { }",
+      "super(1); def main() { }",
+      "def f() { (Foo) (Bar) (Baz) x; }",
+  };
+  for (const char *Soup : Soups)
+    compileAnything(Soup);
+}
+
+TEST(Robustness, DeepNesting) {
+  // Deeply nested blocks/ifs stress scoping and CFG construction.
+  std::string Source = "def main() {\n  var x = 0;\n";
+  for (int I = 0; I != 200; ++I)
+    Source += "  if (x == " + std::to_string(I) + ") {\n";
+  Source += "    x = x + 1;\n";
+  for (int I = 0; I != 200; ++I)
+    Source += "  }\n";
+  Source += "  print(x);\n}\n";
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(Source, Diag);
+  ASSERT_NE(P, nullptr) << Diag.str();
+  EXPECT_TRUE(verifyProgram(*P).empty());
+  InterpResult R = interpret(*P);
+  ASSERT_TRUE(R.Completed);
+  // Only the outermost condition holds (x == 0); the nested ones fail,
+  // so x is printed unchanged.
+  EXPECT_EQ(R.Output.front(), "0");
+}
+
+TEST(Robustness, DeepExpression) {
+  std::string Expr = "1";
+  for (int I = 0; I != 300; ++I)
+    Expr = "(" + Expr + " + 1)";
+  compileAnything("def main() { print(" + Expr + "); }");
+}
+
+TEST(Robustness, ManyLocalsAndBlocks) {
+  std::string Source = "def main() {\n";
+  for (int I = 0; I != 500; ++I)
+    Source += "  var v" + std::to_string(I) + " = " + std::to_string(I) +
+              ";\n";
+  Source += "  print(v499);\n}\n";
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(Source, Diag);
+  ASSERT_NE(P, nullptr);
+  InterpResult R = interpret(*P);
+  EXPECT_EQ(R.Output.front(), "499");
+}
+
+TEST(Robustness, SlicingFromEveryStatement) {
+  // Slicing must be total: every statement of a program is a valid
+  // seed, including params, phis, and terminators.
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(R"(
+class Pair { var a: int; var b: Object; }
+def touch(p: Pair): int {
+  if (p.a > 0) {
+    return p.a;
+  }
+  return 0 - p.a;
+}
+def main() {
+  var p = new Pair();
+  p.a = readInt();
+  p.b = "tag";
+  var total = 0;
+  while (total < 10) {
+    total = total + touch(p);
+  }
+  print(total);
+}
+)",
+                                            Diag);
+  ASSERT_NE(P, nullptr) << Diag.str();
+  auto PTA = runPointsTo(*P);
+  auto G = buildSDG(*P, *PTA, nullptr);
+  unsigned Seeds = 0;
+  for (const auto &M : P->methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs()) {
+        SliceResult Thin = sliceBackward(*G, I.get(), SliceMode::Thin);
+        SliceResult Trad =
+            sliceBackward(*G, I.get(), SliceMode::Traditional);
+        EXPECT_LE(Thin.sizeStmts(), Trad.sizeStmts());
+        ++Seeds;
+      }
+  EXPECT_GE(Seeds, 30u);
+}
+
+TEST(Robustness, EmptyAndCommentOnlySources) {
+  compileAnything("");
+  compileAnything("// nothing here\n// at all\n");
+  compileAnything("\n\n\n");
+}
+
+TEST(Robustness, HugeStringLiteral) {
+  std::string Big(10000, 'x');
+  compileAnything("def main() { print(\"" + Big + "\"); }");
+}
+
+TEST(Robustness, UnicodeBytesInStrings) {
+  // Non-ASCII bytes inside string literals pass through untouched.
+  DiagnosticEngine Diag;
+  auto P = compileThinJ("def main() { print(\"\xc3\xa9\xe2\x82\xac\"); }",
+                        Diag);
+  ASSERT_NE(P, nullptr) << Diag.str();
+  InterpResult R = interpret(*P);
+  EXPECT_EQ(R.Output.front(), "\xc3\xa9\xe2\x82\xac");
+}

@@ -1,0 +1,291 @@
+//===-- sdg_test.cpp - SDG construction unit tests ------------------------------==//
+
+#include "lang/Lower.h"
+#include "modref/ModRef.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsl;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<PointsToResult> PTA;
+  std::unique_ptr<ModRefResult> MR;
+  std::unique_ptr<SDG> G;
+
+  explicit Fixture(const std::string &Source, bool CS = false,
+                   PTAOptions PtaOpts = {}) {
+    DiagnosticEngine Diag;
+    P = compileThinJ(Source, Diag);
+    EXPECT_NE(P, nullptr) << Diag.str();
+    if (!P)
+      return;
+    PTA = runPointsTo(*P, PtaOpts);
+    MR = std::make_unique<ModRefResult>(*P, *PTA);
+    SDGOptions Opts;
+    Opts.ContextSensitive = CS;
+    G = buildSDG(*P, *PTA, MR.get(), Opts);
+  }
+
+  const Instr *find(InstrKind K, unsigned Skip = 0) {
+    for (const auto &M : P->methods())
+      for (const auto &BB : M->blocks())
+        for (const auto &I : BB->instrs())
+          if (I->kind() == K) {
+            if (Skip == 0)
+              return I.get();
+            --Skip;
+          }
+    return nullptr;
+  }
+
+  /// True when an edge From -> To with kind K exists (any clones).
+  bool hasEdge(const Instr *From, const Instr *To, SDGEdgeKind K) {
+    for (unsigned FromNode : G->nodesFor(From))
+      for (unsigned EdgeId : G->outEdges(FromNode)) {
+        const SDGEdge &E = G->edge(EdgeId);
+        if (E.K == K && G->node(E.To).I == To)
+          return true;
+      }
+    return false;
+  }
+};
+
+} // namespace
+
+TEST(SDG, FlowVsBaseFlowClassification) {
+  Fixture F(R"(
+class C { var f: Object; }
+def main() {
+  var c = new C();
+  var v = new Object();
+  c.f = v;
+  var r = c.f;
+  print(r == null);
+}
+)");
+  const Instr *NewC = F.find(InstrKind::New, 0);
+  const Instr *NewV = F.find(InstrKind::New, 1);
+  const Instr *Store = F.find(InstrKind::Store);
+  const Instr *Load = F.find(InstrKind::Load);
+  ASSERT_TRUE(NewC && NewV && Store && Load);
+
+  // The stored value reaches the store as Flow; the base as BaseFlow.
+  // (Through the Move of the var decls.)
+  bool FoundValueFlow = false, FoundBaseFlow = false;
+  for (unsigned Node : F.G->nodesFor(Store))
+    for (unsigned EdgeId : F.G->inEdges(Node)) {
+      const SDGEdge &E = F.G->edge(EdgeId);
+      if (E.K == SDGEdgeKind::Flow)
+        FoundValueFlow = true;
+      if (E.K == SDGEdgeKind::BaseFlow)
+        FoundBaseFlow = true;
+    }
+  EXPECT_TRUE(FoundValueFlow);
+  EXPECT_TRUE(FoundBaseFlow);
+
+  // Heap flow: store -> load is a Flow (producer) edge.
+  EXPECT_TRUE(F.hasEdge(Store, Load, SDGEdgeKind::Flow));
+}
+
+TEST(SDG, NoHeapEdgeWithoutAliasing) {
+  Fixture F(R"(
+class C { var f: Object; }
+def main() {
+  var c1 = new C();
+  var c2 = new C();
+  c1.f = new Object();
+  var r = c2.f;
+  print(r == null);
+}
+)");
+  const Instr *Store = F.find(InstrKind::Store);
+  const Instr *Load = F.find(InstrKind::Load);
+  ASSERT_TRUE(Store && Load);
+  EXPECT_FALSE(F.hasEdge(Store, Load, SDGEdgeKind::Flow));
+}
+
+TEST(SDG, StaticFieldEdges) {
+  Fixture F(R"(
+class G { static var x: Object; }
+def main() {
+  G.x = new Object();
+  var r = G.x;
+  print(r == null);
+}
+)");
+  // $clinit default-store and main's store both flow to the load.
+  const Instr *Load = nullptr;
+  for (const auto &M : F.P->methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (isa<LoadInstr>(I.get()))
+          Load = I.get();
+  ASSERT_NE(Load, nullptr);
+  unsigned HeapIn = 0;
+  for (unsigned Node : F.G->nodesFor(Load))
+    for (unsigned EdgeId : F.G->inEdges(Node)) {
+      const SDGEdge &E = F.G->edge(EdgeId);
+      if (E.K == SDGEdgeKind::Flow &&
+          F.G->node(E.From).I->kind() == InstrKind::Store)
+        ++HeapIn;
+    }
+  EXPECT_EQ(HeapIn, 2u);
+}
+
+TEST(SDG, ControlEdgesFromBranches) {
+  Fixture F(R"(
+def main() {
+  if (readInt() > 0) {
+    print("yes");
+  }
+}
+)");
+  const Instr *Print = F.find(InstrKind::Print);
+  const Instr *Branch = F.find(InstrKind::Branch);
+  ASSERT_TRUE(Print && Branch);
+  EXPECT_TRUE(F.hasEdge(Branch, Print, SDGEdgeKind::Control));
+}
+
+TEST(SDG, VirtualDispatchIsControl) {
+  Fixture F(R"(
+class A { def m(): int { return 1; } }
+def main() {
+  var a = new A();
+  print(a.m());
+}
+)");
+  const Instr *Call = F.find(InstrKind::Call);
+  ASSERT_NE(Call, nullptr);
+  bool RecvControl = false;
+  for (unsigned Node : F.G->nodesFor(Call))
+    for (unsigned EdgeId : F.G->inEdges(Node)) {
+      const SDGEdge &E = F.G->edge(EdgeId);
+      if (E.K == SDGEdgeKind::Control)
+        RecvControl = true;
+    }
+  EXPECT_TRUE(RecvControl);
+}
+
+TEST(SDG, ParamAndReturnLinkage) {
+  Fixture F(R"(
+def id(x: int): int { return x; }
+def main() { print(id(5)); }
+)");
+  const Instr *Call = F.find(InstrKind::Call);
+  ASSERT_NE(Call, nullptr);
+  // The call node receives a ParamOut edge from id's return.
+  bool GotParamOut = false, GotParamIn = false, GotActualIn = false;
+  for (unsigned Node : F.G->nodesFor(Call))
+    for (unsigned EdgeId : F.G->inEdges(Node))
+      GotParamOut |= F.G->edge(EdgeId).K == SDGEdgeKind::ParamOut;
+  for (unsigned EdgeId = 0; EdgeId != F.G->numEdges(); ++EdgeId) {
+    const SDGEdge &E = F.G->edge(EdgeId);
+    GotParamIn |= E.K == SDGEdgeKind::ParamIn;
+    GotActualIn |=
+        F.G->node(E.To).K == SDGNodeKind::ScalarActualIn;
+  }
+  EXPECT_TRUE(GotParamOut);
+  EXPECT_TRUE(GotParamIn);
+  EXPECT_TRUE(GotActualIn);
+}
+
+TEST(SDG, CloneLevelNodesForContainerMethods) {
+  Fixture F(R"(
+class Vector {
+  var elems: Object[];
+  var count: int;
+  def init() { elems = new Object[4]; count = 0; }
+  def add(p: Object) { elems[count] = p; count = count + 1; }
+}
+def main() {
+  var v1 = new Vector();
+  var v2 = new Vector();
+  v1.add(new Object());
+  v2.add(new Object());
+}
+)");
+  // Vector.add statements are cloned per receiver context.
+  const Instr *ArrStore = F.find(InstrKind::ArrayStore);
+  ASSERT_NE(ArrStore, nullptr);
+  EXPECT_EQ(F.G->nodesFor(ArrStore).size(), 2u);
+}
+
+TEST(SDG, NoObjSensCollapsesClones) {
+  PTAOptions NoObj;
+  NoObj.ObjSensContainers = false;
+  Fixture F(R"(
+class Vector {
+  var elems: Object[];
+  var count: int;
+  def init() { elems = new Object[4]; count = 0; }
+  def add(p: Object) { elems[count] = p; count = count + 1; }
+}
+def main() {
+  var v1 = new Vector();
+  var v2 = new Vector();
+  v1.add(new Object());
+  v2.add(new Object());
+}
+)",
+            /*CS=*/false, NoObj);
+  const Instr *ArrStore = F.find(InstrKind::ArrayStore);
+  ASSERT_NE(ArrStore, nullptr);
+  EXPECT_EQ(F.G->nodesFor(ArrStore).size(), 1u);
+}
+
+TEST(SDG, ContextSensitiveVariantHasHeapParams) {
+  Fixture F(R"(
+class Cell { var v: Object; }
+def write(c: Cell) { c.v = new Object(); }
+def read(c: Cell): Object { return c.v; }
+def main() {
+  var c = new Cell();
+  write(c);
+  print(read(c) == null);
+}
+)",
+            /*CS=*/true);
+  EXPECT_GT(F.G->numHeapParamNodes(), 0u);
+  // Heap formal-in exists for read, formal-out for write.
+  const Method *Write = nullptr, *Read = nullptr;
+  for (const auto &M : F.P->methods()) {
+    std::string Name = M->qualifiedName(F.P->strings());
+    if (Name == "write")
+      Write = M.get();
+    if (Name == "read")
+      Read = M.get();
+  }
+  BitSet WriteMod = F.MR->modOf(Write);
+  ASSERT_EQ(WriteMod.count(), 1u);
+  unsigned Part = WriteMod.toVector().front();
+  EXPECT_GE(F.G->heapNodeFor(SDGNodeKind::HeapFormalOut, Write, Part), 0);
+  EXPECT_GE(F.G->heapNodeFor(SDGNodeKind::HeapFormalIn, Read, Part), 0);
+  // No direct interprocedural heap edge store -> load in CS mode.
+  const Instr *Store = F.find(InstrKind::Store);
+  const Instr *Load = F.find(InstrKind::Load);
+  EXPECT_FALSE(F.hasEdge(Store, Load, SDGEdgeKind::Flow));
+}
+
+TEST(SDG, StatementCountsExcludeHeapParams) {
+  Fixture CI("def main() { print(1); }");
+  EXPECT_EQ(CI.G->numHeapParamNodes(), 0u);
+  EXPECT_GT(CI.G->numStmtNodes(), 0u);
+  EXPECT_EQ(CI.G->numNodes(), CI.G->numStmtNodes());
+}
+
+TEST(SDG, EdgeDeduplication) {
+  Fixture F("def main() { var x = 1; print(x + x); }");
+  // x used twice by the same BinOp: one Flow edge, not two.
+  const Instr *BinOp = F.find(InstrKind::BinOp);
+  ASSERT_NE(BinOp, nullptr);
+  unsigned FlowIn = 0;
+  for (unsigned Node : F.G->nodesFor(BinOp))
+    for (unsigned EdgeId : F.G->inEdges(Node))
+      FlowIn += F.G->edge(EdgeId).K == SDGEdgeKind::Flow;
+  EXPECT_EQ(FlowIn, 1u);
+}

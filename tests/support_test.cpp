@@ -1,0 +1,213 @@
+//===-- support_test.cpp - Support library unit tests -------------------------==//
+
+#include "support/BitSet.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/StringTable.h"
+#include "support/Worklist.h"
+
+#include <gtest/gtest.h>
+
+using namespace tsl;
+
+//===----------------------------------------------------------------------===//
+// BitSet
+//===----------------------------------------------------------------------===//
+
+TEST(BitSet, InsertAndTest) {
+  BitSet S;
+  EXPECT_FALSE(S.test(5));
+  EXPECT_TRUE(S.insert(5));
+  EXPECT_FALSE(S.insert(5)); // Second insert reports no change.
+  EXPECT_TRUE(S.test(5));
+  EXPECT_FALSE(S.test(4));
+  EXPECT_EQ(S.count(), 1u);
+}
+
+TEST(BitSet, GrowsAcrossWordBoundaries) {
+  BitSet S;
+  EXPECT_TRUE(S.insert(0));
+  EXPECT_TRUE(S.insert(63));
+  EXPECT_TRUE(S.insert(64));
+  EXPECT_TRUE(S.insert(1000));
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_TRUE(S.test(1000));
+  EXPECT_FALSE(S.test(999));
+}
+
+TEST(BitSet, UnionSubtractIntersect) {
+  BitSet A, B;
+  A.insert(1);
+  A.insert(100);
+  B.insert(100);
+  B.insert(200);
+
+  BitSet U = A;
+  EXPECT_TRUE(U.unionWith(B));
+  EXPECT_FALSE(U.unionWith(B)); // Idempotent.
+  EXPECT_EQ(U.toVector(), (std::vector<unsigned>{1, 100, 200}));
+
+  BitSet D = A;
+  D.subtract(B);
+  EXPECT_EQ(D.toVector(), (std::vector<unsigned>{1}));
+
+  BitSet I = A;
+  I.intersectWith(B);
+  EXPECT_EQ(I.toVector(), (std::vector<unsigned>{100}));
+
+  EXPECT_TRUE(A.intersects(B));
+  BitSet C;
+  C.insert(7);
+  EXPECT_FALSE(A.intersects(C));
+}
+
+TEST(BitSet, EqualityIgnoresTrailingZeros) {
+  BitSet A, B;
+  A.insert(3);
+  B.reserveIds(1000);
+  B.insert(3);
+  EXPECT_TRUE(A == B);
+  B.insert(999);
+  EXPECT_TRUE(A != B);
+  B.erase(999);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(BitSet, ForEachAscending) {
+  BitSet S;
+  for (unsigned Id : {70u, 3u, 64u, 0u})
+    S.insert(Id);
+  std::vector<unsigned> Seen;
+  S.forEach([&Seen](unsigned Id) { Seen.push_back(Id); });
+  EXPECT_EQ(Seen, (std::vector<unsigned>{0, 3, 64, 70}));
+}
+
+TEST(BitSet, EmptyAndClear) {
+  BitSet S;
+  EXPECT_TRUE(S.empty());
+  S.insert(42);
+  EXPECT_FALSE(S.empty());
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Worklist
+//===----------------------------------------------------------------------===//
+
+TEST(Worklist, FifoWithDedup) {
+  Worklist WL;
+  EXPECT_TRUE(WL.push(1));
+  EXPECT_TRUE(WL.push(2));
+  EXPECT_FALSE(WL.push(1)); // Already pending.
+  EXPECT_EQ(WL.size(), 2u);
+  EXPECT_EQ(WL.pop(), 1u);
+  EXPECT_TRUE(WL.push(1)); // Re-push after pop is allowed.
+  EXPECT_EQ(WL.pop(), 2u);
+  EXPECT_EQ(WL.pop(), 1u);
+  EXPECT_TRUE(WL.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// StringTable
+//===----------------------------------------------------------------------===//
+
+TEST(StringTable, InternIsStable) {
+  StringTable T;
+  Symbol A = T.intern("alpha");
+  Symbol B = T.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.intern("alpha"), A);
+  EXPECT_EQ(T.str(A), "alpha");
+  EXPECT_EQ(T.str(B), "beta");
+}
+
+TEST(StringTable, LookupWithoutIntern) {
+  StringTable T;
+  EXPECT_EQ(T.lookup("missing"), 0u);
+  Symbol A = T.intern("present");
+  EXPECT_EQ(T.lookup("present"), A);
+}
+
+TEST(StringTable, ManyStringsNoDangling) {
+  // Regression: interned keys must survive storage growth.
+  StringTable T;
+  std::vector<Symbol> Syms;
+  for (int I = 0; I != 1000; ++I)
+    Syms.push_back(T.intern("sym" + std::to_string(I)));
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_EQ(T.str(Syms[I]), "sym" + std::to_string(I));
+    EXPECT_EQ(T.lookup("sym" + std::to_string(I)), Syms[I]);
+  }
+}
+
+TEST(StringTable, EmptyStringIsSymbolZero) {
+  StringTable T;
+  EXPECT_EQ(T.intern(""), 0u);
+  EXPECT_EQ(T.str(0), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, CountsAndRendering) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc(1, 2), "suspicious thing");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(3, 4), "broken thing");
+  D.note(SourceLoc(3, 5), "because of this");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string Text = D.str();
+  EXPECT_NE(Text.find("1:2: warning: suspicious thing"), std::string::npos);
+  EXPECT_NE(Text.find("3:4: error: broken thing"), std::string::npos);
+  EXPECT_NE(Text.find("3:5: note: because of this"), std::string::npos);
+}
+
+TEST(Diagnostics, InvalidLocRendersUnknown) {
+  DiagnosticEngine D;
+  D.error(SourceLoc(), "global problem");
+  EXPECT_NE(D.str().find("<unknown>"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BaseThing {
+  enum class Kind { Square, Circle } K;
+  explicit BaseThing(Kind K) : K(K) {}
+};
+
+struct Square : BaseThing {
+  Square() : BaseThing(Kind::Square) {}
+  static bool classof(const BaseThing *B) {
+    return B->K == BaseThing::Kind::Square;
+  }
+};
+
+struct Circle : BaseThing {
+  Circle() : BaseThing(Kind::Circle) {}
+  static bool classof(const BaseThing *B) {
+    return B->K == BaseThing::Kind::Circle;
+  }
+};
+
+} // namespace
+
+TEST(Casting, IsaAndDynCast) {
+  Square Sq;
+  BaseThing *B = &Sq;
+  EXPECT_TRUE(isa<Square>(B));
+  EXPECT_FALSE(isa<Circle>(B));
+  EXPECT_EQ(dyn_cast<Square>(B), &Sq);
+  EXPECT_EQ(dyn_cast<Circle>(B), nullptr);
+  EXPECT_EQ(cast<Square>(B), &Sq);
+  EXPECT_EQ(dyn_cast_or_null<Square>(static_cast<BaseThing *>(nullptr)),
+            nullptr);
+}
