@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inspection_strategy.dir/bench/bench_inspection_strategy.cpp.o"
+  "CMakeFiles/bench_inspection_strategy.dir/bench/bench_inspection_strategy.cpp.o.d"
+  "bench/bench_inspection_strategy"
+  "bench/bench_inspection_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inspection_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

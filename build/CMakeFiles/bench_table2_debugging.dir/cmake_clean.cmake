@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_debugging.dir/bench/bench_table2_debugging.cpp.o"
+  "CMakeFiles/bench_table2_debugging.dir/bench/bench_table2_debugging.cpp.o.d"
+  "bench/bench_table2_debugging"
+  "bench/bench_table2_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

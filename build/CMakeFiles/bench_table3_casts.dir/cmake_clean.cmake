@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_casts.dir/bench/bench_table3_casts.cpp.o"
+  "CMakeFiles/bench_table3_casts.dir/bench/bench_table3_casts.cpp.o.d"
+  "bench/bench_table3_casts"
+  "bench/bench_table3_casts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_casts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

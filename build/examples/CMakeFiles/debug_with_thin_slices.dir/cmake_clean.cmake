@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_with_thin_slices.dir/debug_with_thin_slices.cpp.o"
+  "CMakeFiles/debug_with_thin_slices.dir/debug_with_thin_slices.cpp.o.d"
+  "debug_with_thin_slices"
+  "debug_with_thin_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_with_thin_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

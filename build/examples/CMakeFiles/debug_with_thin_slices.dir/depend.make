@@ -1,0 +1,2 @@
+# Empty dependencies file for debug_with_thin_slices.
+# This may be replaced when dependencies are built.

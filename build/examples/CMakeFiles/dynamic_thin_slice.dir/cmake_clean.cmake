@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_thin_slice.dir/dynamic_thin_slice.cpp.o"
+  "CMakeFiles/dynamic_thin_slice.dir/dynamic_thin_slice.cpp.o.d"
+  "dynamic_thin_slice"
+  "dynamic_thin_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_thin_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

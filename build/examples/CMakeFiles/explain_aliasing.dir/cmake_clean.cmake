@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_aliasing.dir/explain_aliasing.cpp.o"
+  "CMakeFiles/explain_aliasing.dir/explain_aliasing.cpp.o.d"
+  "explain_aliasing"
+  "explain_aliasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_aliasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tough_cast.dir/tough_cast.cpp.o"
+  "CMakeFiles/tough_cast.dir/tough_cast.cpp.o.d"
+  "tough_cast"
+  "tough_cast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tough_cast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cg/CHA.cpp" "src/cg/CMakeFiles/ts_cg.dir/CHA.cpp.o" "gcc" "src/cg/CMakeFiles/ts_cg.dir/CHA.cpp.o.d"
+  "/root/repo/src/cg/CallGraph.cpp" "src/cg/CMakeFiles/ts_cg.dir/CallGraph.cpp.o" "gcc" "src/cg/CMakeFiles/ts_cg.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/cg/ClassHierarchy.cpp" "src/cg/CMakeFiles/ts_cg.dir/ClassHierarchy.cpp.o" "gcc" "src/cg/CMakeFiles/ts_cg.dir/ClassHierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ts_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

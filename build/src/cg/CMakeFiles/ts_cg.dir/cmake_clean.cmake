@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_cg.dir/CHA.cpp.o"
+  "CMakeFiles/ts_cg.dir/CHA.cpp.o.d"
+  "CMakeFiles/ts_cg.dir/CallGraph.cpp.o"
+  "CMakeFiles/ts_cg.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/ts_cg.dir/ClassHierarchy.cpp.o"
+  "CMakeFiles/ts_cg.dir/ClassHierarchy.cpp.o.d"
+  "libts_cg.a"
+  "libts_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_dyn.dir/Interp.cpp.o"
+  "CMakeFiles/ts_dyn.dir/Interp.cpp.o.d"
+  "libts_dyn.a"
+  "libts_dyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_dyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_eval.dir/Cases.cpp.o"
+  "CMakeFiles/ts_eval.dir/Cases.cpp.o.d"
+  "CMakeFiles/ts_eval.dir/CastCases.cpp.o"
+  "CMakeFiles/ts_eval.dir/CastCases.cpp.o.d"
+  "CMakeFiles/ts_eval.dir/Experiments.cpp.o"
+  "CMakeFiles/ts_eval.dir/Experiments.cpp.o.d"
+  "CMakeFiles/ts_eval.dir/Generator.cpp.o"
+  "CMakeFiles/ts_eval.dir/Generator.cpp.o.d"
+  "CMakeFiles/ts_eval.dir/Runtime.cpp.o"
+  "CMakeFiles/ts_eval.dir/Runtime.cpp.o.d"
+  "CMakeFiles/ts_eval.dir/Workload.cpp.o"
+  "CMakeFiles/ts_eval.dir/Workload.cpp.o.d"
+  "libts_eval.a"
+  "libts_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

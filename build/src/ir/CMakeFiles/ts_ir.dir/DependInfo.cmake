@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ControlDep.cpp" "src/ir/CMakeFiles/ts_ir.dir/ControlDep.cpp.o" "gcc" "src/ir/CMakeFiles/ts_ir.dir/ControlDep.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/ir/CMakeFiles/ts_ir.dir/Dominators.cpp.o" "gcc" "src/ir/CMakeFiles/ts_ir.dir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/ts_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/ts_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instr.cpp" "src/ir/CMakeFiles/ts_ir.dir/Instr.cpp.o" "gcc" "src/ir/CMakeFiles/ts_ir.dir/Instr.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/ir/CMakeFiles/ts_ir.dir/Program.cpp.o" "gcc" "src/ir/CMakeFiles/ts_ir.dir/Program.cpp.o.d"
+  "/root/repo/src/ir/SSA.cpp" "src/ir/CMakeFiles/ts_ir.dir/SSA.cpp.o" "gcc" "src/ir/CMakeFiles/ts_ir.dir/SSA.cpp.o.d"
+  "/root/repo/src/ir/Types.cpp" "src/ir/CMakeFiles/ts_ir.dir/Types.cpp.o" "gcc" "src/ir/CMakeFiles/ts_ir.dir/Types.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/ts_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/ts_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

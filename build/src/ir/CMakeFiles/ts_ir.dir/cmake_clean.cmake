@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_ir.dir/ControlDep.cpp.o"
+  "CMakeFiles/ts_ir.dir/ControlDep.cpp.o.d"
+  "CMakeFiles/ts_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/ts_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/ts_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/ts_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/ts_ir.dir/Instr.cpp.o"
+  "CMakeFiles/ts_ir.dir/Instr.cpp.o.d"
+  "CMakeFiles/ts_ir.dir/Program.cpp.o"
+  "CMakeFiles/ts_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/ts_ir.dir/SSA.cpp.o"
+  "CMakeFiles/ts_ir.dir/SSA.cpp.o.d"
+  "CMakeFiles/ts_ir.dir/Types.cpp.o"
+  "CMakeFiles/ts_ir.dir/Types.cpp.o.d"
+  "CMakeFiles/ts_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/ts_ir.dir/Verifier.cpp.o.d"
+  "libts_ir.a"
+  "libts_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

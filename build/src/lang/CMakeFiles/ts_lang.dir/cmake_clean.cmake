@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/ts_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ts_lang.dir/Lower.cpp.o"
+  "CMakeFiles/ts_lang.dir/Lower.cpp.o.d"
+  "CMakeFiles/ts_lang.dir/Parser.cpp.o"
+  "CMakeFiles/ts_lang.dir/Parser.cpp.o.d"
+  "libts_lang.a"
+  "libts_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

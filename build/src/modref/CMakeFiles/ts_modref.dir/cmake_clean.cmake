@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_modref.dir/ModRef.cpp.o"
+  "CMakeFiles/ts_modref.dir/ModRef.cpp.o.d"
+  "libts_modref.a"
+  "libts_modref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_modref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

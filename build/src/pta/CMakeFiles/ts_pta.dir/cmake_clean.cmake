@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_pta.dir/PointsTo.cpp.o"
+  "CMakeFiles/ts_pta.dir/PointsTo.cpp.o.d"
+  "libts_pta.a"
+  "libts_pta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_pta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

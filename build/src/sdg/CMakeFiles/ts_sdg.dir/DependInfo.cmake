@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdg/SDG.cpp" "src/sdg/CMakeFiles/ts_sdg.dir/SDG.cpp.o" "gcc" "src/sdg/CMakeFiles/ts_sdg.dir/SDG.cpp.o.d"
+  "/root/repo/src/sdg/SDGBuilder.cpp" "src/sdg/CMakeFiles/ts_sdg.dir/SDGBuilder.cpp.o" "gcc" "src/sdg/CMakeFiles/ts_sdg.dir/SDGBuilder.cpp.o.d"
+  "/root/repo/src/sdg/SDGDot.cpp" "src/sdg/CMakeFiles/ts_sdg.dir/SDGDot.cpp.o" "gcc" "src/sdg/CMakeFiles/ts_sdg.dir/SDGDot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modref/CMakeFiles/ts_modref.dir/DependInfo.cmake"
+  "/root/repo/build/src/pta/CMakeFiles/ts_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/ts_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ts_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

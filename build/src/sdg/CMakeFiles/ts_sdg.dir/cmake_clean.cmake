@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_sdg.dir/SDG.cpp.o"
+  "CMakeFiles/ts_sdg.dir/SDG.cpp.o.d"
+  "CMakeFiles/ts_sdg.dir/SDGBuilder.cpp.o"
+  "CMakeFiles/ts_sdg.dir/SDGBuilder.cpp.o.d"
+  "CMakeFiles/ts_sdg.dir/SDGDot.cpp.o"
+  "CMakeFiles/ts_sdg.dir/SDGDot.cpp.o.d"
+  "libts_sdg.a"
+  "libts_sdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_sdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

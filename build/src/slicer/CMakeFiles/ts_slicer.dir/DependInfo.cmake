@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slicer/Chop.cpp" "src/slicer/CMakeFiles/ts_slicer.dir/Chop.cpp.o" "gcc" "src/slicer/CMakeFiles/ts_slicer.dir/Chop.cpp.o.d"
+  "/root/repo/src/slicer/Expansion.cpp" "src/slicer/CMakeFiles/ts_slicer.dir/Expansion.cpp.o" "gcc" "src/slicer/CMakeFiles/ts_slicer.dir/Expansion.cpp.o.d"
+  "/root/repo/src/slicer/Inspection.cpp" "src/slicer/CMakeFiles/ts_slicer.dir/Inspection.cpp.o" "gcc" "src/slicer/CMakeFiles/ts_slicer.dir/Inspection.cpp.o.d"
+  "/root/repo/src/slicer/Report.cpp" "src/slicer/CMakeFiles/ts_slicer.dir/Report.cpp.o" "gcc" "src/slicer/CMakeFiles/ts_slicer.dir/Report.cpp.o.d"
+  "/root/repo/src/slicer/Slicer.cpp" "src/slicer/CMakeFiles/ts_slicer.dir/Slicer.cpp.o" "gcc" "src/slicer/CMakeFiles/ts_slicer.dir/Slicer.cpp.o.d"
+  "/root/repo/src/slicer/Tabulation.cpp" "src/slicer/CMakeFiles/ts_slicer.dir/Tabulation.cpp.o" "gcc" "src/slicer/CMakeFiles/ts_slicer.dir/Tabulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdg/CMakeFiles/ts_sdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pta/CMakeFiles/ts_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/ts_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ts_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/modref/CMakeFiles/ts_modref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

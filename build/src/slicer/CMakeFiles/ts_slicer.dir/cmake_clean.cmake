@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_slicer.dir/Chop.cpp.o"
+  "CMakeFiles/ts_slicer.dir/Chop.cpp.o.d"
+  "CMakeFiles/ts_slicer.dir/Expansion.cpp.o"
+  "CMakeFiles/ts_slicer.dir/Expansion.cpp.o.d"
+  "CMakeFiles/ts_slicer.dir/Inspection.cpp.o"
+  "CMakeFiles/ts_slicer.dir/Inspection.cpp.o.d"
+  "CMakeFiles/ts_slicer.dir/Report.cpp.o"
+  "CMakeFiles/ts_slicer.dir/Report.cpp.o.d"
+  "CMakeFiles/ts_slicer.dir/Slicer.cpp.o"
+  "CMakeFiles/ts_slicer.dir/Slicer.cpp.o.d"
+  "CMakeFiles/ts_slicer.dir/Tabulation.cpp.o"
+  "CMakeFiles/ts_slicer.dir/Tabulation.cpp.o.d"
+  "libts_slicer.a"
+  "libts_slicer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_slicer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

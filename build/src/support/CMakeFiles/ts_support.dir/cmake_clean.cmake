@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/ts_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/ts_support.dir/StringTable.cpp.o"
+  "CMakeFiles/ts_support.dir/StringTable.cpp.o.d"
+  "libts_support.a"
+  "libts_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cha_test.cpp" "tests/CMakeFiles/test_cha.dir/cha_test.cpp.o" "gcc" "tests/CMakeFiles/test_cha.dir/cha_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ts_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicer/CMakeFiles/ts_slicer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdg/CMakeFiles/ts_sdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/modref/CMakeFiles/ts_modref.dir/DependInfo.cmake"
+  "/root/repo/build/src/pta/CMakeFiles/ts_pta.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/ts_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dyn/CMakeFiles/ts_dyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ts_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ts_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ts_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cha.dir/cha_test.cpp.o"
+  "CMakeFiles/test_cha.dir/cha_test.cpp.o.d"
+  "test_cha"
+  "test_cha.pdb"
+  "test_cha[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modref.dir/modref_test.cpp.o"
+  "CMakeFiles/test_modref.dir/modref_test.cpp.o.d"
+  "test_modref"
+  "test_modref.pdb"
+  "test_modref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pta.dir/pta_test.cpp.o"
+  "CMakeFiles/test_pta.dir/pta_test.cpp.o.d"
+  "test_pta"
+  "test_pta.pdb"
+  "test_pta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tabulation.dir/tabulation_test.cpp.o"
+  "CMakeFiles/test_tabulation.dir/tabulation_test.cpp.o.d"
+  "test_tabulation"
+  "test_tabulation.pdb"
+  "test_tabulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tabulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

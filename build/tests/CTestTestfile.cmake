@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_lower[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_dominators[1]_include.cmake")
+include("/root/repo/build/tests/test_cha[1]_include.cmake")
+include("/root/repo/build/tests/test_pta[1]_include.cmake")
+include("/root/repo/build/tests/test_modref[1]_include.cmake")
+include("/root/repo/build/tests/test_sdg[1]_include.cmake")
+include("/root/repo/build/tests/test_slicer[1]_include.cmake")
+include("/root/repo/build/tests/test_tabulation[1]_include.cmake")
+include("/root/repo/build/tests/test_expansion[1]_include.cmake")
+include("/root/repo/build/tests/test_inspection[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")

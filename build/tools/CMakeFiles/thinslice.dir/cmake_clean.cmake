@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinslice.dir/thinslice.cpp.o"
+  "CMakeFiles/thinslice.dir/thinslice.cpp.o.d"
+  "thinslice"
+  "thinslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for thinslice.
+# This may be replaced when dependencies are built.
