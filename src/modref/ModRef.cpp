@@ -2,6 +2,8 @@
 
 #include "modref/ModRef.h"
 
+#include "support/Worklist.h"
+
 using namespace tsl;
 
 static uint64_t partKey(HeapPartition::Kind K, unsigned Obj, const Field *F) {
@@ -129,17 +131,31 @@ ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn)
   for (Method *M : Reachable)
     collectDirect(M, PTA, Mod[M], Ref[M]);
 
-  // Transitive closure over the (method-level) call graph.
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (const CallEdge &E : CG.edges()) {
-      Method *Caller = CG.node(E.CallerNode).M;
-      Method *Callee = CG.node(E.CalleeNode).M;
-      if (Caller == Callee)
-        continue;
-      Changed |= Mod[Caller].unionWith(Mod[Callee]);
+  // Transitive closure over the (method-level) call graph: propagate
+  // callee effects to callers with a worklist instead of rescanning
+  // the whole edge list until a full pass changes nothing.
+  std::unordered_map<const Method *, unsigned> Idx;
+  Idx.reserve(Reachable.size());
+  for (unsigned I = 0; I != Reachable.size(); ++I)
+    Idx.emplace(Reachable[I], I);
+  std::vector<std::vector<Method *>> CallersOf(Reachable.size());
+  for (const CallEdge &E : CG.edges()) {
+    Method *Caller = CG.node(E.CallerNode).M;
+    Method *Callee = CG.node(E.CalleeNode).M;
+    if (Caller != Callee)
+      CallersOf[Idx.at(Callee)].push_back(Caller);
+  }
+  Worklist WL;
+  for (unsigned I = 0; I != Reachable.size(); ++I)
+    WL.push(I);
+  while (!WL.empty()) {
+    unsigned I = WL.pop();
+    Method *Callee = Reachable[I];
+    for (Method *Caller : CallersOf[I]) {
+      bool Changed = Mod[Caller].unionWith(Mod[Callee]);
       Changed |= Ref[Caller].unionWith(Ref[Callee]);
+      if (Changed)
+        WL.push(Idx.at(Caller));
     }
   }
 }

@@ -1,12 +1,59 @@
 //===-- PointsTo.cpp - Andersen points-to analysis ----------------------------==//
+//
+// Solver core. Three composable optimizations over the naive
+// full-set FIFO solver, all selectable through PTAOptions:
+//
+//  - difference propagation: every node keeps a Delta of objects that
+//    arrived since its last visit; only the delta flows along copy
+//    edges and into deferred constraints. New edges and constraints
+//    are seeded with the full current set when created, so each
+//    object reaches each edge/constraint at least once and the
+//    deferred-constraint handlers stay idempotent.
+//
+//  - lazy cycle detection (Hardekopf–Lin): when a propagation along
+//    an unfiltered copy edge changes nothing, the edge is checked
+//    once for participation in a copy-edge cycle; detected SCCs are
+//    collapsed onto a representative through a union-find. Filtered
+//    (cast) edges never collapse: they are not identity flow.
+//
+//  - priority worklists: least-recently-fired and periodically
+//    recomputed topological order (see support/Worklist.h).
+//
+// Merging nodes conservatively re-delivers the merged points-to set
+// (Delta := Pts): deferred constraints are idempotent (copy edges,
+// call graph edges and object insertion all dedup), so re-delivery
+// trades a little work for not tracking per-constraint Done sets.
+//
+//===----------------------------------------------------------------------===//
 
 #include "pta/PointsTo.h"
 
 #include "support/Worklist.h"
 
 #include <cassert>
+#include <chrono>
+#include <unordered_set>
 
 using namespace tsl;
+
+std::string SolverStats::str() const {
+  char Buf[512];
+  snprintf(Buf, sizeof(Buf),
+           "pta: %u nodes (%u reps), %u copy edges, %u constraints, "
+           "%u objects\n"
+           "pta: %llu pops, %llu propagations (%llu no-change), "
+           "%llu delta bits moved, %llu constraint evals\n"
+           "pta: %u cycles collapsed, %u nodes merged\n"
+           "pta: solve %.6fs, finalize %.6fs\n",
+           NumNodes, NumRepNodes, NumCopyEdges, NumConstraints, NumObjects,
+           static_cast<unsigned long long>(WorklistPops),
+           static_cast<unsigned long long>(Propagations),
+           static_cast<unsigned long long>(NoChangePropagations),
+           static_cast<unsigned long long>(DeltaBitsMoved),
+           static_cast<unsigned long long>(ConstraintEvals), CyclesCollapsed,
+           NodesMerged, SolveSeconds, FinalizeSeconds);
+  return Buf;
+}
 
 namespace {
 
@@ -26,6 +73,10 @@ public:
     return Objects;
   }
 
+  unsigned contextObject(unsigned Ctx) const override {
+    return Ctx < CtxObject.size() ? CtxObject[Ctx] : ~0u;
+  }
+
   const BitSet &pointsTo(const Local *L) const override {
     auto It = Merged.find(L);
     return It == Merged.end() ? EmptySet : It->second;
@@ -36,7 +87,8 @@ public:
     if (ByCtx == LocalNodes.end())
       return EmptySet;
     auto It = ByCtx->second.find(Ctx);
-    return It == ByCtx->second.end() ? EmptySet : Nodes[It->second].Pts;
+    return It == ByCtx->second.end() ? EmptySet
+                                     : Nodes[findConst(It->second)].Pts;
   }
 
   const CallGraph &callGraph() const override { return CG; }
@@ -56,14 +108,17 @@ public:
     return static_cast<unsigned>(Nodes.size());
   }
 
-  //===------------------------------------------------------------------===//
-  // Node key helpers shared with ModRef / SDG construction
-  //===------------------------------------------------------------------===//
+  const SolverStats &stats() const override { return Stats; }
 
 private:
   struct NodeData {
     BitSet Pts;
+    /// Objects added since this node last propagated (difference
+    /// propagation only).
+    BitSet Delta;
     /// Copy edges: (target node, optional type filter for casts).
+    /// Targets may be stale after cycle collapsing; resolve through
+    /// find() before use.
     std::vector<std::pair<unsigned, const Type *>> Succs;
     /// Indices of constraints triggered by this node's points-to set.
     std::vector<unsigned> Cons;
@@ -73,25 +128,92 @@ private:
     enum class Kind { Load, Store, ArrLoad, ArrStore, Call } K;
     const Instr *I;
     unsigned Ctx; ///< Context of the method containing I.
-    BitSet Done;  ///< Objects already processed.
   };
+
+  //===------------------------------------------------------------------===//
+  // Union-find over constraint-graph nodes (cycle collapsing)
+  //===------------------------------------------------------------------===//
+
+  unsigned find(unsigned N) {
+    while (Rep[N] != N) {
+      Rep[N] = Rep[Rep[N]]; // Path halving.
+      N = Rep[N];
+    }
+    return N;
+  }
+
+  unsigned findConst(unsigned N) const {
+    while (Rep[N] != N)
+      N = Rep[N];
+    return N;
+  }
+
+  /// Merges \p B into \p A (both resolved to representatives) and
+  /// schedules a conservative re-delivery of the merged set.
+  unsigned unify(unsigned A, unsigned B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return A;
+    Rep[B] = A;
+    NodeData &NA = Nodes[A];
+    NodeData &NB = Nodes[B];
+    NA.Pts.unionWith(NB.Pts);
+    NA.Succs.insert(NA.Succs.end(), NB.Succs.begin(), NB.Succs.end());
+    NA.Cons.insert(NA.Cons.end(), NB.Cons.begin(), NB.Cons.end());
+    NB = NodeData(); // Release the merged node's storage.
+    if (Opts.DeltaPropagation)
+      NA.Delta = NA.Pts;
+    ++Stats.NodesMerged;
+    pushNode(A);
+    return A;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Worklist policy dispatch
+  //===------------------------------------------------------------------===//
+
+  void pushNode(unsigned N) {
+    N = find(N);
+    if (Opts.Policy == WorklistPolicy::FIFO)
+      FifoWL.push(N);
+    else
+      PrioWL.push(N);
+  }
+
+  unsigned popNode() {
+    if (Opts.Policy == WorklistPolicy::FIFO)
+      return FifoWL.pop();
+    return PrioWL.pop();
+  }
+
+  bool worklistEmpty() const {
+    return Opts.Policy == WorklistPolicy::FIFO ? FifoWL.empty()
+                                               : PrioWL.empty();
+  }
+
+  /// Recomputes topological priorities (reverse postorder over the
+  /// rep-resolved copy edge graph). Called when enough edges were
+  /// added since the last sort that the old order is stale.
+  void recomputeTopoPriorities();
 
   //===------------------------------------------------------------------===//
   // Node management
   //===------------------------------------------------------------------===//
 
   unsigned newNode() {
+    unsigned Id = static_cast<unsigned>(Nodes.size());
     Nodes.emplace_back();
-    return static_cast<unsigned>(Nodes.size() - 1);
+    Rep.push_back(Id);
+    if (Opts.Policy == WorklistPolicy::Topo)
+      PrioWL.setPriority(Id, TopoPrioBase + Id);
+    return Id;
   }
 
   unsigned localNode(const Local *L, unsigned Ctx) {
     auto [It, New] = LocalNodes[L].emplace(Ctx, 0);
-    if (New) {
+    if (New)
       It->second = newNode();
-      LocalOfNode.resize(Nodes.size(), nullptr);
-      LocalOfNode[It->second] = L;
-    }
     return It->second;
   }
 
@@ -162,42 +284,66 @@ private:
   //===------------------------------------------------------------------===//
 
   void addObject(unsigned Node, unsigned Obj) {
-    if (Nodes[Node].Pts.insert(Obj))
-      WL.push(Node);
+    unsigned N = find(Node);
+    if (Nodes[N].Pts.insert(Obj)) {
+      if (Opts.DeltaPropagation)
+        Nodes[N].Delta.insert(Obj);
+      pushNode(N);
+    }
   }
 
-  /// Unions \p From (filtered by \p Filter) into \p Node's set.
-  void flowInto(unsigned Node, const BitSet &From, const Type *Filter) {
-    if (&From == &Nodes[Node].Pts)
-      return; // Self-union is a no-op (and would mutate during forEach).
+  /// Unions \p From (filtered by \p Filter) into \p Dst's set;
+  /// returns true when \p Dst changed. \p Dst must be a
+  /// representative.
+  bool flowInto(unsigned Dst, const BitSet &From, const Type *Filter) {
+    NodeData &D = Nodes[Dst];
+    if (&From == &D.Pts)
+      return false; // Self-union is a no-op (and would mutate during forEach).
     bool Changed = false;
     if (!Filter) {
-      Changed = Nodes[Node].Pts.unionWith(From);
+      Changed = Opts.DeltaPropagation
+                    ? D.Pts.unionWithReturningChanged(From, D.Delta)
+                    : D.Pts.unionWith(From);
     } else {
       From.forEach([&](unsigned Obj) {
-        if (CH.isSubtype(Objects[Obj].Ty, Filter))
-          Changed |= Nodes[Node].Pts.insert(Obj);
+        if (CH.isSubtype(Objects[Obj].Ty, Filter) && D.Pts.insert(Obj)) {
+          if (Opts.DeltaPropagation)
+            D.Delta.insert(Obj);
+          Changed = true;
+        }
       });
     }
-    if (Changed)
-      WL.push(Node);
+    if (Changed) {
+      ++Stats.Propagations;
+      pushNode(Dst);
+    } else {
+      ++Stats.NoChangePropagations;
+    }
+    return Changed;
   }
 
   void addCopyEdge(unsigned Src, unsigned Dst, const Type *Filter = nullptr) {
+    Src = find(Src);
+    Dst = find(Dst);
     if (Src == Dst && !Filter)
       return;
     for (const auto &[Existing, F] : Nodes[Src].Succs)
-      if (Existing == Dst && F == Filter)
+      if (find(Existing) == Dst && F == Filter)
         return;
     Nodes[Src].Succs.emplace_back(Dst, Filter);
+    ++NumCopyEdges;
+    // Seed the new edge with the full current set so delta
+    // propagation never misses objects that arrived before the edge.
     flowInto(Dst, Nodes[Src].Pts, Filter);
   }
 
   void attachConstraint(unsigned Node, Constraint::Kind K, const Instr *I,
                         unsigned Ctx) {
-    Constraints.push_back({K, I, Ctx, BitSet()});
+    Node = find(Node);
+    Constraints.push_back({K, I, Ctx});
     unsigned Idx = static_cast<unsigned>(Constraints.size() - 1);
     Nodes[Node].Cons.push_back(Idx);
+    // Seed with the full current set (same reasoning as addCopyEdge).
     applyConstraint(Idx, Nodes[Node].Pts);
   }
 
@@ -205,9 +351,17 @@ private:
   void applyCall(const CallInstr *Call, unsigned CallerCtx, unsigned Obj);
 
   //===------------------------------------------------------------------===//
+  // Lazy cycle detection
+  //===------------------------------------------------------------------===//
+
+  void maybeDetectCycle(unsigned Src, unsigned Dst);
+  void collapseCyclesFrom(unsigned Start);
+
+  //===------------------------------------------------------------------===//
   // Method processing
   //===------------------------------------------------------------------===//
 
+  void solveLoop();
   void processMethodCtx(unsigned MCId);
   void processInstr(const Instr *I, Method *M, unsigned Ctx, unsigned MCId);
   void wireCall(unsigned CallerMC, const CallInstr *Call, unsigned CallerCtx,
@@ -232,7 +386,7 @@ private:
       ObjIndex;
 
   std::vector<NodeData> Nodes;
-  std::vector<const Local *> LocalOfNode;
+  std::vector<unsigned> Rep; ///< Union-find parents; Rep[n]==n for reps.
   std::unordered_map<const Local *, std::unordered_map<unsigned, unsigned>>
       LocalNodes;
   std::unordered_map<uint64_t, unsigned> FieldNodes;
@@ -241,7 +395,13 @@ private:
   std::unordered_map<uint64_t, unsigned> RetNodes;
 
   std::vector<Constraint> Constraints;
-  Worklist WL;
+  Worklist FifoWL;
+  PriorityWorklist PrioWL;
+  uint64_t LRFClock = 0;
+  uint64_t TopoPrioBase = 0; ///< Offset for nodes born after a sort.
+  unsigned NumCopyEdges = 0;
+  unsigned TopoResortAt = 32; ///< Edge count that triggers a re-sort.
+  std::unordered_set<uint64_t> LCDTried; ///< (src,dst) rep pairs checked.
   std::vector<bool> ProcessedMC;
 
   std::vector<unsigned> CtxObject = {~0u}; ///< Ctx id -> defining object.
@@ -250,6 +410,7 @@ private:
 
   std::unordered_map<const Method *, std::vector<Local *>> ParamCache;
   std::unordered_map<const Local *, BitSet> Merged;
+  SolverStats Stats;
   BitSet EmptySet;
 };
 
@@ -268,6 +429,8 @@ const std::vector<Local *> &Solver::paramLocals(const Method *M) {
 }
 
 void Solver::run() {
+  auto SolveStart = std::chrono::steady_clock::now();
+
   // Mark container classes by name.
   IsContainer.assign(P.classes().size(), false);
   if (Opts.ObjSensContainers) {
@@ -286,26 +449,228 @@ void Solver::run() {
   ProcessedMC.resize(1, false);
   processMethodCtx(Entry);
 
-  while (!WL.empty()) {
-    unsigned Node = WL.pop();
-    // Copy-edge propagation. Copy the edge list: constraint application
-    // below can add edges and reallocate node storage.
-    std::vector<std::pair<unsigned, const Type *>> Succs = Nodes[Node].Succs;
-    for (const auto &[Dst, Filter] : Succs)
-      flowInto(Dst, Nodes[Node].Pts, Filter);
-    // Complex constraints; same copy discipline.
-    std::vector<unsigned> Cons = Nodes[Node].Cons;
-    for (unsigned ConsIdx : Cons)
-      applyConstraint(ConsIdx, Nodes[Node].Pts);
-  }
+  solveLoop();
+
+  auto SolveEnd = std::chrono::steady_clock::now();
+
+  // Fully compress the union-find so post-solve queries are O(depth 1).
+  for (unsigned I = 0, E = static_cast<unsigned>(Rep.size()); I != E; ++I)
+    Rep[I] = find(I);
 
   // Finalize context-merged per-local sets for client queries.
   for (const auto &[L, ByCtx] : LocalNodes)
     for (const auto &[Ctx, Node] : ByCtx) {
       (void)Ctx;
-      Merged[L].unionWith(Nodes[Node].Pts);
+      Merged[L].unionWith(Nodes[find(Node)].Pts);
     }
+
+  auto FinalizeEnd = std::chrono::steady_clock::now();
+
+  Stats.NumNodes = static_cast<unsigned>(Nodes.size());
+  Stats.NumRepNodes = 0;
+  for (unsigned I = 0, E = static_cast<unsigned>(Rep.size()); I != E; ++I)
+    Stats.NumRepNodes += Rep[I] == I;
+  Stats.NumCopyEdges = NumCopyEdges;
+  Stats.NumConstraints = static_cast<unsigned>(Constraints.size());
+  Stats.NumObjects = static_cast<unsigned>(Objects.size());
+  Stats.SolveSeconds =
+      std::chrono::duration<double>(SolveEnd - SolveStart).count();
+  Stats.FinalizeSeconds =
+      std::chrono::duration<double>(FinalizeEnd - SolveEnd).count();
 }
+
+void Solver::solveLoop() {
+  // Hoisted scratch buffers: the loop body runs once per worklist pop
+  // and must not allocate on the happy path.
+  BitSet Moved;
+  std::vector<std::pair<unsigned, const Type *>> Succs;
+  std::vector<unsigned> Cons;
+
+  while (!worklistEmpty()) {
+    if (Opts.Policy == WorklistPolicy::Topo && NumCopyEdges >= TopoResortAt)
+      recomputeTopoPriorities();
+
+    unsigned N = find(popNode());
+    ++Stats.WorklistPops;
+    if (Opts.Policy == WorklistPolicy::LRF)
+      PrioWL.setPriority(N, ++LRFClock);
+
+    // What this visit pushes downstream: the delta accumulated since
+    // the node's last visit, or (naive mode) the full set. The swap
+    // recycles the drained delta's storage into the node.
+    if (Opts.DeltaPropagation) {
+      Moved.clear();
+      std::swap(Moved, Nodes[N].Delta);
+      if (Moved.empty())
+        continue; // Stale entry (merged away or already drained).
+    }
+    unsigned MovedCount =
+        Opts.DeltaPropagation ? Moved.count() : Nodes[N].Pts.count();
+
+    // Copy-edge propagation. Copy the edge list: constraint application
+    // and cycle collapsing below can mutate node storage.
+    Succs = Nodes[N].Succs;
+    for (const auto &[DstRaw, Filter] : Succs) {
+      unsigned Self = find(N);
+      unsigned Dst = find(DstRaw);
+      if (Dst == Self && !Filter)
+        continue;
+      // Re-fetch the source set each iteration: a cycle collapse can
+      // move N's data to another representative mid-loop.
+      const BitSet &Src = Opts.DeltaPropagation ? Moved : Nodes[Self].Pts;
+      bool Changed = flowInto(Dst, Src, Filter);
+      Stats.DeltaBitsMoved += MovedCount;
+      if (!Changed && Opts.CycleElimination && !Filter)
+        maybeDetectCycle(Self, Dst);
+    }
+
+    // Complex constraints; same copy discipline. If N was merged away
+    // during the edge loop, the representative was pushed with a full
+    // re-delivery, which covers these constraints too.
+    Cons = Nodes[find(N)].Cons;
+    for (unsigned ConsIdx : Cons)
+      applyConstraint(ConsIdx,
+                      Opts.DeltaPropagation ? Moved : Nodes[find(N)].Pts);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lazy cycle detection
+//===----------------------------------------------------------------------===//
+
+void Solver::maybeDetectCycle(unsigned Src, unsigned Dst) {
+  if (Src == Dst)
+    return;
+  // Hardekopf-Lin heuristic: a no-change propagation where source and
+  // destination hold *equal* points-to sets is strong cycle evidence
+  // (the closing propagation of a converged cycle always looks like
+  // this). Unequal sets -- the common acyclic case -- are dismissed
+  // with a word-level compare and may legitimately re-trigger later
+  // once the sets have equalized.
+  if (Nodes[Src].Pts.empty() || !(Nodes[Src].Pts == Nodes[Dst].Pts))
+    return;
+  // One SCC traversal per (src,dst) representative pair.
+  uint64_t Key = (static_cast<uint64_t>(Src) << 32) | Dst;
+  if (!LCDTried.insert(Key).second)
+    return;
+  collapseCyclesFrom(Dst);
+}
+
+void Solver::collapseCyclesFrom(unsigned Start) {
+  // Iterative Tarjan SCC over the rep-resolved unfiltered copy-edge
+  // subgraph reachable from Start. Collapses every nontrivial SCC
+  // found (not only the one the triggering edge closes).
+  struct Frame {
+    unsigned Node;
+    size_t SuccIdx;
+  };
+  std::unordered_map<unsigned, unsigned> Index, Low;
+  std::vector<unsigned> TarjanStack;
+  std::unordered_set<unsigned> OnStack;
+  std::vector<Frame> DFS;
+  std::vector<std::vector<unsigned>> SCCs;
+  unsigned NextIndex = 0;
+
+  Start = find(Start);
+  DFS.push_back({Start, 0});
+  Index[Start] = Low[Start] = NextIndex++;
+  TarjanStack.push_back(Start);
+  OnStack.insert(Start);
+
+  while (!DFS.empty()) {
+    Frame &F = DFS.back();
+    unsigned V = F.Node;
+    if (F.SuccIdx < Nodes[V].Succs.size()) {
+      const auto &[WRaw, Filter] = Nodes[V].Succs[F.SuccIdx++];
+      if (Filter)
+        continue; // Cast edges are not identity flow; never collapse.
+      unsigned W = find(WRaw);
+      if (W == V)
+        continue;
+      auto It = Index.find(W);
+      if (It == Index.end()) {
+        Index[W] = Low[W] = NextIndex++;
+        TarjanStack.push_back(W);
+        OnStack.insert(W);
+        DFS.push_back({W, 0});
+      } else if (OnStack.count(W)) {
+        Low[V] = std::min(Low[V], It->second);
+      }
+      continue;
+    }
+    // V is finished.
+    if (Low[V] == Index[V]) {
+      std::vector<unsigned> SCC;
+      while (true) {
+        unsigned W = TarjanStack.back();
+        TarjanStack.pop_back();
+        OnStack.erase(W);
+        SCC.push_back(W);
+        if (W == V)
+          break;
+      }
+      if (SCC.size() > 1)
+        SCCs.push_back(std::move(SCC));
+    }
+    DFS.pop_back();
+    if (!DFS.empty()) {
+      Frame &Parent = DFS.back();
+      Low[Parent.Node] = std::min(Low[Parent.Node], Low[V]);
+    }
+  }
+
+  // Collapse after the traversal: unify mutates the edge lists the
+  // DFS iterates.
+  for (const std::vector<unsigned> &SCC : SCCs) {
+    ++Stats.CyclesCollapsed;
+    unsigned A = SCC.front();
+    for (size_t I = 1; I != SCC.size(); ++I)
+      A = unify(A, SCC[I]);
+  }
+}
+
+void Solver::recomputeTopoPriorities() {
+  // Reverse postorder of the rep-resolved copy edge graph
+  // approximates a topological order (cycles get arbitrary but stable
+  // relative positions). Nodes created after this sort queue behind
+  // everything sorted here.
+  unsigned NN = static_cast<unsigned>(Nodes.size());
+  std::vector<uint8_t> State(NN, 0); // 0 = unseen, 1 = open, 2 = done.
+  std::vector<unsigned> Postorder;
+  Postorder.reserve(NN);
+  std::vector<std::pair<unsigned, size_t>> Stack;
+
+  for (unsigned Root = 0; Root != NN; ++Root) {
+    if (find(Root) != Root || State[Root])
+      continue;
+    Stack.push_back({Root, 0});
+    State[Root] = 1;
+    while (!Stack.empty()) {
+      auto &[V, SuccIdx] = Stack.back();
+      if (SuccIdx < Nodes[V].Succs.size()) {
+        unsigned W = find(Nodes[V].Succs[SuccIdx++].first);
+        if (!State[W]) {
+          State[W] = 1;
+          Stack.push_back({W, 0});
+        }
+      } else {
+        State[V] = 2;
+        Postorder.push_back(V);
+        Stack.pop_back();
+      }
+    }
+  }
+
+  uint64_t Prio = 0;
+  for (auto It = Postorder.rbegin(), E = Postorder.rend(); It != E; ++It)
+    PrioWL.setPriority(*It, Prio++);
+  TopoPrioBase = Prio;
+  TopoResortAt = NumCopyEdges + NumCopyEdges / 4 + 16;
+}
+
+//===----------------------------------------------------------------------===//
+// Constraint-graph construction
+//===----------------------------------------------------------------------===//
 
 void Solver::processMethodCtx(unsigned MCId) {
   if (MCId >= ProcessedMC.size())
@@ -511,23 +876,20 @@ void Solver::applyCall(const CallInstr *Call, unsigned CallerCtx,
 }
 
 void Solver::applyConstraint(unsigned ConsIdx, const BitSet &Pts) {
-  // Collect the unprocessed objects first: applying a constraint can
-  // attach new constraints/nodes and must not iterate a set that is
-  // being mutated elsewhere.
-  std::vector<unsigned> Fresh;
-  {
-    Constraint &C = Constraints[ConsIdx];
-    Pts.forEach([&](unsigned Obj) {
-      if (!C.Done.test(Obj)) {
-        C.Done.insert(Obj);
-        Fresh.push_back(Obj);
-      }
-    });
-  }
-  if (Fresh.empty())
-    return;
+  // With difference propagation Pts is the delta since the node's
+  // last visit; otherwise the node's full set. Either way the
+  // handlers below are idempotent (edge/object insertion all dedups),
+  // so over-delivery — e.g. the full re-delivery after a cycle
+  // collapse — is safe, and no per-constraint Done set is needed.
+  //
+  // Collect the objects first: applying a constraint can attach new
+  // constraints/nodes and must not iterate a set that is being
+  // mutated elsewhere.
+  ++Stats.ConstraintEvals;
+  std::vector<unsigned> Objs;
+  Pts.forEach([&](unsigned Obj) { Objs.push_back(Obj); });
 
-  for (unsigned Obj : Fresh) {
+  for (unsigned Obj : Objs) {
     // Re-fetch: recursion through applyCall may grow the vector.
     Constraint &C = Constraints[ConsIdx];
     const AbstractObject &O = Objects[Obj];

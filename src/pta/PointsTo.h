@@ -28,7 +28,9 @@
 #include "ir/Instr.h"
 #include "ir/Program.h"
 #include "support/BitSet.h"
+#include "support/Worklist.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -56,6 +58,54 @@ struct PTAOptions {
   /// Maximum depth of nested allocation contexts (bounds recursion
   /// through containers-of-containers).
   unsigned MaxObjSensDepth = 3;
+
+  //===--------------------------------------------------------------===//
+  // Solver configuration. The defaults are the optimized solver; turn
+  // everything off (and use WorklistPolicy::FIFO) for the naive
+  // full-set propagation solver, kept as a differential-testing
+  // oracle. All settings produce identical analysis results — only
+  // the amount of work to reach the fixed point differs.
+  //===--------------------------------------------------------------===//
+
+  /// Difference propagation: each constraint-graph node tracks the
+  /// objects added since its last visit, and only that delta flows
+  /// along copy edges and into deferred load/store/call constraints.
+  bool DeltaPropagation = true;
+
+  /// Online (lazy) cycle elimination à la Hardekopf–Lin: when a
+  /// propagation along an unfiltered copy edge changes nothing, run a
+  /// cycle check once for that edge and collapse any copy-edge SCC
+  /// found onto a single representative node.
+  bool CycleElimination = true;
+
+  /// Visit order of the solver worklist. Topological order is the
+  /// default: it moves each delta bit down long copy chains in one
+  /// sweep, where FIFO and LRF degenerate to one-hop-per-pop
+  /// round-robin on ring- and chain-shaped flow (see
+  /// bench_pta_solver for the measured gap).
+  WorklistPolicy Policy = WorklistPolicy::Topo;
+};
+
+/// Work counters of one solver run, surfaced through PointsToResult,
+/// printed by `thinslice --pta-stats`, and exported as benchmark
+/// counters by bench_pta_solver.
+struct SolverStats {
+  unsigned NumNodes = 0;      ///< Constraint-graph nodes created.
+  unsigned NumRepNodes = 0;   ///< Nodes still representatives at the end.
+  unsigned NumCopyEdges = 0;  ///< Copy edges added (including filtered).
+  unsigned NumConstraints = 0; ///< Deferred load/store/array/call constraints.
+  unsigned NumObjects = 0;    ///< Abstract objects created.
+  uint64_t WorklistPops = 0;  ///< Nodes popped from the worklist.
+  uint64_t Propagations = 0;  ///< Edge propagations that changed the target.
+  uint64_t NoChangePropagations = 0; ///< Edge propagations that did not.
+  uint64_t DeltaBitsMoved = 0; ///< Total set bits pushed along edges.
+  uint64_t ConstraintEvals = 0; ///< applyConstraint re-evaluations.
+  unsigned CyclesCollapsed = 0; ///< SCC collapse events.
+  unsigned NodesMerged = 0;   ///< Nodes folded into a representative.
+  double SolveSeconds = 0;    ///< Wall time of the fixed-point loop.
+  double FinalizeSeconds = 0; ///< Wall time of result finalization.
+
+  std::string str() const;
 };
 
 /// An abstract heap object: an allocation site plus its allocation
@@ -75,6 +125,14 @@ public:
   virtual ~PointsToResult() = default;
 
   virtual const std::vector<AbstractObject> &objects() const = 0;
+
+  /// The abstract object that defines cloning context \p Ctx, or ~0u
+  /// for the context-insensitive context 0. Context and object ids
+  /// are assigned in solver-visit order, so clients comparing two
+  /// analysis runs (e.g. the differential solver tests) must
+  /// canonicalize contexts through this chain rather than compare
+  /// raw ids.
+  virtual unsigned contextObject(unsigned Ctx) const = 0;
 
   /// Points-to set of \p L merged over all contexts of its method.
   virtual const BitSet &pointsTo(const Local *L) const = 0;
@@ -111,9 +169,14 @@ public:
   /// object flowing into the operand already has the target type.
   virtual bool castCannotFail(const CastInstr *Cast) const = 0;
 
-  /// Number of constraint-graph nodes (scalar pointer variables plus
-  /// heap partitions); a size statistic for benchmarks.
+  /// Number of constraint-graph nodes created (scalar pointer
+  /// variables plus heap partitions); a size statistic for
+  /// benchmarks. Cycle elimination may collapse some of these onto
+  /// representatives — see stats().NumRepNodes.
   virtual unsigned numConstraintNodes() const = 0;
+
+  /// Work counters of the solver run that produced this result.
+  virtual const SolverStats &stats() const = 0;
 };
 
 /// Runs the analysis from \p P's main method. \p P must be in SSA form.

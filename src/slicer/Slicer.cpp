@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_set>
 
 using namespace tsl;
 
@@ -33,11 +34,13 @@ bool SliceResult::containsLine(const Method *M, unsigned Line) const {
 }
 
 std::vector<const Instr *> SliceResult::statements() const {
+  // Clones of one statement appear as separate nodes; dedup with a
+  // seen-set rather than a linear scan per node.
   std::vector<const Instr *> Out;
+  std::unordered_set<const Instr *> Seen;
   Nodes.forEach([&](unsigned Node) {
     const SDGNode &N = G->node(Node);
-    if (N.isSourceStmt() &&
-        std::find(Out.begin(), Out.end(), N.I) == Out.end())
+    if (N.isSourceStmt() && Seen.insert(N.I).second)
       Out.push_back(N.I);
   });
   return Out;

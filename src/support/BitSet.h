@@ -73,6 +73,29 @@ public:
     return Changed;
   }
 
+  /// Word-level union that also records which bits were newly set:
+  /// every id added to this set is inserted into \p NewBits as well.
+  /// Returns true if this set changed. This is the difference-
+  /// propagation workhorse: the points-to solver accumulates the
+  /// newly arrived objects of a node into its delta set without a
+  /// per-bit loop.
+  bool unionWithReturningChanged(const BitSet &RHS, BitSet &NewBits) {
+    if (RHS.Words.size() > Words.size())
+      Words.resize(RHS.Words.size(), 0);
+    if (RHS.Words.size() > NewBits.Words.size())
+      NewBits.Words.resize(RHS.Words.size(), 0);
+    bool Changed = false;
+    for (std::size_t I = 0, E = RHS.Words.size(); I != E; ++I) {
+      uint64_t Fresh = RHS.Words[I] & ~Words[I];
+      if (!Fresh)
+        continue;
+      Words[I] |= Fresh;
+      NewBits.Words[I] |= Fresh;
+      Changed = true;
+    }
+    return Changed;
+  }
+
   /// Removes every element of \p RHS.
   void subtract(const BitSet &RHS) {
     std::size_t N = std::min(Words.size(), RHS.Words.size());

@@ -16,9 +16,25 @@
 
 #include "support/BitSet.h"
 
+#include <cstdint>
 #include <deque>
+#include <queue>
+#include <utility>
+#include <vector>
 
 namespace tsl {
+
+/// Visit-order policy of a fixed-point solver's worklist.
+enum class WorklistPolicy {
+  FIFO, ///< Plain breadth-first queue (the naive baseline).
+  LRF,  ///< Least recently fired: nodes that have not propagated for
+        ///< the longest come first, which batches the changes a hot
+        ///< node accumulates between visits.
+  Topo, ///< Periodically recomputed topological order of the copy
+        ///< edge graph: upstream nodes drain before downstream ones,
+        ///< so each edge tends to carry one big delta instead of many
+        ///< small ones.
+};
 
 /// FIFO queue of unsigned ids; enqueueing an id already in the queue is
 /// a no-op. Ids may be re-enqueued after being popped.
@@ -46,6 +62,70 @@ public:
 private:
   std::deque<unsigned> Queue;
   BitSet Pending;
+};
+
+/// Deduplicating min-priority worklist over densely numbered ids.
+/// Each id carries a mutable priority (default 0); pop returns the
+/// pending id with the smallest priority. Priorities can be updated
+/// at any time — including while an id is pending — via lazily
+/// invalidated heap entries: an entry whose recorded priority no
+/// longer matches the id's current priority is discarded on pop,
+/// because setPriority pushed a fresh entry when it changed.
+class PriorityWorklist {
+public:
+  /// Enqueues \p Id at its current priority unless it is already
+  /// pending; returns true if added.
+  bool push(unsigned Id) {
+    if (!Pending.insert(Id))
+      return false;
+    ++NumPending;
+    Heap.push({priority(Id), Id});
+    return true;
+  }
+
+  /// Pops the pending id with the smallest priority (FIFO on ties by
+  /// virtue of heap insertion order being irrelevant to correctness).
+  unsigned pop() {
+    assert(NumPending && "pop from empty worklist");
+    while (true) {
+      assert(!Heap.empty() && "pending id lost from heap");
+      auto [P, Id] = Heap.top();
+      Heap.pop();
+      if (!Pending.test(Id))
+        continue; // Already popped; duplicate entry.
+      if (P != priority(Id))
+        continue; // Stale: setPriority reinserted a fresh entry.
+      Pending.erase(Id);
+      --NumPending;
+      return Id;
+    }
+  }
+
+  /// Sets \p Id's priority for this and future enqueues. When \p Id
+  /// is pending, its position is updated immediately.
+  void setPriority(unsigned Id, uint64_t P) {
+    if (Id >= Prio.size())
+      Prio.resize(Id + 1, 0);
+    if (Prio[Id] == P)
+      return;
+    Prio[Id] = P;
+    if (Pending.test(Id))
+      Heap.push({P, Id});
+  }
+
+  uint64_t priority(unsigned Id) const {
+    return Id < Prio.size() ? Prio[Id] : 0;
+  }
+
+  bool empty() const { return NumPending == 0; }
+  size_t size() const { return NumPending; }
+
+private:
+  using Entry = std::pair<uint64_t, unsigned>; ///< (priority, id).
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> Heap;
+  std::vector<uint64_t> Prio;
+  BitSet Pending;
+  size_t NumPending = 0;
 };
 
 } // namespace tsl

@@ -1,9 +1,13 @@
 //===-- pta_test.cpp - Points-to analysis unit tests ----------------------------==//
 
+#include "eval/Workload.h"
 #include "lang/Lower.h"
 #include "pta/PointsTo.h"
 
 #include <gtest/gtest.h>
+
+#include <map>
+#include <set>
 
 using namespace tsl;
 
@@ -317,6 +321,162 @@ TEST(PointsTo, PerContextQueries) {
 TEST(PointsTo, ConstraintNodeCountIsPositive) {
   Fixture F(TwoVectors);
   EXPECT_GT(F.PTA->numConstraintNodes(), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential solver testing: every optimization combination must
+// produce results identical to the naive full-set FIFO solver.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Stable per-program instruction names (object/context ids are
+/// assigned in solver-visit order, so raw ids cannot be compared
+/// across solver configurations).
+std::unordered_map<const Instr *, std::string> nameSites(const Program &P) {
+  std::unordered_map<const Instr *, std::string> Names;
+  for (const auto &M : P.methods()) {
+    unsigned Idx = 0;
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        Names[I.get()] = M->qualifiedName(P.strings()) + "#" +
+                         std::to_string(Idx++);
+  }
+  return Names;
+}
+
+/// Canonical name of an abstract object: its allocation site plus the
+/// recursively canonicalized allocation-context chain.
+std::string objKey(const PointsToResult &R,
+                   const std::unordered_map<const Instr *, std::string> &Names,
+                   unsigned Obj) {
+  const AbstractObject &O = R.objects()[Obj];
+  std::string Key = Names.at(O.Site);
+  if (O.AllocCtx != 0)
+    Key += "@[" + objKey(R, Names, R.contextObject(O.AllocCtx)) + "]";
+  return Key;
+}
+
+struct CanonicalResult {
+  /// Merged points-to set per local, as canonical object names.
+  std::map<const Local *, std::set<std::string>> Pts;
+  /// Call graph edges as canonical (caller, site, callee) strings.
+  std::set<std::string> CGEdges;
+  /// castCannotFail verdict per cast instruction.
+  std::map<const Instr *, bool> Casts;
+};
+
+CanonicalResult canonicalize(const Program &P, const PointsToResult &R) {
+  CanonicalResult Out;
+  auto Names = nameSites(P);
+
+  for (const auto &M : P.methods())
+    for (const auto &L : M->locals()) {
+      const BitSet &S = R.pointsTo(L.get());
+      if (S.empty())
+        continue;
+      std::set<std::string> &Keys = Out.Pts[L.get()];
+      S.forEach([&](unsigned Obj) { Keys.insert(objKey(R, Names, Obj)); });
+    }
+
+  const CallGraph &CG = R.callGraph();
+  auto nodeKey = [&](unsigned NodeId) {
+    const MethodCtx &MC = CG.node(NodeId);
+    std::string Key = MC.M->qualifiedName(P.strings());
+    if (MC.Ctx != 0)
+      Key += "@[" + objKey(R, Names, R.contextObject(MC.Ctx)) + "]";
+    return Key;
+  };
+  for (const CallEdge &E : CG.edges())
+    Out.CGEdges.insert(nodeKey(E.CallerNode) + " --" + Names.at(E.Site) +
+                       "--> " + nodeKey(E.CalleeNode));
+
+  for (const auto &M : P.methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (const auto *C = dyn_cast<CastInstr>(I.get()))
+          Out.Casts[C] = R.castCannotFail(C);
+
+  return Out;
+}
+
+struct SolverConfig {
+  bool Delta;
+  bool CycleElim;
+  WorklistPolicy Policy;
+  std::string name() const {
+    std::string N = Delta ? "delta" : "full";
+    N += CycleElim ? "+lcd" : "";
+    N += Policy == WorklistPolicy::FIFO ? "+fifo"
+         : Policy == WorklistPolicy::LRF ? "+lrf"
+                                         : "+topo";
+    return N;
+  }
+};
+
+std::vector<SolverConfig> allSolverConfigs() {
+  std::vector<SolverConfig> Out;
+  for (bool Delta : {false, true})
+    for (bool CE : {false, true})
+      for (WorklistPolicy Pol :
+           {WorklistPolicy::FIFO, WorklistPolicy::LRF, WorklistPolicy::Topo})
+        Out.push_back({Delta, CE, Pol});
+  return Out;
+}
+
+void expectAllConfigsAgree(const std::string &CaseId,
+                           const std::string &Source) {
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(Source, Diag);
+  ASSERT_NE(P, nullptr) << CaseId << ": " << Diag.str();
+
+  PTAOptions NaiveOpts;
+  NaiveOpts.DeltaPropagation = false;
+  NaiveOpts.CycleElimination = false;
+  NaiveOpts.Policy = WorklistPolicy::FIFO;
+  std::unique_ptr<PointsToResult> Naive = runPointsTo(*P, NaiveOpts);
+  CanonicalResult Base = canonicalize(*P, *Naive);
+
+  for (const SolverConfig &C : allSolverConfigs()) {
+    PTAOptions Opts;
+    Opts.DeltaPropagation = C.Delta;
+    Opts.CycleElimination = C.CycleElim;
+    Opts.Policy = C.Policy;
+    std::unique_ptr<PointsToResult> R = runPointsTo(*P, Opts);
+    CanonicalResult Got = canonicalize(*P, *R);
+
+    EXPECT_EQ(Base.Pts, Got.Pts)
+        << CaseId << " [" << C.name() << "]: merged points-to sets differ";
+    EXPECT_EQ(Base.CGEdges, Got.CGEdges)
+        << CaseId << " [" << C.name() << "]: call graph edges differ";
+    EXPECT_EQ(Base.Casts, Got.Casts)
+        << CaseId << " [" << C.name() << "]: cast verdicts differ";
+  }
+}
+
+} // namespace
+
+TEST(PointsToDifferential, DebuggingWorkloads) {
+  for (const BugCase &Case : debuggingCases())
+    expectAllConfigsAgree(Case.Id, Case.Prog.Source);
+}
+
+TEST(PointsToDifferential, ToughCastWorkloads) {
+  for (const CastCase &Case : toughCastCases())
+    expectAllConfigsAgree(Case.Id, Case.Prog.Source);
+}
+
+TEST(PointsToDifferential, StatsAreCoherent) {
+  Fixture F(TwoVectors);
+  const SolverStats &S = F.PTA->stats();
+  EXPECT_GT(S.NumNodes, 0u);
+  EXPECT_LE(S.NumRepNodes, S.NumNodes);
+  EXPECT_GT(S.NumObjects, 0u);
+  EXPECT_GT(S.WorklistPops, 0u);
+  EXPECT_EQ(S.NumNodes, F.PTA->numConstraintNodes());
+  // Merging is what shrinks the representative count.
+  EXPECT_EQ(S.NumNodes - S.NumRepNodes, S.NodesMerged);
+  EXPECT_FALSE(S.str().empty());
 }
 
 TEST(PointsTo, CommonObjectsForAliasExplanation) {

@@ -82,6 +82,40 @@ TEST(BitSet, ForEachAscending) {
   EXPECT_EQ(Seen, (std::vector<unsigned>{0, 3, 64, 70}));
 }
 
+TEST(BitSet, CountPopcountsAcrossWords) {
+  BitSet S;
+  EXPECT_EQ(S.count(), 0u);
+  for (unsigned Id : {0u, 1u, 63u, 64u, 127u, 128u, 700u})
+    S.insert(Id);
+  EXPECT_EQ(S.count(), 7u);
+  S.erase(64);
+  EXPECT_EQ(S.count(), 6u);
+}
+
+TEST(BitSet, UnionWithReturningChanged) {
+  BitSet A, B, Delta;
+  A.insert(1);
+  A.insert(100);
+  B.insert(100);
+  B.insert(200);
+  B.insert(65);
+
+  // Only the genuinely new bits land in Delta.
+  EXPECT_TRUE(A.unionWithReturningChanged(B, Delta));
+  EXPECT_EQ(A.toVector(), (std::vector<unsigned>{1, 65, 100, 200}));
+  EXPECT_EQ(Delta.toVector(), (std::vector<unsigned>{65, 200}));
+
+  // Idempotent: a second union adds nothing and leaves Delta alone.
+  EXPECT_FALSE(A.unionWithReturningChanged(B, Delta));
+  EXPECT_EQ(Delta.toVector(), (std::vector<unsigned>{65, 200}));
+
+  // New bits accumulate into an already-populated Delta.
+  BitSet C;
+  C.insert(3);
+  EXPECT_TRUE(A.unionWithReturningChanged(C, Delta));
+  EXPECT_EQ(Delta.toVector(), (std::vector<unsigned>{3, 65, 200}));
+}
+
 TEST(BitSet, EmptyAndClear) {
   BitSet S;
   EXPECT_TRUE(S.empty());
@@ -106,6 +140,61 @@ TEST(Worklist, FifoWithDedup) {
   EXPECT_TRUE(WL.push(1)); // Re-push after pop is allowed.
   EXPECT_EQ(WL.pop(), 2u);
   EXPECT_EQ(WL.pop(), 1u);
+  EXPECT_TRUE(WL.empty());
+}
+
+TEST(PriorityWorklist, PopsSmallestPriorityFirst) {
+  PriorityWorklist WL;
+  WL.setPriority(1, 30);
+  WL.setPriority(2, 10);
+  WL.setPriority(3, 20);
+  EXPECT_TRUE(WL.push(1));
+  EXPECT_TRUE(WL.push(2));
+  EXPECT_TRUE(WL.push(3));
+  EXPECT_FALSE(WL.push(2)); // Already pending.
+  EXPECT_EQ(WL.size(), 3u);
+  EXPECT_EQ(WL.pop(), 2u);
+  EXPECT_EQ(WL.pop(), 3u);
+  EXPECT_EQ(WL.pop(), 1u);
+  EXPECT_TRUE(WL.empty());
+}
+
+TEST(PriorityWorklist, DefaultPriorityIsZero) {
+  PriorityWorklist WL;
+  WL.setPriority(7, 100);
+  WL.push(7);
+  WL.push(9); // Never prioritized: comes out first.
+  EXPECT_EQ(WL.pop(), 9u);
+  EXPECT_EQ(WL.pop(), 7u);
+}
+
+TEST(PriorityWorklist, ReprioritizingPendingIdReorders) {
+  PriorityWorklist WL;
+  WL.setPriority(1, 10);
+  WL.setPriority(2, 20);
+  WL.push(1);
+  WL.push(2);
+  WL.setPriority(1, 30); // Demote while pending.
+  EXPECT_EQ(WL.pop(), 2u);
+  EXPECT_EQ(WL.pop(), 1u);
+  EXPECT_TRUE(WL.empty());
+
+  // Promote while pending; the stale higher-priority entry must not
+  // produce a duplicate pop.
+  WL.push(1);
+  WL.push(2);
+  WL.setPriority(2, 5);
+  EXPECT_EQ(WL.pop(), 2u);
+  EXPECT_EQ(WL.pop(), 1u);
+  EXPECT_TRUE(WL.empty());
+}
+
+TEST(PriorityWorklist, RePushAfterPopAllowed) {
+  PriorityWorklist WL;
+  WL.push(4);
+  EXPECT_EQ(WL.pop(), 4u);
+  EXPECT_TRUE(WL.push(4));
+  EXPECT_EQ(WL.pop(), 4u);
   EXPECT_TRUE(WL.empty());
 }
 

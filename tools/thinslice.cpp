@@ -53,6 +53,11 @@ struct CliOptions {
   bool Run = false;
   bool DumpIR = false;
   bool Stats = false;
+  bool PtaStats = false;
+  bool PtaNaive = false;
+  bool PtaNoDelta = false;
+  bool PtaNoCycleElim = false;
+  WorklistPolicy PtaPolicy = PTAOptions().Policy;
   bool Why = false;
   bool NoRuntime = false;
   std::string DotFile;
@@ -67,7 +72,9 @@ void usage() {
           "                 [--expand] [--context-sensitive] [--no-objsens]\n"
           "                 [--run] [--in STR]... [--int N]...\n"
           "                 [--dot FILE] [--dump-ir] [--stats] [--why]\n"
-          "                 [--no-runtime]\n");
+          "                 [--no-runtime] [--pta-stats] [--pta-naive]\n"
+          "                 [--pta-no-delta] [--pta-no-cycle-elim]\n"
+          "                 [--pta-worklist fifo|lrf|topo]\n");
 }
 
 bool parseArgs(int argc, char **argv, CliOptions &Opts) {
@@ -130,6 +137,26 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.DumpIR = true;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
+    } else if (Arg == "--pta-stats") {
+      Opts.PtaStats = true;
+    } else if (Arg == "--pta-naive") {
+      Opts.PtaNaive = true;
+    } else if (Arg == "--pta-no-delta") {
+      Opts.PtaNoDelta = true;
+    } else if (Arg == "--pta-no-cycle-elim") {
+      Opts.PtaNoCycleElim = true;
+    } else if (Arg == "--pta-worklist") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (strcmp(V, "fifo") == 0)
+        Opts.PtaPolicy = WorklistPolicy::FIFO;
+      else if (strcmp(V, "lrf") == 0)
+        Opts.PtaPolicy = WorklistPolicy::LRF;
+      else if (strcmp(V, "topo") == 0)
+        Opts.PtaPolicy = WorklistPolicy::Topo;
+      else
+        return false;
     } else if (Arg == "--why") {
       Opts.Why = true;
     } else if (Arg == "--no-runtime") {
@@ -209,12 +236,21 @@ int main(int argc, char **argv) {
       fprintf(stderr, "%s\n", R.Error.c_str());
   }
 
-  if (!Opts.Line && Opts.DotFile.empty() && !Opts.Stats)
+  if (!Opts.Line && Opts.DotFile.empty() && !Opts.Stats && !Opts.PtaStats)
     return 0;
 
   PTAOptions PtaOpts;
   PtaOpts.ObjSensContainers = !Opts.NoObjSens;
+  PtaOpts.DeltaPropagation = !Opts.PtaNoDelta && !Opts.PtaNaive;
+  PtaOpts.CycleElimination = !Opts.PtaNoCycleElim && !Opts.PtaNaive;
+  if (Opts.PtaNaive)
+    PtaOpts.Policy = WorklistPolicy::FIFO;
+  else
+    PtaOpts.Policy = Opts.PtaPolicy;
   std::unique_ptr<PointsToResult> PTA = runPointsTo(*P, PtaOpts);
+
+  if (Opts.PtaStats)
+    printf("%s", PTA->stats().str().c_str());
 
   std::unique_ptr<ModRefResult> MR;
   SDGOptions SdgOpts;
