@@ -99,7 +99,10 @@ enum class Signal { None, Exception, RuntimeError, LimitHit };
 class Interp {
 public:
   Interp(const Program &P, const InterpOptions &Opts)
-      : P(P), Opts(Opts), CH(P) {}
+      : P(P), Opts(Opts), CH(P),
+        StepGate(Opts.Budget, "interp.step",
+                 Opts.Budget ? Opts.Budget->MaxInterpSteps : 0),
+        OutGate(Opts.Budget, "interp.output", Opts.MaxOutputBytes) {}
 
   InterpResult run();
 
@@ -147,6 +150,11 @@ private:
   std::unordered_map<const Field *, Slot> Statics;
   size_t NextLine = 0, NextInt = 0;
   uint64_t Steps = 0;
+  uint64_t OutputBytes = 0;
+  /// Budget/fault gates: step count (plus wall-clock deadline) and
+  /// cumulative print-output bytes.
+  BudgetGate StepGate;
+  BudgetGate OutGate;
 };
 
 } // namespace
@@ -181,6 +189,7 @@ InterpResult Interp::run() {
   Signal S = execMethod(Main, {}, Ret, 0);
   R.Completed = S == Signal::None;
   R.ThrewException = S == Signal::Exception;
+  R.HitLimit = S == Signal::LimitHit;
   R.Steps = Steps;
   return std::move(R);
 }
@@ -235,6 +244,10 @@ Signal Interp::execMethod(const Method *M, const std::vector<Value> &Args,
         continue; // Handled above.
       if (++Steps > Opts.MaxSteps) {
         R.Error = "step limit exceeded";
+        return Signal::LimitHit;
+      }
+      if (StepGate.poll(Steps)) {
+        R.Error = "interpreter budget exhausted (" + StepGate.reason() + ")";
         return Signal::LimitHit;
       }
 
@@ -609,7 +622,13 @@ Signal Interp::execMethod(const Method *M, const std::vector<Value> &Args,
       case InstrKind::Print: {
         Value V = Get(cast<PrintInstr>(I)->src());
         note(I, {V.Inst});
-        R.Output.push_back(render(V));
+        std::string Line = render(V);
+        OutputBytes += Line.size() + 1;
+        if (OutGate.poll(OutputBytes)) {
+          R.Error = "output limit exceeded (" + OutGate.reason() + ")";
+          return Signal::LimitHit;
+        }
+        R.Output.push_back(std::move(Line));
         break;
       }
       case InstrKind::Goto:

@@ -27,6 +27,7 @@
 
 #include "ir/Instr.h"
 #include "ir/Program.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <string>
@@ -40,9 +41,15 @@ struct InterpOptions {
   std::vector<int64_t> InputInts;      ///< Consumed by readInt().
   uint64_t MaxSteps = 10'000'000;
   unsigned MaxCallDepth = 2'000;
+  /// Total bytes of print output before the run is stopped (a
+  /// runaway-loop guard; 0 disables the cap).
+  uint64_t MaxOutputBytes = 16u * 1024 * 1024;
   /// Record the dynamic dependence trace (costs memory per step).
   bool TraceDeps = false;
   uint64_t MaxTraceInstances = 4'000'000;
+  /// Optional shared analysis budget: adds MaxInterpSteps and the
+  /// wall-clock deadline on top of the limits above.
+  const AnalysisBudget *Budget = nullptr;
 };
 
 /// The dynamic dependence trace of a run.
@@ -89,6 +96,9 @@ struct InterpResult {
   std::string Error;
   /// The instruction where the exception/error occurred, if any.
   const Instr *FailurePoint = nullptr;
+  /// A resource limit (steps, call depth, output bytes, or budget)
+  /// stopped the run — distinguishes limits from program failures.
+  bool HitLimit = false;
   uint64_t Steps = 0;
   /// Present when InterpOptions::TraceDeps was set.
   DynTrace Trace;

@@ -121,15 +121,20 @@ void ModRefResult::collectDirect(const Method *M, const PointsToResult &PTA,
   }
 }
 
-ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn)
+ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn,
+                           const AnalysisBudget *Budget)
     : PTA(PTAIn) {
   (void)P;
+  auto T0 = std::chrono::steady_clock::now();
   const CallGraph &CG = PTA.callGraph();
   std::vector<Method *> Reachable = CG.reachableMethods();
 
   // Direct effects.
   for (Method *M : Reachable)
     collectDirect(M, PTA, Mod[M], Ref[M]);
+
+  BudgetGate Gate(Budget, "modref.closure",
+                  Budget ? Budget->MaxModRefSteps : 0);
 
   // Transitive closure over the (method-level) call graph: propagate
   // callee effects to callers with a worklist instead of rescanning
@@ -149,6 +154,8 @@ ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn)
   for (unsigned I = 0; I != Reachable.size(); ++I)
     WL.push(I);
   while (!WL.empty()) {
+    if (Gate.spend())
+      break; // Budget exhausted; degrade below.
     unsigned I = WL.pop();
     Method *Callee = Reachable[I];
     for (Method *Caller : CallersOf[I]) {
@@ -158,6 +165,26 @@ ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn)
         WL.push(Idx.at(Caller));
     }
   }
+
+  if (Gate.exhausted()) {
+    // Sound fallback: every reachable method may read and write every
+    // partition interned by the direct-effect scan (the closure never
+    // creates new partitions, it only unions existing ones).
+    BitSet AllParts;
+    for (unsigned Id = 0, E = numPartitions(); Id != E; ++Id)
+      AllParts.insert(Id);
+    for (Method *M : Reachable) {
+      Mod[M] = AllParts;
+      Ref[M] = AllParts;
+    }
+    Report.Status = StageStatus::Degraded;
+    Report.Reason = Gate.reason();
+    Report.Fallback = "all-partitions mod/ref";
+  }
+  Report.StepsUsed = Gate.used();
+  Report.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
 }
 
 const BitSet &ModRefResult::modOf(const Method *M) const {

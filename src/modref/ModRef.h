@@ -23,6 +23,7 @@
 #include "ir/Program.h"
 #include "pta/PointsTo.h"
 #include "support/BitSet.h"
+#include "support/Budget.h"
 
 #include <string>
 #include <unordered_map>
@@ -41,7 +42,11 @@ struct HeapPartition {
 /// Mod/ref facts for every reachable method.
 class ModRefResult {
 public:
-  ModRefResult(const Program &P, const PointsToResult &PTA);
+  /// Runs the analysis. When \p Budget is exhausted mid-closure, the
+  /// result degrades soundly: every reachable method's mod and ref
+  /// sets become the set of all interned partitions.
+  ModRefResult(const Program &P, const PointsToResult &PTA,
+               const AnalysisBudget *Budget = nullptr);
 
   unsigned numPartitions() const {
     return static_cast<unsigned>(Partitions.size());
@@ -60,6 +65,10 @@ public:
   /// Human-readable partition label for debugging and tests.
   std::string partitionName(unsigned Id, const Program &P) const;
 
+  /// Budget status of the closure: Complete, or Degraded with the
+  /// all-partitions fallback.
+  const StageReport &report() const { return Report; }
+
 private:
   unsigned getPartition(HeapPartition::Kind K, unsigned Obj, const Field *F);
   void collectDirect(const Method *M, const PointsToResult &PTA,
@@ -69,6 +78,7 @@ private:
   std::unordered_map<uint64_t, unsigned> PartIndex;
   std::unordered_map<const Method *, BitSet> Mod, Ref;
   const PointsToResult &PTA;
+  StageReport Report{"modref", StageStatus::Complete, "", "", 0, 0};
   BitSet EmptySet;
 };
 

@@ -28,6 +28,7 @@
 
 #include "pta/PointsTo.h"
 
+#include "cg/CHA.h"
 #include "support/Worklist.h"
 
 #include <cassert>
@@ -78,11 +79,15 @@ public:
   }
 
   const BitSet &pointsTo(const Local *L) const override {
+    if (Coarse)
+      return isPointer(L) ? AllObjects : EmptySet;
     auto It = Merged.find(L);
     return It == Merged.end() ? EmptySet : It->second;
   }
 
   const BitSet &pointsTo(const Local *L, unsigned Ctx) const override {
+    if (Coarse)
+      return isPointer(L) ? AllObjects : EmptySet;
     auto ByCtx = LocalNodes.find(L);
     if (ByCtx == LocalNodes.end())
       return EmptySet;
@@ -91,7 +96,9 @@ public:
                                      : Nodes[findConst(It->second)].Pts;
   }
 
-  const CallGraph &callGraph() const override { return CG; }
+  const CallGraph &callGraph() const override {
+    return Coarse ? *CoarseCG : CG;
+  }
   const ClassHierarchy &hierarchy() const override { return CH; }
 
   bool castCannotFail(const CastInstr *Cast) const override {
@@ -109,6 +116,8 @@ public:
   }
 
   const SolverStats &stats() const override { return Stats; }
+
+  const StageReport &report() const override { return Report; }
 
 private:
   struct NodeData {
@@ -361,7 +370,8 @@ private:
   // Method processing
   //===------------------------------------------------------------------===//
 
-  void solveLoop();
+  void solveLoop(BudgetGate &Gate);
+  void degradeToCoarse(const BudgetGate &Gate);
   void processMethodCtx(unsigned MCId);
   void processInstr(const Instr *I, Method *M, unsigned Ctx, unsigned MCId);
   void wireCall(unsigned CallerMC, const CallInstr *Call, unsigned CallerCtx,
@@ -411,7 +421,15 @@ private:
   std::unordered_map<const Method *, std::vector<Local *>> ParamCache;
   std::unordered_map<const Local *, BitSet> Merged;
   SolverStats Stats;
+  StageReport Report{"pta", StageStatus::Complete, "", "", 0, 0};
   BitSet EmptySet;
+
+  /// Coarse-fallback state (budget exhaustion): every reference local
+  /// points to every allocation site, and dispatch comes from the
+  /// budget-independent CHA call graph.
+  bool Coarse = false;
+  std::unique_ptr<CallGraph> CoarseCG;
+  BitSet AllObjects;
 };
 
 } // namespace
@@ -449,20 +467,26 @@ void Solver::run() {
   ProcessedMC.resize(1, false);
   processMethodCtx(Entry);
 
-  solveLoop();
+  BudgetGate Gate(Opts.Budget, "pta.solve",
+                  Opts.Budget ? Opts.Budget->MaxPtaPropagations : 0);
+  solveLoop(Gate);
 
   auto SolveEnd = std::chrono::steady_clock::now();
 
-  // Fully compress the union-find so post-solve queries are O(depth 1).
-  for (unsigned I = 0, E = static_cast<unsigned>(Rep.size()); I != E; ++I)
-    Rep[I] = find(I);
+  if (Gate.exhausted()) {
+    degradeToCoarse(Gate);
+  } else {
+    // Fully compress the union-find so post-solve queries are O(depth 1).
+    for (unsigned I = 0, E = static_cast<unsigned>(Rep.size()); I != E; ++I)
+      Rep[I] = find(I);
 
-  // Finalize context-merged per-local sets for client queries.
-  for (const auto &[L, ByCtx] : LocalNodes)
-    for (const auto &[Ctx, Node] : ByCtx) {
-      (void)Ctx;
-      Merged[L].unionWith(Nodes[find(Node)].Pts);
-    }
+    // Finalize context-merged per-local sets for client queries.
+    for (const auto &[L, ByCtx] : LocalNodes)
+      for (const auto &[Ctx, Node] : ByCtx) {
+        (void)Ctx;
+        Merged[L].unionWith(Nodes[find(Node)].Pts);
+      }
+  }
 
   auto FinalizeEnd = std::chrono::steady_clock::now();
 
@@ -477,9 +501,63 @@ void Solver::run() {
       std::chrono::duration<double>(SolveEnd - SolveStart).count();
   Stats.FinalizeSeconds =
       std::chrono::duration<double>(FinalizeEnd - SolveEnd).count();
+  Report.StepsUsed = Stats.Propagations;
+  Report.Seconds = Stats.SolveSeconds + Stats.FinalizeSeconds;
 }
 
-void Solver::solveLoop() {
+/// Budget fallback: discard the partial subset solution and switch to
+/// the coarsest sound answer — a CHA call graph (independent of
+/// points-to facts) and an all-heap points-to relation where every
+/// reference local may point to every allocation site in the program.
+/// Both over-approximate any subset-based fixed point, so clients
+/// (ModRef, SDG aliasing, dispatch) stay sound, just imprecise.
+void Solver::degradeToCoarse(const BudgetGate &Gate) {
+  Coarse = true;
+  CoarseCG = buildCHACallGraph(P, CH);
+
+  // Rebuild the object table from scratch: one context-insensitive
+  // abstract object per allocation site, covering every method (a
+  // superset of any reachable-code scan).
+  Objects.clear();
+  ObjIndex.clear();
+  ObjCtx.clear();
+  CtxObject.assign(1, ~0u);
+  TypeTable &TT = P.types();
+  for (const auto &M : P.methods())
+    for (const Instr *I : M->instrs())
+      switch (I->kind()) {
+      case InstrKind::New:
+        getObject(I, 0, TT.classType(cast<NewInstr>(I)->allocatedClass()));
+        break;
+      case InstrKind::NewArray:
+        getObject(I, 0, TT.arrayType(cast<NewArrayInstr>(I)->elementType()));
+        break;
+      case InstrKind::ConstString:
+        getObject(I, 0, TT.stringType());
+        break;
+      case InstrKind::Read:
+        if (cast<ReadInstr>(I)->readKind() == ReadKind::Line)
+          getObject(I, 0, TT.stringType());
+        break;
+      case InstrKind::StrOp:
+        if (cast<StrOpInstr>(I)->allocatesString())
+          getObject(I, 0, TT.stringType());
+        break;
+      default:
+        break;
+      }
+
+  AllObjects.clear();
+  for (unsigned Id = 0, E = static_cast<unsigned>(Objects.size()); Id != E;
+       ++Id)
+    AllObjects.insert(Id);
+
+  Report.Status = StageStatus::Degraded;
+  Report.Reason = Gate.reason();
+  Report.Fallback = "CHA call graph + all-heap points-to";
+}
+
+void Solver::solveLoop(BudgetGate &Gate) {
   // Hoisted scratch buffers: the loop body runs once per worklist pop
   // and must not allocate on the happy path.
   BitSet Moved;
@@ -487,6 +565,8 @@ void Solver::solveLoop() {
   std::vector<unsigned> Cons;
 
   while (!worklistEmpty()) {
+    if (Gate.poll(Stats.Propagations))
+      return; // Budget exhausted; run() degrades to the coarse result.
     if (Opts.Policy == WorklistPolicy::Topo && NumCopyEdges >= TopoResortAt)
       recomputeTopoPriorities();
 

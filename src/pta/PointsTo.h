@@ -28,6 +28,7 @@
 #include "ir/Instr.h"
 #include "ir/Program.h"
 #include "support/BitSet.h"
+#include "support/Budget.h"
 #include "support/Worklist.h"
 
 #include <cstdint>
@@ -84,6 +85,13 @@ struct PTAOptions {
   /// round-robin on ring- and chain-shaped flow (see
   /// bench_pta_solver for the measured gap).
   WorklistPolicy Policy = WorklistPolicy::Topo;
+
+  /// Optional resource budget. When the solver exhausts it (deadline
+  /// or MaxPtaPropagations), the analysis degrades to a sound coarse
+  /// result: the CHA call graph plus an all-heap points-to
+  /// over-approximation (every reference points to every allocation
+  /// site). Null (the default) imposes no limits.
+  const AnalysisBudget *Budget = nullptr;
 };
 
 /// Work counters of one solver run, surfaced through PointsToResult,
@@ -177,6 +185,10 @@ public:
 
   /// Work counters of the solver run that produced this result.
   virtual const SolverStats &stats() const = 0;
+
+  /// Budget status of the run: Complete, or Degraded with the coarse
+  /// CHA/all-heap fallback (see PTAOptions::Budget).
+  virtual const StageReport &report() const = 0;
 };
 
 /// Runs the analysis from \p P's main method. \p P must be in SSA form.

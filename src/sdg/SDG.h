@@ -32,6 +32,7 @@
 
 #include "ir/Instr.h"
 #include "ir/Program.h"
+#include "support/Budget.h"
 
 #include <map>
 #include <memory>
@@ -55,6 +56,11 @@ enum class SDGNodeKind {
   HeapFormalOut,
   HeapActualIn,
   HeapActualOut,
+  /// Coarse heap fallback node (budget degradation): one hub per
+  /// field / static field / array-element class, with Flow edges
+  /// store -> hub -> load. The hub path over-approximates every
+  /// precise pairwise write-read edge in O(stores + loads) edges.
+  HeapHub,
 };
 
 enum class SDGEdgeKind {
@@ -191,6 +197,11 @@ public:
 
   unsigned numEdgesOfKind(SDGEdgeKind K) const;
 
+  /// Budget status of construction: Complete, or Degraded with the
+  /// merged-clone / coarse-heap fallback.
+  const StageReport &report() const { return Report; }
+  void setReport(StageReport R) { Report = std::move(R); }
+
 private:
   const Program &P;
   std::vector<SDGNode> Nodes;
@@ -206,6 +217,7 @@ private:
   std::set<std::tuple<unsigned, unsigned, SDGEdgeKind, const CallInstr *>>
       EdgeDedup;
   unsigned NumStmts = 0;
+  StageReport Report{"sdg", StageStatus::Complete, "", "", 0, 0};
 };
 
 /// SDG construction options.
@@ -217,6 +229,12 @@ struct SDGOptions {
   /// Include statements of methods the call graph never reaches
   /// (their intraprocedural edges are still built).
   bool IncludeUnreachable = true;
+  /// Optional resource budget. Exhaustion degrades construction
+  /// soundly: the node cap merges per-context clones into one clone
+  /// per method (with context-merged aliasing, an over-approximation),
+  /// and the heap-edge cap / deadline replaces the remaining precise
+  /// pairwise heap wiring with coarse per-field hub nodes.
+  const AnalysisBudget *Budget = nullptr;
 };
 
 /// Builds the dependence graph. \p ModRef may be null unless

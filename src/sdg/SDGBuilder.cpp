@@ -24,6 +24,7 @@
 #include "sdg/SDG.h"
 
 #include <cassert>
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 
@@ -37,6 +38,22 @@ struct Clone {
   unsigned Ctx;
 };
 
+/// One heap access of a clone (see buildHeapCI / buildHeapCoarse).
+struct Access {
+  const Instr *I;
+  unsigned Ctx;
+  const Local *Base; ///< Null for statics.
+  const Local *Src;  ///< Stores only.
+};
+
+/// All heap accesses of the collected clones, bucketed the way the
+/// heap-edge wiring consumes them.
+struct HeapAccesses {
+  std::unordered_map<const Field *, std::vector<Access>> FieldStores,
+      FieldLoads, StaticStores, StaticLoads;
+  std::vector<Access> ArrStores, ArrLoads;
+};
+
 class Builder {
 public:
   Builder(const Program &P, const PointsToResult &PTA,
@@ -48,12 +65,14 @@ public:
   std::unique_ptr<SDG> run(const Program &P);
 
 private:
-  void collectClones(const Program &P);
+  void collectClones(const Program &P, BudgetGate &Gate);
   void buildIntra(const Clone &C);
   void buildScalarCallsCI();
-  void buildHeapCI();
+  void buildHeapCI(BudgetGate &Gate);
   void buildScalarCallsCS(const Clone &C);
-  void buildHeapCS(const Clone &C);
+  void buildHeapCS(const Clone &C, BudgetGate &Gate);
+  HeapAccesses collectHeapAccesses() const;
+  void buildHeapCoarse();
 
   void wireCallEdge(const CallInstr *Call, unsigned CallerCtx,
                     const Method *Target, unsigned CalleeCtx);
@@ -68,6 +87,10 @@ private:
   std::unique_ptr<SDG> G;
   std::vector<Clone> Clones;
   std::unordered_map<const Method *, std::unique_ptr<ControlDeps>> CDCache;
+  /// Node-cap degradation: one clone per method instead of one per
+  /// call-graph context; aliasing then uses context-merged points-to
+  /// sets (a superset of every per-context set, so still sound).
+  bool MergedClones = false;
 };
 
 } // namespace
@@ -98,7 +121,7 @@ const ControlDeps &Builder::controlDeps(const Method *M) {
   return *It->second;
 }
 
-void Builder::collectClones(const Program &P) {
+void Builder::collectClones(const Program &P, BudgetGate &Gate) {
   const CallGraph &CG = PTA.callGraph();
   if (Opts.ContextSensitive) {
     // One clone per reachable method; the tabulation models contexts.
@@ -116,6 +139,22 @@ void Builder::collectClones(const Program &P) {
     for (const auto &M : P.methods())
       if (M->entry() && !CG.isReachable(M.get()))
         Clones.push_back({M.get(), 0});
+
+  // Node cap: when the per-context clones would exceed the budget,
+  // fall back to one context-0 clone per method. Scalar calls are
+  // then wired method-level and aliasing context-merged (both
+  // over-approximate the per-context graph projected to statements).
+  uint64_t EstimatedNodes = 0;
+  for (const Clone &C : Clones)
+    EstimatedNodes += C.M->instrs().size();
+  if (Gate.poll(EstimatedNodes)) {
+    MergedClones = true;
+    Clones.clear();
+    for (const auto &M : P.methods())
+      if (M->entry() &&
+          (Opts.IncludeUnreachable || CG.isReachable(M.get())))
+        Clones.push_back({M.get(), 0});
+  }
 }
 
 void Builder::buildIntra(const Clone &C) {
@@ -231,72 +270,123 @@ void Builder::buildScalarCallsCS(const Clone &C) {
   }
 }
 
-void Builder::buildHeapCI() {
-  // Direct write -> read edges keyed by field / array / static field,
-  // guarded by may-alias of the base pointers *in the respective
-  // contexts* (paper Sec. 5.2 with the object-sensitive points-to of
-  // Sec. 6.1).
-  struct Access {
-    const Instr *I;
-    unsigned Ctx;
-    const Local *Base; ///< Null for statics.
-    const Local *Src;  ///< Stores only.
-  };
-  std::unordered_map<const Field *, std::vector<Access>> FieldStores,
-      FieldLoads, StaticStores, StaticLoads;
-  std::vector<Access> ArrStores, ArrLoads;
-
+HeapAccesses Builder::collectHeapAccesses() const {
+  HeapAccesses A;
   for (const Clone &C : Clones) {
     for (const auto &BB : C.M->blocks()) {
       for (const auto &I : BB->instrs()) {
         if (const auto *S = dyn_cast<StoreInstr>(I.get())) {
           auto &Bucket =
-              (S->isStaticAccess() ? StaticStores : FieldStores)[S->field()];
+              (S->isStaticAccess() ? A.StaticStores : A.FieldStores)[S->field()];
           Bucket.push_back({S, C.Ctx, S->base(), S->src()});
         } else if (const auto *L = dyn_cast<LoadInstr>(I.get())) {
           auto &Bucket =
-              (L->isStaticAccess() ? StaticLoads : FieldLoads)[L->field()];
+              (L->isStaticAccess() ? A.StaticLoads : A.FieldLoads)[L->field()];
           Bucket.push_back({L, C.Ctx, L->base(), nullptr});
         } else if (const auto *AS = dyn_cast<ArrayStoreInstr>(I.get())) {
-          ArrStores.push_back({AS, C.Ctx, AS->array(), AS->src()});
+          A.ArrStores.push_back({AS, C.Ctx, AS->array(), AS->src()});
         } else if (const auto *AL = dyn_cast<ArrayLoadInstr>(I.get())) {
-          ArrLoads.push_back({AL, C.Ctx, AL->array(), nullptr});
+          A.ArrLoads.push_back({AL, C.Ctx, AL->array(), nullptr});
         }
       }
     }
   }
+  return A;
+}
 
+void Builder::buildHeapCI(BudgetGate &Gate) {
+  // Direct write -> read edges keyed by field / array / static field,
+  // guarded by may-alias of the base pointers *in the respective
+  // contexts* (paper Sec. 5.2 with the object-sensitive points-to of
+  // Sec. 6.1). In merged-clone degradation mode the per-context sets
+  // of the unanalyzed context-0 clones would be empty (unsound), so
+  // aliasing uses the context-merged supersets instead.
+  HeapAccesses A = collectHeapAccesses();
+
+  auto MayAlias = [&](const Access &S, const Access &L) {
+    return MergedClones ? PTA.mayAlias(S.Base, L.Base)
+                        : PTA.mayAlias(S.Base, S.Ctx, L.Base, L.Ctx);
+  };
   auto Connect = [&](const Access &S, const Access &L) {
     G->addEdge(static_cast<unsigned>(G->nodeFor(S.I, S.Ctx)),
                static_cast<unsigned>(G->nodeFor(L.I, L.Ctx)),
                SDGEdgeKind::Flow);
   };
 
-  for (const auto &[F, Loads] : FieldLoads) {
-    auto It = FieldStores.find(F);
-    if (It == FieldStores.end())
+  // Each pairwise check spends one budget step; on exhaustion run()
+  // falls back to coarse hub wiring, which subsumes any pair not yet
+  // connected.
+  for (const auto &[F, Loads] : A.FieldLoads) {
+    auto It = A.FieldStores.find(F);
+    if (It == A.FieldStores.end())
       continue;
     for (const Access &L : Loads)
-      for (const Access &S : It->second)
-        if (PTA.mayAlias(S.Base, S.Ctx, L.Base, L.Ctx))
+      for (const Access &S : It->second) {
+        if (Gate.spend())
+          return;
+        if (MayAlias(S, L))
           Connect(S, L);
+      }
   }
-  for (const auto &[F, Loads] : StaticLoads) {
-    auto It = StaticStores.find(F);
-    if (It == StaticStores.end())
+  for (const auto &[F, Loads] : A.StaticLoads) {
+    auto It = A.StaticStores.find(F);
+    if (It == A.StaticStores.end())
       continue;
     for (const Access &L : Loads)
-      for (const Access &S : It->second)
+      for (const Access &S : It->second) {
+        if (Gate.spend())
+          return;
         Connect(S, L);
+      }
   }
-  for (const Access &L : ArrLoads)
-    for (const Access &S : ArrStores)
-      if (PTA.mayAlias(S.Base, S.Ctx, L.Base, L.Ctx))
+  for (const Access &L : A.ArrLoads)
+    for (const Access &S : A.ArrStores) {
+      if (Gate.spend())
+        return;
+      if (MayAlias(S, L))
         Connect(S, L);
+    }
 }
 
-void Builder::buildHeapCS(const Clone &C) {
+/// Coarse heap fallback for both variants: one HeapHub node per field
+/// / static field / array-element class, Flow-wired store -> hub ->
+/// load. Any precise write-read edge (same bucket) is subsumed by the
+/// two-hop hub path, so slices over the hub graph over-approximate
+/// slices over the precise graph. O(stores + loads) edges total.
+void Builder::buildHeapCoarse() {
+  HeapAccesses A = collectHeapAccesses();
+
+  auto Wire = [&](unsigned Part, const std::vector<Access> &Stores,
+                  const std::vector<Access> &Loads) {
+    if (Stores.empty() || Loads.empty())
+      return;
+    unsigned Hub =
+        G->addHeapNode(SDGNodeKind::HeapHub, nullptr, nullptr, Part);
+    for (const Access &S : Stores)
+      G->addEdge(static_cast<unsigned>(G->nodeFor(S.I, S.Ctx)), Hub,
+                 SDGEdgeKind::Flow);
+    for (const Access &L : Loads)
+      G->addEdge(Hub, static_cast<unsigned>(G->nodeFor(L.I, L.Ctx)),
+                 SDGEdgeKind::Flow);
+  };
+
+  for (const auto &[F, Loads] : A.FieldLoads) {
+    auto It = A.FieldStores.find(F);
+    if (It != A.FieldStores.end())
+      Wire(F->id(), It->second, Loads);
+  }
+  for (const auto &[F, Loads] : A.StaticLoads) {
+    auto It = A.StaticStores.find(F);
+    if (It != A.StaticStores.end())
+      Wire(F->id(), It->second, Loads);
+  }
+  Wire(~0u, A.ArrStores, A.ArrLoads);
+}
+
+void Builder::buildHeapCS(const Clone &C, BudgetGate &Gate) {
   assert(MR && "context-sensitive SDG requires mod-ref");
+  if (Gate.exhausted())
+    return;
   const Method *M = C.M;
   const CallGraph &CG = PTA.callGraph();
 
@@ -349,6 +439,8 @@ void Builder::buildHeapCS(const Clone &C) {
   for (const auto &[Part, Loads] : LoadsByPart) {
     int FI = FormalIn(Part);
     for (const Instr *L : Loads) {
+      if (Gate.spend())
+        return;
       unsigned LN = static_cast<unsigned>(G->nodeFor(L, 0));
       if (FI >= 0)
         G->addEdge(static_cast<unsigned>(FI), LN, SDGEdgeKind::Flow);
@@ -363,13 +455,18 @@ void Builder::buildHeapCS(const Clone &C) {
     int FO = FormalOut(Part);
     if (FO < 0)
       continue;
-    for (const Instr *S : Stores)
+    for (const Instr *S : Stores) {
+      if (Gate.spend())
+        return;
       G->addEdge(static_cast<unsigned>(G->nodeFor(S, 0)),
                  static_cast<unsigned>(FO), SDGEdgeKind::Flow);
+    }
   }
 
   // Call sites: heap actual-in/out nodes and their linkage.
   for (const CallInstr *Call : Calls) {
+    if (Gate.spend())
+      return;
     std::vector<Method *> Targets = CG.calleesOf(Call);
     BitSet RefUnion, ModUnion;
     for (const Method *T : Targets) {
@@ -426,6 +523,8 @@ void Builder::buildHeapCS(const Clone &C) {
   // the same call in a loop).
   for (const CallInstr *C1 : Calls) {
     for (const CallInstr *C2 : Calls) {
+      if (Gate.spend())
+        return;
       for (Method *T1 : CG.calleesOf(C1)) {
         MR->modOf(T1).forEach([&](unsigned Part) {
           int AO = G->heapNodeFor(SDGNodeKind::HeapActualOut, C1, Part);
@@ -440,18 +539,62 @@ void Builder::buildHeapCS(const Clone &C) {
 }
 
 std::unique_ptr<SDG> Builder::run(const Program &P) {
-  collectClones(P);
+  auto T0 = std::chrono::steady_clock::now();
+  const AnalysisBudget *B = Opts.Budget;
+  BudgetGate CloneGate(B, "sdg.clones", B ? B->MaxSdgNodes : 0);
+  BudgetGate HeapGate(B, "sdg.heap", B ? B->MaxSdgEdges : 0);
+
+  collectClones(P, CloneGate);
   for (const Clone &C : Clones)
     buildIntra(C);
   if (Opts.ContextSensitive) {
     for (const Clone &C : Clones)
       buildScalarCallsCS(C);
-    for (const Clone &C : Clones)
-      buildHeapCS(C);
+    for (const Clone &C : Clones) {
+      buildHeapCS(C, HeapGate);
+      if (HeapGate.exhausted())
+        break;
+    }
+    if (HeapGate.exhausted())
+      buildHeapCoarse();
   } else {
-    buildScalarCallsCI();
-    buildHeapCI();
+    if (MergedClones)
+      // Context-level call-graph edges name contexts the merged graph
+      // has no clones for; wire calls method-level instead (the CS
+      // wiring works on any clone set and over-approximates the
+      // context-level edges projected to statements).
+      for (const Clone &C : Clones)
+        buildScalarCallsCS(C);
+    else
+      buildScalarCallsCI();
+    buildHeapCI(HeapGate);
+    if (HeapGate.exhausted())
+      buildHeapCoarse();
   }
+
+  StageReport R{"sdg", StageStatus::Complete, "", "", HeapGate.used(),
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count()};
+  if (MergedClones || HeapGate.exhausted()) {
+    R.Status = StageStatus::Degraded;
+    std::string Reason, Fallback;
+    if (MergedClones) {
+      Reason = CloneGate.reason();
+      Fallback = "context-merged clones";
+    }
+    if (HeapGate.exhausted()) {
+      if (!Reason.empty())
+        Reason += "; ";
+      Reason += HeapGate.reason();
+      if (!Fallback.empty())
+        Fallback += " + ";
+      Fallback += "coarse heap hubs";
+    }
+    R.Reason = std::move(Reason);
+    R.Fallback = std::move(Fallback);
+  }
+  G->setReport(std::move(R));
   return std::move(G);
 }
 

@@ -5,10 +5,15 @@
 using namespace tsl;
 
 SliceResult tsl::chop(const SDG &G, const Instr *Source, const Instr *Sink,
-                      SliceMode Mode) {
-  SliceResult Forward = sliceForward(G, Source, Mode);
-  SliceResult Backward = sliceBackward(G, Sink, Mode);
+                      SliceMode Mode, const AnalysisBudget *Budget) {
+  SliceResult Forward = sliceForward(G, Source, Mode, Budget);
+  SliceResult Backward = sliceBackward(G, Sink, Mode, Budget);
   BitSet Nodes = Forward.nodeSet();
   Nodes.intersectWith(Backward.nodeSet());
-  return SliceResult(&G, std::move(Nodes));
+  SliceResult R(&G, std::move(Nodes));
+  if (!Forward.complete())
+    R.markDegraded(Forward.degradedReason());
+  if (!Backward.complete())
+    R.markDegraded(Backward.degradedReason());
+  return R;
 }

@@ -21,9 +21,11 @@
 namespace tsl {
 
 /// Statements lying on Mode-dependence paths from \p Source to
-/// \p Sink. Empty when no such path exists.
+/// \p Sink. Empty when no such path exists. A budget-degraded
+/// constituent slice degrades the chop (still a subset of the full
+/// chop: intersecting subsets yields a subset).
 SliceResult chop(const SDG &G, const Instr *Source, const Instr *Sink,
-                 SliceMode Mode);
+                 SliceMode Mode, const AnalysisBudget *Budget = nullptr);
 
 } // namespace tsl
 

@@ -110,8 +110,13 @@ ThinExpansion::controlExplainers(const Instr *S) const {
 
 SliceResult ThinExpansion::thinSliceWithAliasDepth(const Instr *Seed,
                                                    unsigned Depth) const {
-  SliceResult Acc = sliceBackward(G, Seed, SliceMode::Thin);
+  BudgetGate Gate(B, "expand.round", B ? B->MaxExpansionRounds : 0);
+  SliceResult Acc = sliceBackward(G, Seed, SliceMode::Thin, B);
   for (unsigned Level = 0; Level != Depth; ++Level) {
+    if (Gate.spend()) {
+      Acc.markDegraded(Gate.reason());
+      break;
+    }
     // Base pointers of heap accesses currently in the slice.
     std::vector<unsigned> BaseDefs;
     Acc.nodeSet().forEach([&](unsigned Node) {
@@ -129,7 +134,7 @@ SliceResult ThinExpansion::thinSliceWithAliasDepth(const Instr *Seed,
     bool Changed = false;
     for (unsigned Node : BaseDefs)
       if (!Acc.containsNode(Node)) {
-        Acc.unionWith(sliceBackwardNodes(G, {Node}, SliceMode::Thin));
+        Acc.unionWith(sliceBackwardNodes(G, {Node}, SliceMode::Thin, B));
         Changed = true;
       }
     if (!Changed)
@@ -139,9 +144,14 @@ SliceResult ThinExpansion::thinSliceWithAliasDepth(const Instr *Seed,
 }
 
 SliceResult ThinExpansion::expandToTraditional(const Instr *Seed) const {
-  SliceResult Acc = sliceBackward(G, Seed, SliceMode::Thin);
+  BudgetGate Gate(B, "expand.round", B ? B->MaxExpansionRounds : 0);
+  SliceResult Acc = sliceBackward(G, Seed, SliceMode::Thin, B);
   bool Changed = true;
   while (Changed) {
+    if (Gate.spend()) {
+      Acc.markDegraded(Gate.reason());
+      break;
+    }
     Changed = false;
     // Collect explainer sources (base-pointer flow and control) of the
     // current slice, then absorb their thin slices. Expansion is
@@ -158,7 +168,7 @@ SliceResult ThinExpansion::expandToTraditional(const Instr *Seed) const {
     });
     for (unsigned Node : Explainers) {
       if (!Acc.containsNode(Node)) {
-        Acc.unionWith(sliceBackwardNodes(G, {Node}, SliceMode::Thin));
+        Acc.unionWith(sliceBackwardNodes(G, {Node}, SliceMode::Thin, B));
         Changed = true;
       }
     }

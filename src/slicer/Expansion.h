@@ -25,7 +25,12 @@ namespace tsl {
 /// Expansion queries against one SDG + points-to result.
 class ThinExpansion {
 public:
-  ThinExpansion(const SDG &G, const PointsToResult &PTA) : G(G), PTA(PTA) {}
+  /// When \p Budget is exhausted, expansion stops at the depth/round
+  /// reached and the accumulated slice is returned marked Degraded
+  /// (a subset of the full expansion: accumulation is monotone).
+  ThinExpansion(const SDG &G, const PointsToResult &PTA,
+                const AnalysisBudget *Budget = nullptr)
+      : G(G), PTA(PTA), B(Budget) {}
 
   /// Question 1: why do \p Write and \p Read (a heap write/read pair
   /// connected by a heap flow dependence) access the same location?
@@ -74,6 +79,7 @@ private:
 
   const SDG &G;
   const PointsToResult &PTA;
+  const AnalysisBudget *B;
 };
 
 } // namespace tsl

@@ -82,15 +82,22 @@ std::string SliceResult::str() const {
 
 namespace {
 
-/// Shared reachability engine for both directions.
+/// Shared reachability engine for both directions. A budget caps the
+/// number of worklist pops; stopping early only under-visits, so the
+/// partial result is a subset of the full slice (marked Degraded).
 SliceResult reachNodes(const SDG &G, const std::vector<unsigned> &SeedNodes,
-                       SliceMode Mode, bool Backward) {
+                       SliceMode Mode, bool Backward,
+                       const AnalysisBudget *Budget) {
+  BudgetGate Gate(Budget, "slice.pop",
+                  Budget ? Budget->MaxSlicePops : 0);
   BitSet Visited(G.numNodes());
   std::deque<unsigned> Queue;
   for (unsigned Node : SeedNodes)
     if (Visited.insert(Node))
       Queue.push_back(Node);
   while (!Queue.empty()) {
+    if (Gate.spend())
+      break;
     unsigned Node = Queue.front();
     Queue.pop_front();
     const std::vector<unsigned> &EdgeIds =
@@ -104,39 +111,44 @@ SliceResult reachNodes(const SDG &G, const std::vector<unsigned> &SeedNodes,
         Queue.push_back(Next);
     }
   }
-  return SliceResult(&G, std::move(Visited));
+  SliceResult R(&G, std::move(Visited));
+  if (Gate.exhausted())
+    R.markDegraded(Gate.reason());
+  return R;
 }
 
 /// Expands instruction seeds into every clone of each statement.
 SliceResult reach(const SDG &G, const std::vector<const Instr *> &Seeds,
-                  SliceMode Mode, bool Backward) {
+                  SliceMode Mode, bool Backward,
+                  const AnalysisBudget *Budget) {
   std::vector<unsigned> Nodes;
   for (const Instr *Seed : Seeds)
     for (unsigned Node : G.nodesFor(Seed))
       Nodes.push_back(Node);
-  return reachNodes(G, Nodes, Mode, Backward);
+  return reachNodes(G, Nodes, Mode, Backward, Budget);
 }
 
 } // namespace
 
 SliceResult tsl::sliceBackward(const SDG &G, const Instr *Seed,
-                               SliceMode Mode) {
-  return reach(G, {Seed}, Mode, /*Backward=*/true);
+                               SliceMode Mode, const AnalysisBudget *Budget) {
+  return reach(G, {Seed}, Mode, /*Backward=*/true, Budget);
 }
 
 SliceResult tsl::sliceBackward(const SDG &G,
                                const std::vector<const Instr *> &Seeds,
-                               SliceMode Mode) {
-  return reach(G, Seeds, Mode, /*Backward=*/true);
+                               SliceMode Mode, const AnalysisBudget *Budget) {
+  return reach(G, Seeds, Mode, /*Backward=*/true, Budget);
 }
 
 SliceResult tsl::sliceBackwardNodes(const SDG &G,
                                     const std::vector<unsigned> &SeedNodes,
-                                    SliceMode Mode) {
-  return reachNodes(G, SeedNodes, Mode, /*Backward=*/true);
+                                    SliceMode Mode,
+                                    const AnalysisBudget *Budget) {
+  return reachNodes(G, SeedNodes, Mode, /*Backward=*/true, Budget);
 }
 
 SliceResult tsl::sliceForward(const SDG &G, const Instr *Seed,
-                              SliceMode Mode) {
-  return reach(G, {Seed}, Mode, /*Backward=*/false);
+                              SliceMode Mode, const AnalysisBudget *Budget) {
+  return reach(G, {Seed}, Mode, /*Backward=*/false, Budget);
 }

@@ -19,6 +19,7 @@
 
 #include "sdg/SDG.h"
 #include "support/BitSet.h"
+#include "support/Budget.h"
 
 #include <string>
 #include <vector>
@@ -77,8 +78,29 @@ public:
   /// metric).
   unsigned sizeStmts() const;
 
-  /// Merges \p Other into this slice (both must share the SDG).
-  void unionWith(const SliceResult &Other) { Nodes.unionWith(Other.Nodes); }
+  /// Merges \p Other into this slice (both must share the SDG). A
+  /// degraded operand degrades the union.
+  void unionWith(const SliceResult &Other) {
+    Nodes.unionWith(Other.Nodes);
+    if (!Other.complete())
+      markDegraded(Other.Reason);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Budget status
+  //===------------------------------------------------------------------===//
+
+  /// Complete, or Degraded when a budget stopped the traversal early.
+  /// A degraded slice is a subset of the full slice from the same
+  /// seeds on the same graph (the BFS only ever under-visits).
+  StageStatus status() const { return Status; }
+  bool complete() const { return Status == StageStatus::Complete; }
+  const std::string &degradedReason() const { return Reason; }
+  void markDegraded(const std::string &Why) {
+    Status = StageStatus::Degraded;
+    if (Reason.empty())
+      Reason = Why;
+  }
 
   /// Debug rendering: one "Class.method:line: text" entry per
   /// statement.
@@ -87,23 +109,32 @@ public:
 private:
   const SDG *G;
   BitSet Nodes;
+  StageStatus Status = StageStatus::Complete;
+  std::string Reason;
 };
 
 /// Backward slice from \p Seed by context-insensitive reachability.
-SliceResult sliceBackward(const SDG &G, const Instr *Seed, SliceMode Mode);
+/// All slicing entry points take an optional \p Budget; on exhaustion
+/// (MaxSlicePops or the deadline) the partial slice is returned,
+/// marked Degraded.
+SliceResult sliceBackward(const SDG &G, const Instr *Seed, SliceMode Mode,
+                          const AnalysisBudget *Budget = nullptr);
 
 /// Backward slice from several seeds at once.
 SliceResult sliceBackward(const SDG &G, const std::vector<const Instr *> &Seeds,
-                          SliceMode Mode);
+                          SliceMode Mode,
+                          const AnalysisBudget *Budget = nullptr);
 
 /// Backward slice seeded at specific SDG nodes (specific clones); used
 /// by the expansion machinery, which must not jump across contexts.
 SliceResult sliceBackwardNodes(const SDG &G,
                                const std::vector<unsigned> &SeedNodes,
-                               SliceMode Mode);
+                               SliceMode Mode,
+                               const AnalysisBudget *Budget = nullptr);
 
 /// Forward slice (statements the seed's value can flow to / affect).
-SliceResult sliceForward(const SDG &G, const Instr *Seed, SliceMode Mode);
+SliceResult sliceForward(const SDG &G, const Instr *Seed, SliceMode Mode,
+                         const AnalysisBudget *Budget = nullptr);
 
 } // namespace tsl
 

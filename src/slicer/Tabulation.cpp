@@ -8,8 +8,9 @@
 
 using namespace tsl;
 
-TabulationSlicer::TabulationSlicer(const SDG &G, SliceMode Mode)
-    : G(G), Mode(Mode) {
+TabulationSlicer::TabulationSlicer(const SDG &G, SliceMode Mode,
+                                   const AnalysisBudget *Budget)
+    : G(G), Mode(Mode), B(Budget) {
   computeSummaries();
 }
 
@@ -58,7 +59,18 @@ void TabulationSlicer::computeSummaries() {
 
   std::unordered_set<uint64_t> SummaryDedup;
 
+  // A budget caps path-edge pops. Stopping early leaves the summary
+  // set partial: slices then miss some summary shortcuts and
+  // under-approximate the full context-sensitive slice (sound for
+  // thin slicing's subset claim; marked Degraded on every slice).
+  BudgetGate Gate(B, "tabulation.summary", B ? B->MaxSlicePops : 0);
+
   while (!WL.empty()) {
+    if (Gate.spend()) {
+      Partial = true;
+      PartialReason = Gate.reason();
+      break;
+    }
     auto [FoIdx, Node] = WL.front();
     WL.pop_front();
     PathAtNode[Node].push_back(FoIdx);
@@ -106,6 +118,7 @@ SliceResult TabulationSlicer::slice(const Instr *Seed) const {
 
 SliceResult
 TabulationSlicer::slice(const std::vector<const Instr *> &Seeds) const {
+  BudgetGate Gate(B, "slice.pop", B ? B->MaxSlicePops : 0);
   BitSet Visited(G.numNodes());
   std::deque<unsigned> Queue;
 
@@ -121,6 +134,8 @@ TabulationSlicer::slice(const std::vector<const Instr *> &Seeds) const {
     for (unsigned Node : G.nodesFor(Seed))
       Enqueue(Node);
   while (!Queue.empty()) {
+    if (Gate.spend())
+      break;
     unsigned Node = Queue.front();
     Queue.pop_front();
     Phase1.insert(Node);
@@ -139,6 +154,8 @@ TabulationSlicer::slice(const std::vector<const Instr *> &Seeds) const {
   // (into callees); never param-in.
   Phase1.forEach([&](unsigned Node) { Queue.push_back(Node); });
   while (!Queue.empty()) {
+    if (Gate.spend())
+      break;
     unsigned Node = Queue.front();
     Queue.pop_front();
     for (unsigned EdgeId : G.inEdges(Node)) {
@@ -152,5 +169,10 @@ TabulationSlicer::slice(const std::vector<const Instr *> &Seeds) const {
         Enqueue(Src);
   }
 
-  return SliceResult(&G, std::move(Visited));
+  SliceResult R(&G, std::move(Visited));
+  if (Partial)
+    R.markDegraded(PartialReason);
+  if (Gate.exhausted())
+    R.markDegraded(Gate.reason());
+  return R;
 }

@@ -35,7 +35,12 @@ namespace tsl {
 /// bottleneck.
 class TabulationSlicer {
 public:
-  TabulationSlicer(const SDG &G, SliceMode Mode);
+  /// Computes summary edges eagerly. When \p Budget is exhausted
+  /// mid-computation, the summary set stays partial — slices are then
+  /// subsets of the full context-sensitive slice and are marked
+  /// Degraded.
+  TabulationSlicer(const SDG &G, SliceMode Mode,
+                   const AnalysisBudget *Budget = nullptr);
 
   /// Two-phase backward slice from \p Seed.
   SliceResult slice(const Instr *Seed) const;
@@ -43,6 +48,9 @@ public:
 
   /// Number of summary edges discovered (a cost statistic).
   unsigned numSummaryEdges() const { return NumSummaries; }
+
+  /// True when summary computation ran to its fixed point.
+  bool summariesComplete() const { return !Partial; }
 
 private:
   bool intraEdge(SDGEdgeKind K) const {
@@ -57,9 +65,12 @@ private:
 
   const SDG &G;
   SliceMode Mode;
+  const AnalysisBudget *B;
   /// Summary adjacency: for each actual-out node, its summary sources.
   std::unordered_map<unsigned, std::vector<unsigned>> SummaryIn;
   unsigned NumSummaries = 0;
+  bool Partial = false;
+  std::string PartialReason;
 };
 
 } // namespace tsl

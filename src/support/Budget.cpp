@@ -1,0 +1,133 @@
+//===-- Budget.cpp - Analysis budgets and sound degradation ---------------===//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+using namespace tsl;
+
+bool AnalysisBudget::deadlineExpired() const {
+  if (!BudgetMs || !Started)
+    return false;
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  return Elapsed >= std::chrono::milliseconds(BudgetMs);
+}
+
+double AnalysisBudget::elapsedSeconds() const {
+  if (!Started)
+    return 0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+std::string StageReport::str() const {
+  std::ostringstream OS;
+  OS << Stage << ": ";
+  if (Status == StageStatus::Complete) {
+    OS << "complete";
+  } else {
+    OS << "degraded (" << Reason;
+    if (!Fallback.empty())
+      OS << " -> " << Fallback;
+    OS << ")";
+  }
+  OS << " steps=" << StepsUsed;
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), " time=%.3fs", Seconds);
+  OS << Buf;
+  return OS.str();
+}
+
+bool PipelineStatus::complete() const {
+  return std::all_of(Stages.begin(), Stages.end(),
+                     [](const StageReport &R) { return !R.degraded(); });
+}
+
+const StageReport *PipelineStatus::find(const std::string &Stage) const {
+  for (const StageReport &R : Stages)
+    if (R.Stage == Stage)
+      return &R;
+  return nullptr;
+}
+
+std::string PipelineStatus::str() const {
+  std::ostringstream OS;
+  OS << "pipeline: " << (complete() ? "complete" : "degraded") << "\n";
+  for (const StageReport &R : Stages)
+    OS << "  " << R.str() << "\n";
+  return OS.str();
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector I;
+  return I;
+}
+
+const std::vector<std::string> &FaultInjector::knownPoints() {
+  static const std::vector<std::string> Points = {
+      "pta.solve",     "modref.closure",     "sdg.clones",
+      "sdg.heap",      "slice.pop",          "tabulation.summary",
+      "expand.round",  "interp.step",        "interp.output",
+  };
+  return Points;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char *Spec = std::getenv("TSL_FAULT"))
+    armFromSpec(Spec);
+}
+
+void FaultInjector::reset() {
+  Armed.clear();
+  Reached.clear();
+  Fired.clear();
+}
+
+void FaultInjector::arm(const std::string &Point, uint64_t AtPoll) {
+  Armed[Point] = AtPoll ? AtPoll : 1;
+}
+
+bool FaultInjector::armFromSpec(const std::string &Spec) {
+  if (Spec == "all") {
+    for (const std::string &P : knownPoints())
+      arm(P);
+    return true;
+  }
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Item = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Item.empty())
+      continue;
+    uint64_t AtPoll = 1;
+    if (size_t Colon = Item.find(':'); Colon != std::string::npos) {
+      AtPoll = std::strtoull(Item.c_str() + Colon + 1, nullptr, 10);
+      Item.resize(Colon);
+    }
+    const std::vector<std::string> &Known = knownPoints();
+    if (std::find(Known.begin(), Known.end(), Item) == Known.end())
+      return false;
+    arm(Item, AtPoll);
+  }
+  return true;
+}
+
+uint64_t FaultInjector::query(const std::string &Point) {
+  Reached.insert(Point);
+  auto It = Armed.find(Point);
+  return It == Armed.end() ? 0 : It->second;
+}
+
+void FaultInjector::recordFired(const std::string &Point) {
+  Fired.insert(Point);
+}

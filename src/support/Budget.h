@@ -1,0 +1,203 @@
+//===-- Budget.h - Analysis budgets and sound degradation -------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource governance for the analysis pipeline. Every long-running
+/// fixed-point loop (Andersen solver, ModRef closure, SDG
+/// construction, slicing, expansion, interpretation) polls a
+/// BudgetGate cooperatively; when the caller-supplied AnalysisBudget
+/// is exhausted the stage stops early and falls back to a *sound*
+/// over- or under-approximation tagged StageStatus::Degraded, instead
+/// of hanging or exhausting memory. See DESIGN.md section 8 for the
+/// per-stage fallbacks and their soundness arguments.
+///
+/// A deterministic FaultInjector rides along: named fault points
+/// (one per gated loop) can be armed via TSL_FAULT or `thinslice
+/// --fault` to force each degradation branch in tests, rather than
+/// hoping a workload happens to exhaust a real budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_SUPPORT_BUDGET_H
+#define THINSLICER_SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tsl {
+
+/// Resource limits shared by every stage of one pipeline run. A zero
+/// field means "unlimited"; a default-constructed budget (or a null
+/// budget pointer, the default everywhere) imposes no limits at all,
+/// keeping the unbudgeted path byte-identical to previous releases.
+struct AnalysisBudget {
+  /// Wall-clock deadline for the whole pipeline, from start().
+  uint64_t BudgetMs = 0;
+
+  uint64_t MaxPtaPropagations = 0; ///< Andersen propagation cap.
+  uint64_t MaxModRefSteps = 0;     ///< ModRef closure worklist pops.
+  uint64_t MaxSdgNodes = 0;        ///< SDG statement-node cap.
+  uint64_t MaxSdgEdges = 0;        ///< Precise heap-edge work cap.
+  uint64_t MaxSlicePops = 0;       ///< Slice/tabulation worklist pops.
+  uint64_t MaxExpansionRounds = 0; ///< Thin-expansion fixpoint rounds.
+  uint64_t MaxInterpSteps = 0;     ///< Interpreter step cap.
+
+  /// Starts the wall clock. Until this is called the deadline never
+  /// expires; step caps apply regardless.
+  void start() {
+    Start = std::chrono::steady_clock::now();
+    Started = true;
+  }
+
+  bool deadlineExpired() const;
+  double elapsedSeconds() const;
+
+  std::chrono::steady_clock::time_point Start{};
+  bool Started = false;
+};
+
+/// Outcome of one pipeline stage.
+enum class StageStatus {
+  Complete, ///< Ran to its natural fixed point.
+  Degraded, ///< Budget exhausted; result is a sound fallback.
+};
+
+/// Status report of one stage, the pipeline-level sibling of the
+/// solver-level SolverStats counters.
+struct StageReport {
+  std::string Stage;    ///< "pta", "modref", "sdg", "slice", "interp".
+  StageStatus Status = StageStatus::Complete;
+  std::string Reason;   ///< Why it degraded: "deadline", "step-cap", "fault:<p>".
+  std::string Fallback; ///< The sound fallback the stage switched to.
+  uint64_t StepsUsed = 0; ///< Work units consumed (stage-specific).
+  double Seconds = 0;     ///< Wall time spent in the stage.
+
+  bool degraded() const { return Status == StageStatus::Degraded; }
+  std::string str() const;
+};
+
+/// Per-stage reports of one pipeline run, in execution order.
+struct PipelineStatus {
+  std::vector<StageReport> Stages;
+
+  void add(StageReport R) { Stages.push_back(std::move(R)); }
+  bool complete() const;
+  const StageReport *find(const std::string &Stage) const;
+  std::string str() const;
+};
+
+/// Deterministic fault injection: each BudgetGate names a fault
+/// point; arming a point (via TSL_FAULT or armFromSpec) makes the
+/// gate report exhaustion at a chosen poll, forcing the stage down
+/// its degradation path. A spec is a comma-separated list of points,
+/// each optionally suffixed `:N` to fire at the Nth poll (default 1),
+/// or the word `all`.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Every fault point compiled into the pipeline; tests assert each
+  /// one fires at least once across the suite.
+  static const std::vector<std::string> &knownPoints();
+
+  /// Disarms all points and clears coverage counters.
+  void reset();
+
+  /// Arms \p Point to fire at poll number \p AtPoll (1 = first poll).
+  void arm(const std::string &Point, uint64_t AtPoll = 1);
+
+  /// Parses and arms a spec: "slice.pop,pta.solve:100" or "all".
+  /// Returns false (arming nothing further) on an unknown point name.
+  bool armFromSpec(const std::string &Spec);
+
+  /// Called once per BudgetGate at construction: records that the
+  /// point was reached and returns the poll number it should fire at
+  /// (0 = not armed).
+  uint64_t query(const std::string &Point);
+
+  /// Called by the gate when an armed point actually fires.
+  void recordFired(const std::string &Point);
+
+  const std::set<std::string> &reached() const { return Reached; }
+  const std::set<std::string> &fired() const { return Fired; }
+  bool anyArmed() const { return !Armed.empty(); }
+
+private:
+  FaultInjector(); ///< Arms from the TSL_FAULT environment variable.
+
+  std::map<std::string, uint64_t> Armed; ///< point -> fire-at poll.
+  std::set<std::string> Reached;
+  std::set<std::string> Fired;
+};
+
+/// Poll point of one gated loop. The loop calls spend()/poll() with
+/// its work counter; once the gate trips — step cap exceeded,
+/// deadline expired, or armed fault fired — it stays exhausted and
+/// the stage must stop and degrade. With a null budget and no armed
+/// fault a poll is a few arithmetic instructions.
+class BudgetGate {
+public:
+  /// \p StepCap is this stage's cap from the budget (0 = uncapped);
+  /// \p Point names the fault point for this loop.
+  BudgetGate(const AnalysisBudget *Budget, const char *Point,
+             uint64_t StepCap)
+      : B(Budget), Point(Point), StepCap(StepCap),
+        FaultAtPoll(FaultInjector::instance().query(Point)) {}
+
+  /// Polls with the stage's own work counter; returns true once the
+  /// stage must stop (sticky).
+  bool poll(uint64_t StepsUsed) {
+    if (Exhausted)
+      return true;
+    Used = StepsUsed;
+    ++Polls;
+    if (FaultAtPoll && Polls >= FaultAtPoll) {
+      trip(std::string("fault:") + Point);
+      FaultInjector::instance().recordFired(Point);
+    } else if (StepCap && StepsUsed > StepCap) {
+      trip("step-cap");
+    } else if (B && B->BudgetMs && (Polls & DeadlinePollMask) == 0 &&
+               B->deadlineExpired()) {
+      trip("deadline");
+    }
+    return Exhausted;
+  }
+
+  /// Convenience for loops without their own counter: counts \p N
+  /// steps and polls.
+  bool spend(uint64_t N = 1) { return poll(Used + N); }
+
+  bool exhausted() const { return Exhausted; }
+  const std::string &reason() const { return Reason; }
+  uint64_t used() const { return Used; }
+
+private:
+  void trip(std::string Why) {
+    Exhausted = true;
+    Reason = std::move(Why);
+  }
+
+  /// The deadline is checked every 64 polls so a hot loop does not
+  /// read the clock on every iteration.
+  static constexpr uint64_t DeadlinePollMask = 63;
+
+  const AnalysisBudget *B;
+  const char *Point;
+  uint64_t StepCap;
+  uint64_t FaultAtPoll;
+  uint64_t Used = 0;
+  uint64_t Polls = 0;
+  bool Exhausted = false;
+  std::string Reason;
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_SUPPORT_BUDGET_H

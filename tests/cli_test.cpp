@@ -13,6 +13,7 @@
 #include <fstream>
 #include <algorithm>
 #include <string>
+#include <sys/wait.h>
 
 namespace {
 
@@ -156,4 +157,114 @@ TEST_F(CliTest, ChopMode) {
   std::string Out = run("--line 5 --chop 15");
   EXPECT_NE(Out.find("chop from line 5"), std::string::npos) << Out;
   EXPECT_NE(Out.find("main:15"), std::string::npos) << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Strict numeric parsing (previously atoi silently turned typos into 0)
+//===----------------------------------------------------------------------===//
+
+namespace {
+int exitCode(int PcloseStatus) {
+  return WIFEXITED(PcloseStatus) ? WEXITSTATUS(PcloseStatus) : -1;
+}
+} // namespace
+
+TEST_F(CliTest, NonNumericLineIsUsageError) {
+  int Status = 0;
+  std::string Out = run("--line abc", &Status);
+  EXPECT_EQ(exitCode(Status), 2) << Out;
+  EXPECT_NE(Out.find("--line expects a positive integer"), std::string::npos)
+      << Out;
+}
+
+TEST_F(CliTest, ZeroAndTrailingGarbageRejected) {
+  int Status = 0;
+  run("--line 0", &Status);
+  EXPECT_EQ(exitCode(Status), 2);
+  run("--line 15x", &Status);
+  EXPECT_EQ(exitCode(Status), 2);
+  run("--chop 0", &Status);
+  EXPECT_EQ(exitCode(Status), 2);
+  run("--line 15 --alias-depth zz", &Status);
+  EXPECT_EQ(exitCode(Status), 2);
+  std::string Out = run("--run --int 1x", &Status);
+  EXPECT_EQ(exitCode(Status), 2) << Out;
+  EXPECT_NE(Out.find("--int expects a nonzero integer"), std::string::npos)
+      << Out;
+}
+
+TEST_F(CliTest, NegativeIntInputAccepted) {
+  int Status = 0;
+  run("--run --int -1", &Status);
+  EXPECT_EQ(exitCode(Status), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// I/O failure reporting and seed-line suggestions
+//===----------------------------------------------------------------------===//
+
+TEST_F(CliTest, DotWriteFailureIsReported) {
+  int Status = 0;
+  std::string Out =
+      run("--line 15 --dot /nonexistent-dir/slice.dot", &Status);
+  EXPECT_EQ(exitCode(Status), 1) << Out;
+  EXPECT_NE(Out.find("cannot write"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("wrote "), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, NoStatementErrorSuggestsNearestLines) {
+  // Line 1 of the fixture file is blank; 2 and 3 carry statements.
+  int Status = 0;
+  std::string Out = run("--line 1", &Status);
+  EXPECT_EQ(exitCode(Status), 1) << Out;
+  EXPECT_NE(Out.find("no statement at line 1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("nearest statement lines:"), std::string::npos) << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Budgets, faults, and degradation exit codes
+//===----------------------------------------------------------------------===//
+
+TEST_F(CliTest, GenerousBudgetCompletes) {
+  int Status = 0;
+  std::string Out = run("--line 15 --budget-ms 60000", &Status);
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_NE(Out.find("pipeline: complete"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("thin slice from line 15"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, InjectedSliceFaultDegradesWithExitThree) {
+  int Status = 0;
+  std::string Out = run("--line 15 --fault slice.pop", &Status);
+  EXPECT_EQ(exitCode(Status), 3) << Out;
+  EXPECT_NE(Out.find("pipeline: degraded"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("fault:slice.pop"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, StrictBudgetRefusesDegradedResult) {
+  int Status = 0;
+  std::string Out = run("--line 15 --fault slice.pop --strict-budget",
+                        &Status);
+  EXPECT_EQ(exitCode(Status), 4) << Out;
+  EXPECT_NE(Out.find("refusing degraded result"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, UnknownFaultPointIsUsageError) {
+  int Status = 0;
+  std::string Out = run("--line 15 --fault no.such.point", &Status);
+  EXPECT_EQ(exitCode(Status), 2) << Out;
+  EXPECT_NE(Out.find("known points:"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, RunStepsTerminatesInfiniteLoop) {
+  std::ofstream F(Program);
+  F << "def main() {\n"
+       "  var i = 0;\n"
+       "  while (i < 10) { print(i); i = i - i; }\n"
+       "}\n";
+  F.close();
+  int Status = 0;
+  std::string Out = run("--run --run-steps 500", &Status);
+  EXPECT_EQ(exitCode(Status), 3) << Out;
+  EXPECT_NE(Out.find("step limit exceeded"), std::string::npos) << Out;
 }

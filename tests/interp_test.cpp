@@ -11,13 +11,19 @@ using namespace tsl;
 
 namespace {
 
-InterpResult run(const std::string &Source, InterpOptions Opts = {}) {
+// Keep holds the compiled program when the caller inspects pointers
+// into it (e.g. InterpResult::FailurePoint) after run() returns.
+InterpResult run(const std::string &Source, InterpOptions Opts = {},
+                 std::unique_ptr<Program> *Keep = nullptr) {
   DiagnosticEngine Diag;
   auto P = compileThinJ(Source, Diag);
   EXPECT_NE(P, nullptr) << Diag.str();
   if (!P)
     return {};
-  return interpret(*P, Opts);
+  InterpResult R = interpret(*P, Opts);
+  if (Keep)
+    *Keep = std::move(P);
+  return R;
 }
 
 } // namespace
@@ -194,13 +200,15 @@ def main() {
 //===----------------------------------------------------------------------===//
 
 TEST(InterpFailures, NullDereference) {
+  std::unique_ptr<Program> P;
   InterpResult R = run(R"(
 class A { var f: int; }
 def main() {
   var a: A = null;
   print(a.f);
 }
-)");
+)",
+                       {}, &P);
   EXPECT_FALSE(R.Completed);
   EXPECT_NE(R.Error.find("null dereference"), std::string::npos);
   ASSERT_NE(R.FailurePoint, nullptr);
@@ -233,12 +241,14 @@ TEST(InterpFailures, DivisionByZero) {
 }
 
 TEST(InterpFailures, UncaughtThrowReportsLine) {
+  std::unique_ptr<Program> P;
   InterpResult R = run(R"(
 class Oops { }
 def main() {
   throw new Oops();
 }
-)");
+)",
+                       {}, &P);
   EXPECT_TRUE(R.ThrewException);
   ASSERT_NE(R.FailurePoint, nullptr);
   EXPECT_EQ(R.FailurePoint->loc().Line, 4u);

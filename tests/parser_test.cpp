@@ -188,7 +188,9 @@ TEST(Parser, CastVsParenthesizedName) {
 TEST(Parser, CastOfArrayAndPrimitiveTypes) {
   EXPECT_EQ(exprOf(parseExpr("(string[]) x"))->Kind, ExprKind::Cast);
   EXPECT_EQ(exprOf(parseExpr("(string) x"))->Kind, ExprKind::Cast);
-  const auto *C = cast<CastExpr>(exprOf(parseExpr("(Foo[][]) x")));
+  // Keep the module alive while inspecting nodes inside it.
+  AstModule M = parseExpr("(Foo[][]) x");
+  const auto *C = cast<CastExpr>(exprOf(M));
   EXPECT_EQ(C->Target.ArrayRank, 2u);
 }
 
@@ -212,10 +214,12 @@ TEST(Parser, PostfixChains) {
 TEST(Parser, NewForms) {
   EXPECT_EQ(exprOf(parseExpr("new Foo(1, null)"))->Kind,
             ExprKind::NewObject);
-  const auto *NA = cast<NewArrayExpr>(exprOf(parseExpr("new int[10]")));
+  AstModule M1 = parseExpr("new int[10]");
+  const auto *NA = cast<NewArrayExpr>(exprOf(M1));
   EXPECT_EQ(NA->ElemType.BaseKind, TypeExprAst::Base::Int);
   // new Foo[n][] makes an array of Foo arrays.
-  const auto *NA2 = cast<NewArrayExpr>(exprOf(parseExpr("new Foo[n][]")));
+  AstModule M2 = parseExpr("new Foo[n][]");
+  const auto *NA2 = cast<NewArrayExpr>(exprOf(M2));
   EXPECT_EQ(NA2->ElemType.ArrayRank, 1u);
 }
 
@@ -230,9 +234,11 @@ TEST(Parser, ReadBuiltins) {
 }
 
 TEST(Parser, UnaryOperators) {
-  const auto *Neg = cast<UnaryExpr>(exprOf(parseExpr("-x")));
+  AstModule M1 = parseExpr("-x");
+  const auto *Neg = cast<UnaryExpr>(exprOf(M1));
   EXPECT_EQ(Neg->O, UnaryExpr::Op::Neg);
-  const auto *Not = cast<UnaryExpr>(exprOf(parseExpr("!x")));
+  AstModule M2 = parseExpr("!x");
+  const auto *Not = cast<UnaryExpr>(exprOf(M2));
   EXPECT_EQ(Not->O, UnaryExpr::Op::Not);
 }
 

@@ -188,3 +188,381 @@ TEST(Robustness, UnicodeBytesInStrings) {
   InterpResult R = interpret(*P);
   EXPECT_EQ(R.Output.front(), "\xc3\xa9\xe2\x82\xac");
 }
+
+//===----------------------------------------------------------------------===//
+// Pipeline exhaustion: budgets and fault injection (resource
+// governance). Degradation must be sound, never a crash.
+//===----------------------------------------------------------------------===//
+
+#include "eval/Workload.h"
+#include "modref/ModRef.h"
+#include "slicer/Chop.h"
+#include "slicer/Expansion.h"
+#include "slicer/Tabulation.h"
+#include "support/Budget.h"
+
+#include <set>
+
+namespace {
+
+std::unique_ptr<Program> compileWorkload(const WorkloadProgram &W) {
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(W.Source, Diag);
+  EXPECT_TRUE(P) << W.Name;
+  return P;
+}
+
+/// Every instruction that has a node in \p G (slice seeds).
+std::vector<const Instr *> allSeedInstrs(const Program &P, const SDG &G) {
+  std::vector<const Instr *> Out;
+  for (const auto &M : P.methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (G.nodeFor(I.get()) >= 0)
+          Out.push_back(I.get());
+  return Out;
+}
+
+/// Statement instruction set of a slice — the representation that is
+/// comparable across different SDGs of the same program (node and
+/// object ids are not).
+std::set<const Instr *> stmtSet(const SliceResult &S) {
+  auto V = S.statements();
+  return std::set<const Instr *>(V.begin(), V.end());
+}
+
+} // namespace
+
+// (b) of the exhaustion checklist: a budget-limited slice on a given
+// SDG is a subset of the unbudgeted traditional slice on that SDG,
+// for every statement of every debugging workload.
+TEST(PipelineExhaustion, DegradedSliceIsSubsetOfTraditional) {
+  FaultInjector::instance().reset();
+  AnalysisBudget Tight;
+  Tight.MaxSlicePops = 5;
+  for (const BugCase &Case : debuggingCases()) {
+    std::unique_ptr<Program> P = compileWorkload(Case.Prog);
+    ASSERT_TRUE(P);
+    std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+    std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr);
+    for (const Instr *Seed : allSeedInstrs(*P, *G)) {
+      SliceResult Budgeted =
+          sliceBackward(*G, Seed, SliceMode::Thin, &Tight);
+      SliceResult FullTrad =
+          sliceBackward(*G, Seed, SliceMode::Traditional);
+      EXPECT_TRUE(FullTrad.complete());
+      // Node-level subset on the shared graph.
+      BitSet Extra = Budgeted.nodeSet();
+      Extra.subtract(FullTrad.nodeSet());
+      EXPECT_EQ(Extra.count(), 0u)
+          << Case.Id << ": budgeted slice escaped the traditional slice";
+      if (!Budgeted.complete())
+        EXPECT_FALSE(Budgeted.degradedReason().empty());
+    }
+  }
+}
+
+// (a) of the checklist: a tight budget over the whole pipeline — PTA,
+// mod-ref, SDG, slicing — never crashes, and slices stay subsets of
+// the unbudgeted traditional slice computed on the same (possibly
+// degraded) graph.
+TEST(PipelineExhaustion, TightFullPipelineBudgetNeverCrashes) {
+  FaultInjector::instance().reset();
+  AnalysisBudget Tight;
+  Tight.MaxPtaPropagations = 20;
+  Tight.MaxModRefSteps = 5;
+  Tight.MaxSdgNodes = 40;
+  Tight.MaxSdgEdges = 6;
+  Tight.MaxSlicePops = 8;
+  Tight.MaxExpansionRounds = 1;
+  for (const BugCase &Case : debuggingCases()) {
+    std::unique_ptr<Program> P = compileWorkload(Case.Prog);
+    ASSERT_TRUE(P);
+    PTAOptions PO;
+    PO.Budget = &Tight;
+    std::unique_ptr<PointsToResult> PTA = runPointsTo(*P, PO);
+    SDGOptions SO;
+    SO.Budget = &Tight;
+    std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr, SO);
+    for (const Instr *Seed : allSeedInstrs(*P, *G)) {
+      SliceResult S = sliceBackward(*G, Seed, SliceMode::Thin, &Tight);
+      SliceResult Trad = sliceBackward(*G, Seed, SliceMode::Traditional);
+      BitSet Extra = S.nodeSet();
+      Extra.subtract(Trad.nodeSet());
+      EXPECT_EQ(Extra.count(), 0u) << Case.Id;
+    }
+  }
+}
+
+// PTA degradation is an over-approximation: whatever the precise
+// object-sensitive analysis says may alias, the coarse CHA + all-heap
+// fallback must also say may alias, and the thin slice computed over
+// the coarse pipeline must cover the precise thin slice
+// statement-for-statement.
+TEST(PipelineExhaustion, CoarsePtaFallbackOverApproximates) {
+  FaultInjector &FI = FaultInjector::instance();
+  WorkloadProgram W = makeFigure1();
+  std::unique_ptr<Program> P = compileWorkload(W);
+  ASSERT_TRUE(P);
+
+  FI.reset();
+  std::unique_ptr<PointsToResult> Precise = runPointsTo(*P);
+  ASSERT_FALSE(Precise->report().degraded());
+  std::unique_ptr<SDG> PreciseG = buildSDG(*P, *Precise, nullptr);
+
+  FI.reset();
+  FI.arm("pta.solve");
+  std::unique_ptr<PointsToResult> Coarse = runPointsTo(*P);
+  EXPECT_TRUE(FI.fired().count("pta.solve"));
+  FI.reset();
+  ASSERT_TRUE(Coarse->report().degraded());
+  EXPECT_EQ(Coarse->report().Reason, "fault:pta.solve");
+  EXPECT_FALSE(Coarse->report().Fallback.empty());
+
+  // mayAlias implication over every pair of reference locals.
+  std::vector<const Local *> Refs;
+  for (const auto &M : P->methods())
+    for (const auto &L : M->locals())
+      if (L->type()->isReference())
+        Refs.push_back(L.get());
+  for (const Local *A : Refs)
+    for (const Local *B : Refs)
+      if (Precise->mayAlias(A, B))
+        EXPECT_TRUE(Coarse->mayAlias(A, B));
+
+  // The CHA call graph covers at least the precisely reachable
+  // methods.
+  for (const Method *M : Precise->callGraph().reachableMethods())
+    EXPECT_TRUE(Coarse->callGraph().isReachable(M));
+
+  // Statement-level slice coverage on the coarse-PTA graph.
+  std::unique_ptr<SDG> CoarseG = buildSDG(*P, *Coarse, nullptr);
+  for (const Instr *Seed : allSeedInstrs(*P, *PreciseG)) {
+    if (CoarseG->nodeFor(Seed) < 0)
+      continue;
+    std::set<const Instr *> PreciseStmts =
+        stmtSet(sliceBackward(*PreciseG, Seed, SliceMode::Thin));
+    std::set<const Instr *> CoarseStmts =
+        stmtSet(sliceBackward(*CoarseG, Seed, SliceMode::Thin));
+    for (const Instr *I : PreciseStmts)
+      EXPECT_TRUE(CoarseStmts.count(I))
+          << "coarse thin slice lost a precise statement";
+  }
+}
+
+// SDG degradation (merged clones + coarse heap hubs) must also cover
+// the precise thin slice at statement level.
+TEST(PipelineExhaustion, CoarseSdgFallbackOverApproximates) {
+  FaultInjector::instance().reset();
+  WorkloadProgram W = makeFigure1();
+  std::unique_ptr<Program> P = compileWorkload(W);
+  ASSERT_TRUE(P);
+  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+  std::unique_ptr<SDG> PreciseG = buildSDG(*P, *PTA, nullptr);
+  ASSERT_FALSE(PreciseG->report().degraded());
+
+  AnalysisBudget B;
+  B.MaxSdgNodes = 1;
+  B.MaxSdgEdges = 1;
+  SDGOptions SO;
+  SO.Budget = &B;
+  std::unique_ptr<SDG> CoarseG = buildSDG(*P, *PTA, nullptr, SO);
+  ASSERT_TRUE(CoarseG->report().degraded());
+  EXPECT_NE(CoarseG->report().Fallback.find("context-merged clones"),
+            std::string::npos);
+  EXPECT_NE(CoarseG->report().Fallback.find("coarse heap hubs"),
+            std::string::npos);
+
+  for (const Instr *Seed : allSeedInstrs(*P, *PreciseG)) {
+    ASSERT_GE(CoarseG->nodeFor(Seed), 0);
+    std::set<const Instr *> PreciseStmts =
+        stmtSet(sliceBackward(*PreciseG, Seed, SliceMode::Thin));
+    std::set<const Instr *> CoarseStmts =
+        stmtSet(sliceBackward(*CoarseG, Seed, SliceMode::Thin));
+    for (const Instr *I : PreciseStmts)
+      EXPECT_TRUE(CoarseStmts.count(I))
+          << "degraded SDG lost a precise thin-slice statement";
+  }
+}
+
+// ModRef degradation: all-partitions mod/ref is a superset of the
+// precise closure for every reachable method.
+TEST(PipelineExhaustion, ModRefFallbackOverApproximates) {
+  FaultInjector &FI = FaultInjector::instance();
+  WorkloadProgram W = makeFigure1();
+  std::unique_ptr<Program> P = compileWorkload(W);
+  ASSERT_TRUE(P);
+  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+
+  FI.reset();
+  ModRefResult Precise(*P, *PTA);
+  ASSERT_FALSE(Precise.report().degraded());
+
+  FI.reset();
+  FI.arm("modref.closure");
+  ModRefResult Degraded(*P, *PTA);
+  EXPECT_TRUE(FI.fired().count("modref.closure"));
+  FI.reset();
+  ASSERT_TRUE(Degraded.report().degraded());
+
+  for (const Method *M : PTA->callGraph().reachableMethods()) {
+    BitSet Mod = Precise.modOf(M);
+    Mod.subtract(Degraded.modOf(M));
+    EXPECT_EQ(Mod.count(), 0u);
+    BitSet Ref = Precise.refOf(M);
+    Ref.subtract(Degraded.refOf(M));
+    EXPECT_EQ(Ref.count(), 0u);
+  }
+}
+
+// (c) of the checklist: every registered fault point fires at least
+// once, and each stage's degradation path returns a sound result.
+TEST(PipelineExhaustion, EveryFaultPointFiresWithSoundDegradation) {
+  FaultInjector &FI = FaultInjector::instance();
+  WorkloadProgram W = makeFigure1();
+  std::unique_ptr<Program> P = compileWorkload(W);
+  ASSERT_TRUE(P);
+  const Instr *Seed = instrAtLine(*P, W.markerLine("seed"));
+  ASSERT_TRUE(Seed);
+
+  // Unfaulted references.
+  FI.reset();
+  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+  std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr);
+  std::set<const Instr *> FullThin =
+      stmtSet(sliceBackward(*G, Seed, SliceMode::Thin));
+  ModRefResult MR(*P, *PTA);
+  SDGOptions CsOpts;
+  CsOpts.ContextSensitive = true;
+  std::unique_ptr<SDG> CsG = buildSDG(*P, *PTA, &MR, CsOpts);
+  SliceResult FullTab = TabulationSlicer(*CsG, SliceMode::Thin).slice(Seed);
+  SliceResult FullExpand =
+      ThinExpansion(*G, *PTA).expandToTraditional(Seed);
+
+  std::set<std::string> Covered;
+  for (const std::string &Point : FaultInjector::knownPoints()) {
+    FI.reset();
+    FI.arm(Point);
+
+    if (Point == "pta.solve") {
+      std::unique_ptr<PointsToResult> R = runPointsTo(*P);
+      EXPECT_TRUE(R->report().degraded());
+    } else if (Point == "modref.closure") {
+      ModRefResult R(*P, *PTA);
+      EXPECT_TRUE(R.report().degraded());
+    } else if (Point == "sdg.clones" || Point == "sdg.heap") {
+      std::unique_ptr<SDG> DG = buildSDG(*P, *PTA, nullptr);
+      EXPECT_TRUE(DG->report().degraded()) << Point;
+      // Over-approximation: the degraded graph's thin slice covers
+      // the precise one.
+      if (DG->nodeFor(Seed) >= 0) {
+        std::set<const Instr *> S =
+            stmtSet(sliceBackward(*DG, Seed, SliceMode::Thin));
+        for (const Instr *I : FullThin)
+          EXPECT_TRUE(S.count(I)) << Point;
+      }
+    } else if (Point == "slice.pop") {
+      SliceResult S = sliceBackward(*G, Seed, SliceMode::Thin);
+      EXPECT_FALSE(S.complete());
+      // Under-approximation on the same graph.
+      BitSet Extra = S.nodeSet();
+      Extra.subtract(
+          sliceBackward(*G, Seed, SliceMode::Traditional).nodeSet());
+      EXPECT_EQ(Extra.count(), 0u);
+    } else if (Point == "tabulation.summary") {
+      SliceResult S = TabulationSlicer(*CsG, SliceMode::Thin).slice(Seed);
+      EXPECT_FALSE(S.complete());
+      BitSet Extra = S.nodeSet();
+      Extra.subtract(FullTab.nodeSet());
+      EXPECT_EQ(Extra.count(), 0u);
+    } else if (Point == "expand.round") {
+      SliceResult S = ThinExpansion(*G, *PTA).expandToTraditional(Seed);
+      EXPECT_FALSE(S.complete());
+      BitSet Extra = S.nodeSet();
+      Extra.subtract(FullExpand.nodeSet());
+      EXPECT_EQ(Extra.count(), 0u);
+    } else if (Point == "interp.step" || Point == "interp.output") {
+      InterpOptions IO;
+      IO.InputLines = {"John Doe"};
+      IO.InputInts = {1};
+      InterpResult R = interpret(*P, IO);
+      EXPECT_TRUE(R.HitLimit) << Point;
+      EXPECT_FALSE(R.Error.empty());
+    } else {
+      ADD_FAILURE() << "fault point without a coverage case: " << Point;
+    }
+
+    EXPECT_TRUE(FI.fired().count(Point))
+        << "fault point never fired: " << Point;
+    if (FI.fired().count(Point))
+      Covered.insert(Point);
+  }
+  FI.reset();
+  EXPECT_EQ(Covered.size(), FaultInjector::knownPoints().size());
+}
+
+// Satellite: the interpreter's default limits and the budget gate
+// terminate runaway programs with a diagnostic.
+TEST(PipelineExhaustion, InterpreterLimitsStopRunawayPrograms) {
+  FaultInjector::instance().reset();
+  const std::string Loop = R"(
+def main() {
+  var i = 0;
+  while (i < 10) {
+    print("spin");
+    i = i - i;
+  }
+}
+)";
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(Loop, Diag);
+  ASSERT_TRUE(P);
+
+  InterpOptions StepLimited;
+  StepLimited.MaxSteps = 1'000;
+  InterpResult R1 = interpret(*P, StepLimited);
+  EXPECT_FALSE(R1.Completed);
+  EXPECT_TRUE(R1.HitLimit);
+  EXPECT_NE(R1.Error.find("step limit exceeded"), std::string::npos);
+
+  InterpOptions OutLimited;
+  OutLimited.MaxOutputBytes = 64;
+  InterpResult R2 = interpret(*P, OutLimited);
+  EXPECT_TRUE(R2.HitLimit);
+  EXPECT_NE(R2.Error.find("output limit exceeded"), std::string::npos);
+  EXPECT_LE(R2.Output.size(), 13u);
+
+  AnalysisBudget B;
+  B.MaxInterpSteps = 500;
+  InterpOptions Budgeted;
+  Budgeted.Budget = &B;
+  InterpResult R3 = interpret(*P, Budgeted);
+  EXPECT_TRUE(R3.HitLimit);
+  EXPECT_NE(R3.Error.find("interpreter budget exhausted"),
+            std::string::npos);
+  EXPECT_LE(R3.Steps, 501u);
+}
+
+// Chops inherit degradation from either constituent slice and stay
+// subsets of the unbudgeted chop.
+TEST(PipelineExhaustion, BudgetedChopIsSubset) {
+  FaultInjector::instance().reset();
+  WorkloadProgram W = makeFigure1();
+  std::unique_ptr<Program> P = compileWorkload(W);
+  ASSERT_TRUE(P);
+  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P);
+  std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr);
+  const Instr *Src = instrAtLine(*P, W.markerLine("add"));
+  const Instr *Snk = instrAtLine(*P, W.markerLine("seed"));
+  ASSERT_TRUE(Src && Snk);
+
+  SliceResult Full = chop(*G, Src, Snk, SliceMode::Thin);
+  AnalysisBudget Tight;
+  Tight.MaxSlicePops = 3;
+  SliceResult Budgeted = chop(*G, Src, Snk, SliceMode::Thin, &Tight);
+  BitSet Extra = Budgeted.nodeSet();
+  Extra.subtract(Full.nodeSet());
+  EXPECT_EQ(Extra.count(), 0u);
+  if (!Budgeted.complete())
+    EXPECT_FALSE(Budgeted.degradedReason().empty());
+}

@@ -1,6 +1,7 @@
 //===-- support_test.cpp - Support library unit tests -------------------------==//
 
 #include "support/BitSet.h"
+#include "support/Budget.h"
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
 #include "support/StringTable.h"
@@ -299,4 +300,105 @@ TEST(Casting, IsaAndDynCast) {
   EXPECT_EQ(cast<Square>(B), &Sq);
   EXPECT_EQ(dyn_cast_or_null<Square>(static_cast<BaseThing *>(nullptr)),
             nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisBudget / BudgetGate / FaultInjector
+//===----------------------------------------------------------------------===//
+
+TEST(Budget, NullBudgetGateNeverTrips) {
+  FaultInjector::instance().reset();
+  BudgetGate Gate(nullptr, "slice.pop", 0);
+  for (unsigned I = 0; I != 10'000; ++I)
+    EXPECT_FALSE(Gate.spend());
+  EXPECT_FALSE(Gate.exhausted());
+  EXPECT_EQ(Gate.used(), 10'000u);
+}
+
+TEST(Budget, StepCapTripsAndIsSticky) {
+  FaultInjector::instance().reset();
+  AnalysisBudget B;
+  BudgetGate Gate(&B, "slice.pop", 10);
+  for (unsigned I = 0; I != 10; ++I)
+    EXPECT_FALSE(Gate.spend()) << "step " << I;
+  EXPECT_TRUE(Gate.spend()); // 11 > 10.
+  EXPECT_TRUE(Gate.exhausted());
+  EXPECT_EQ(Gate.reason(), "step-cap");
+  EXPECT_TRUE(Gate.spend()); // Sticky.
+  EXPECT_TRUE(Gate.poll(0)); // Even when the counter would be fine.
+}
+
+TEST(Budget, DeadlineExpiresOnlyAfterStart) {
+  FaultInjector::instance().reset();
+  AnalysisBudget B;
+  B.BudgetMs = 1;
+  // Not started: the deadline never fires.
+  BudgetGate Unstarted(&B, "slice.pop", 0);
+  for (unsigned I = 0; I != 500; ++I)
+    EXPECT_FALSE(Unstarted.spend());
+
+  B.start();
+  auto Busy = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(5);
+  while (std::chrono::steady_clock::now() < Busy)
+    ;
+  BudgetGate Gate(&B, "slice.pop", 0);
+  bool Tripped = false;
+  // The clock is read every 64 polls; a few hundred polls guarantee a
+  // check after the deadline has passed.
+  for (unsigned I = 0; I != 500 && !Tripped; ++I)
+    Tripped = Gate.spend();
+  EXPECT_TRUE(Tripped);
+  EXPECT_EQ(Gate.reason(), "deadline");
+  EXPECT_TRUE(B.deadlineExpired());
+  EXPECT_GT(B.elapsedSeconds(), 0.0);
+}
+
+TEST(Budget, FaultFiresAtChosenPoll) {
+  FaultInjector &FI = FaultInjector::instance();
+  FI.reset();
+  FI.arm("slice.pop", 3);
+  BudgetGate Gate(nullptr, "slice.pop", 0);
+  EXPECT_TRUE(FI.reached().count("slice.pop"));
+  EXPECT_FALSE(Gate.spend());
+  EXPECT_FALSE(Gate.spend());
+  EXPECT_TRUE(Gate.spend()); // Third poll.
+  EXPECT_EQ(Gate.reason(), "fault:slice.pop");
+  EXPECT_TRUE(FI.fired().count("slice.pop"));
+  // Unarmed points are unaffected.
+  BudgetGate Other(nullptr, "pta.solve", 0);
+  EXPECT_FALSE(Other.spend());
+  FI.reset();
+  EXPECT_FALSE(FI.anyArmed());
+}
+
+TEST(Budget, FaultSpecParsing) {
+  FaultInjector &FI = FaultInjector::instance();
+  FI.reset();
+  EXPECT_TRUE(FI.armFromSpec("slice.pop,pta.solve:100"));
+  EXPECT_TRUE(FI.anyArmed());
+  EXPECT_FALSE(FI.armFromSpec("no.such.point"));
+  FI.reset();
+  EXPECT_TRUE(FI.armFromSpec("all"));
+  for (const std::string &P : FaultInjector::knownPoints()) {
+    BudgetGate Gate(nullptr, P.c_str(), 0);
+    EXPECT_TRUE(Gate.spend()) << P;
+  }
+  FI.reset();
+}
+
+TEST(Budget, PipelineStatusAggregates) {
+  PipelineStatus S;
+  S.add({"pta", StageStatus::Complete, "", "", 42, 0.1});
+  EXPECT_TRUE(S.complete());
+  S.add({"sdg", StageStatus::Degraded, "step-cap", "coarse heap hubs", 7,
+         0.2});
+  EXPECT_FALSE(S.complete());
+  ASSERT_NE(S.find("sdg"), nullptr);
+  EXPECT_TRUE(S.find("sdg")->degraded());
+  EXPECT_EQ(S.find("nope"), nullptr);
+  std::string Str = S.str();
+  EXPECT_NE(Str.find("pipeline: degraded"), std::string::npos) << Str;
+  EXPECT_NE(Str.find("step-cap"), std::string::npos) << Str;
+  EXPECT_NE(Str.find("coarse heap hubs"), std::string::npos) << Str;
 }

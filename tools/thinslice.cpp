@@ -14,6 +14,11 @@
 //   thinslice prog.tsj --run --int 1 --in "John Doe"
 //   thinslice prog.tsj --line 24 --dot slice.dot
 //   thinslice prog.tsj --dump-ir / --stats
+//   thinslice prog.tsj --line 24 --budget-ms 50
+//
+// Exit codes: 0 success (complete result), 1 file/compile/write error,
+// 2 usage error, 3 budget-degraded result, 4 degraded result refused
+// by --strict-budget.
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,7 +36,13 @@
 #include "slicer/Slicer.h"
 #include "slicer/Tabulation.h"
 
+#include "support/Budget.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -63,6 +74,22 @@ struct CliOptions {
   std::string DotFile;
   std::vector<std::string> InputLines;
   std::vector<int64_t> InputInts;
+  /// Resource governance (tentpole): any of these makes the run
+  /// "governed" — a pipeline status report is printed and the exit
+  /// code reflects degradation.
+  uint64_t BudgetMs = 0;
+  uint64_t MaxSdgNodes = 0;
+  uint64_t MaxSliceStmts = 0;
+  uint64_t RunSteps = 0;
+  bool StrictBudget = false;
+  std::string FaultSpec;
+
+  bool governed() const {
+    // TSL_FAULT arms the injector without any CLI flag; env-armed runs
+    // must still report status and map degradation to the exit code.
+    return BudgetMs || MaxSdgNodes || MaxSliceStmts || !FaultSpec.empty() ||
+           FaultInjector::instance().anyArmed();
+  }
 };
 
 void usage() {
@@ -74,7 +101,53 @@ void usage() {
           "                 [--dot FILE] [--dump-ir] [--stats] [--why]\n"
           "                 [--no-runtime] [--pta-stats] [--pta-naive]\n"
           "                 [--pta-no-delta] [--pta-no-cycle-elim]\n"
-          "                 [--pta-worklist fifo|lrf|topo]\n");
+          "                 [--pta-worklist fifo|lrf|topo]\n"
+          "                 [--budget-ms N] [--max-sdg-nodes N]\n"
+          "                 [--max-slice-stmts N] [--strict-budget]\n"
+          "                 [--fault POINT[:N],...|all] [--run-steps N]\n"
+          "exit codes: 0 complete, 1 file error, 2 usage,\n"
+          "            3 degraded by budget, 4 refused (--strict-budget)\n");
+}
+
+/// Strict decimal parse of a positive count. atoi-style silent
+/// acceptance of "abc" (as 0) turned typos into "no seed"; reject
+/// anything that is not a digit string, plus zero.
+bool parsePositive(const char *Flag, const char *V, uint64_t &Out) {
+  bool Digits = V && *V;
+  for (const char *C = V; Digits && *C; ++C)
+    if (!isdigit(static_cast<unsigned char>(*C)))
+      Digits = false;
+  if (!Digits) {
+    fprintf(stderr, "error: %s expects a positive integer, got '%s'\n", Flag,
+            V ? V : "");
+    return false;
+  }
+  errno = 0;
+  Out = strtoull(V, nullptr, 10);
+  if (errno == ERANGE || Out == 0) {
+    fprintf(stderr, "error: %s expects a positive integer, got '%s'\n", Flag,
+            V);
+    return false;
+  }
+  return true;
+}
+
+/// Strict parse of a nonzero signed integer for --int.
+bool parseNonZeroInt(const char *Flag, const char *V, int64_t &Out) {
+  const char *Body = V && *V == '-' ? V + 1 : V;
+  bool Digits = Body && *Body;
+  for (const char *C = Body; Digits && *C; ++C)
+    if (!isdigit(static_cast<unsigned char>(*C)))
+      Digits = false;
+  if (Digits) {
+    errno = 0;
+    Out = strtoll(V, nullptr, 10);
+    if (errno != ERANGE && Out != 0)
+      return true;
+  }
+  fprintf(stderr, "error: %s expects a nonzero integer, got '%s'\n", Flag,
+          V ? V : "");
+  return false;
 }
 
 bool parseArgs(int argc, char **argv, CliOptions &Opts) {
@@ -84,15 +157,15 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       return I + 1 < argc ? argv[++I] : nullptr;
     };
     if (Arg == "--line") {
-      const char *V = Next();
-      if (!V)
+      uint64_t N;
+      if (!parsePositive("--line", Next(), N))
         return false;
-      Opts.Line = static_cast<unsigned>(atoi(V));
+      Opts.Line = static_cast<unsigned>(N);
     } else if (Arg == "--chop") {
-      const char *V = Next();
-      if (!V)
+      uint64_t N;
+      if (!parsePositive("--chop", Next(), N))
         return false;
-      Opts.ChopSink = static_cast<unsigned>(atoi(V));
+      Opts.ChopSink = static_cast<unsigned>(N);
     } else if (Arg == "--mode") {
       const char *V = Next();
       if (!V)
@@ -104,10 +177,10 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       else
         return false;
     } else if (Arg == "--alias-depth") {
-      const char *V = Next();
-      if (!V)
+      uint64_t N;
+      if (!parsePositive("--alias-depth", Next(), N))
         return false;
-      Opts.AliasDepth = static_cast<unsigned>(atoi(V));
+      Opts.AliasDepth = static_cast<unsigned>(N);
     } else if (Arg == "--expand") {
       Opts.Expand = true;
     } else if (Arg == "--forward") {
@@ -124,10 +197,10 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
         return false;
       Opts.InputLines.push_back(V);
     } else if (Arg == "--int") {
-      const char *V = Next();
-      if (!V)
+      int64_t N;
+      if (!parseNonZeroInt("--int", Next(), N))
         return false;
-      Opts.InputInts.push_back(atoll(V));
+      Opts.InputInts.push_back(N);
     } else if (Arg == "--dot") {
       const char *V = Next();
       if (!V)
@@ -161,6 +234,25 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.Why = true;
     } else if (Arg == "--no-runtime") {
       Opts.NoRuntime = true;
+    } else if (Arg == "--budget-ms") {
+      if (!parsePositive("--budget-ms", Next(), Opts.BudgetMs))
+        return false;
+    } else if (Arg == "--max-sdg-nodes") {
+      if (!parsePositive("--max-sdg-nodes", Next(), Opts.MaxSdgNodes))
+        return false;
+    } else if (Arg == "--max-slice-stmts") {
+      if (!parsePositive("--max-slice-stmts", Next(), Opts.MaxSliceStmts))
+        return false;
+    } else if (Arg == "--run-steps") {
+      if (!parsePositive("--run-steps", Next(), Opts.RunSteps))
+        return false;
+    } else if (Arg == "--strict-budget") {
+      Opts.StrictBudget = true;
+    } else if (Arg == "--fault") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.FaultSpec = V;
     } else if (Arg.rfind("--", 0) == 0) {
       fprintf(stderr, "unknown option %s\n", Arg.c_str());
       return false;
@@ -183,6 +275,39 @@ const Instr *seedAtLine(const Program &P, unsigned Line) {
   return Last;
 }
 
+/// Reports the missing seed and suggests the nearest user-file lines
+/// (relative to \p LineOffset) that do carry statements.
+void reportNoStatement(const Program &P, unsigned UserLine,
+                       unsigned LineOffset) {
+  unsigned AbsLine = UserLine + LineOffset;
+  unsigned Below = 0, Above = ~0u;
+  for (const auto &M : P.methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs()) {
+        unsigned L = I->loc().Line;
+        if (L <= LineOffset) // Runtime-library prefix.
+          continue;
+        if (L < AbsLine)
+          Below = std::max(Below, L);
+        else if (L > AbsLine)
+          Above = std::min(Above, L);
+      }
+  std::string Near;
+  if (Below)
+    Near += std::to_string(Below - LineOffset);
+  if (Above != ~0u) {
+    if (!Near.empty())
+      Near += ", ";
+    Near += std::to_string(Above - LineOffset);
+  }
+  if (Near.empty())
+    fprintf(stderr, "error: no statement at line %u\n", UserLine);
+  else
+    fprintf(stderr,
+            "error: no statement at line %u (nearest statement lines: %s)\n",
+            UserLine, Near.c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -190,6 +315,32 @@ int main(int argc, char **argv) {
   if (!parseArgs(argc, argv, Opts)) {
     usage();
     return 2;
+  }
+
+  if (!Opts.FaultSpec.empty() &&
+      !FaultInjector::instance().armFromSpec(Opts.FaultSpec)) {
+    std::string Known;
+    for (const std::string &P : FaultInjector::knownPoints()) {
+      if (!Known.empty())
+        Known += ", ";
+      Known += P;
+    }
+    fprintf(stderr, "error: bad --fault spec '%s' (known points: %s)\n",
+            Opts.FaultSpec.c_str(), Known.c_str());
+    return 2;
+  }
+
+  // The shared budget is only materialized when a cap is requested:
+  // without flags every stage sees a null budget and runs the exact
+  // pre-existing code paths (zero-overhead default).
+  AnalysisBudget Budget;
+  const AnalysisBudget *B = nullptr;
+  if (Opts.BudgetMs || Opts.MaxSdgNodes || Opts.MaxSliceStmts) {
+    Budget.BudgetMs = Opts.BudgetMs;
+    Budget.MaxSdgNodes = Opts.MaxSdgNodes;
+    Budget.MaxSlicePops = Opts.MaxSliceStmts;
+    Budget.start();
+    B = &Budget;
   }
 
   std::ifstream In(Opts.File);
@@ -229,11 +380,17 @@ int main(int argc, char **argv) {
     InterpOptions RunOpts;
     RunOpts.InputLines = Opts.InputLines;
     RunOpts.InputInts = Opts.InputInts;
+    RunOpts.Budget = B;
+    if (Opts.RunSteps)
+      RunOpts.MaxSteps = Opts.RunSteps;
     InterpResult R = interpret(*P, RunOpts);
     for (const std::string &Line : R.Output)
       printf("%s\n", Line.c_str());
     if (!R.Completed)
       fprintf(stderr, "%s\n", R.Error.c_str());
+    if (R.HitLimit && !Opts.Line && Opts.DotFile.empty() && !Opts.Stats &&
+        !Opts.PtaStats)
+      return Opts.StrictBudget ? 4 : 3;
   }
 
   if (!Opts.Line && Opts.DotFile.empty() && !Opts.Stats && !Opts.PtaStats)
@@ -243,6 +400,7 @@ int main(int argc, char **argv) {
   PtaOpts.ObjSensContainers = !Opts.NoObjSens;
   PtaOpts.DeltaPropagation = !Opts.PtaNoDelta && !Opts.PtaNaive;
   PtaOpts.CycleElimination = !Opts.PtaNoCycleElim && !Opts.PtaNaive;
+  PtaOpts.Budget = B;
   if (Opts.PtaNaive)
     PtaOpts.Policy = WorklistPolicy::FIFO;
   else
@@ -254,11 +412,41 @@ int main(int argc, char **argv) {
 
   std::unique_ptr<ModRefResult> MR;
   SDGOptions SdgOpts;
+  SdgOpts.Budget = B;
   if (Opts.ContextSensitive) {
-    MR = std::make_unique<ModRefResult>(*P, *PTA);
+    MR = std::make_unique<ModRefResult>(*P, *PTA, B);
     SdgOpts.ContextSensitive = true;
   }
   std::unique_ptr<SDG> G = buildSDG(*P, *PTA, MR.get(), SdgOpts);
+
+  // Governed runs report per-stage status and map degradation onto the
+  // exit code; ungoverned runs keep the historical 0/1/2 codes and
+  // byte-identical output.
+  PipelineStatus Status;
+  Status.add(PTA->report());
+  if (MR)
+    Status.add(MR->report());
+  Status.add(G->report());
+  auto Finish = [&](const SliceResult *Slice) {
+    if (Slice) {
+      StageReport SR{"slice",
+                     Slice->complete() ? StageStatus::Complete
+                                       : StageStatus::Degraded,
+                     Slice->degradedReason(),
+                     Slice->complete() ? "" : "partial slice", 0, 0};
+      Status.add(std::move(SR));
+    }
+    if (!Opts.governed())
+      return 0;
+    fprintf(stderr, "%s", Status.str().c_str());
+    if (Status.complete())
+      return 0;
+    if (Opts.StrictBudget) {
+      fprintf(stderr, "refusing degraded result (--strict-budget)\n");
+      return 4;
+    }
+    return 3;
+  };
 
   if (Opts.Stats) {
     printf("classes: %zu, reachable methods: %zu, cg nodes: %zu\n",
@@ -272,15 +460,20 @@ int main(int argc, char **argv) {
     if (!Opts.DotFile.empty()) {
       std::ofstream Dot(Opts.DotFile);
       Dot << exportDot(*G);
+      Dot.flush();
+      if (!Dot) {
+        fprintf(stderr, "error: cannot write %s\n", Opts.DotFile.c_str());
+        return 1;
+      }
     }
-    return 0;
+    return Finish(nullptr);
   }
 
   // User line numbers are relative to the user's file.
   unsigned AbsLine = Opts.Line + LineOffset;
   const Instr *Seed = seedAtLine(*P, AbsLine);
   if (!Seed) {
-    fprintf(stderr, "error: no statement at line %u\n", Opts.Line);
+    reportNoStatement(*P, Opts.Line, LineOffset);
     return 1;
   }
 
@@ -289,36 +482,36 @@ int main(int argc, char **argv) {
   if (Opts.ChopSink) {
     const Instr *Sink = seedAtLine(*P, Opts.ChopSink + LineOffset);
     if (!Sink) {
-      fprintf(stderr, "error: no statement at line %u\n", Opts.ChopSink);
+      reportNoStatement(*P, Opts.ChopSink, LineOffset);
       return 1;
     }
-    Slice = chop(*G, Seed, Sink, Opts.Mode);
+    Slice = chop(*G, Seed, Sink, Opts.Mode, B);
     What = "chop";
   } else if (Opts.Forward) {
-    Slice = sliceForward(*G, Seed, Opts.Mode);
+    Slice = sliceForward(*G, Seed, Opts.Mode, B);
     What = "forward slice";
   } else if (Opts.ContextSensitive) {
-    TabulationSlicer Tab(*G, Opts.Mode);
+    TabulationSlicer Tab(*G, Opts.Mode, B);
     Slice = Tab.slice(Seed);
     What = "context-sensitive slice";
   } else if (Opts.Expand) {
-    ThinExpansion Exp(*G, *PTA);
+    ThinExpansion Exp(*G, *PTA, B);
     Slice = Exp.expandToTraditional(Seed);
     What = "fully expanded thin slice";
   } else if (Opts.AliasDepth) {
-    ThinExpansion Exp(*G, *PTA);
+    ThinExpansion Exp(*G, *PTA, B);
     Slice = Exp.thinSliceWithAliasDepth(Seed, Opts.AliasDepth);
     What = "thin slice (+" + std::to_string(Opts.AliasDepth) +
            " aliasing levels)";
   } else {
-    Slice = sliceBackward(*G, Seed, Opts.Mode);
+    Slice = sliceBackward(*G, Seed, Opts.Mode, B);
     What = Opts.Mode == SliceMode::Thin ? "thin slice" : "traditional slice";
   }
 
   if (Opts.Why && !Opts.ChopSink && !Opts.Forward) {
     SliceNarration Story = narrateSlice(*G, Seed, Opts.Mode);
     printf("%s", Story.str(LineOffset).c_str());
-    return 0;
+    return Finish(&Slice);
   }
 
   printf("%s from line %u: %u statements, %zu source lines\n",
@@ -337,7 +530,12 @@ int main(int argc, char **argv) {
     DO.Restrict = &Nodes;
     std::ofstream Dot(Opts.DotFile);
     Dot << exportDot(*G, DO);
+    Dot.flush();
+    if (!Dot) {
+      fprintf(stderr, "error: cannot write %s\n", Opts.DotFile.c_str());
+      return 1;
+    }
     printf("wrote %s\n", Opts.DotFile.c_str());
   }
-  return 0;
+  return Finish(&Slice);
 }
