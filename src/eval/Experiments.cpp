@@ -7,12 +7,15 @@
 #include "modref/ModRef.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
+#include "slicer/Engine.h"
 #include "slicer/Inspection.h"
 #include "slicer/Slicer.h"
 #include "slicer/Tabulation.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <stdexcept>
 
@@ -99,6 +102,40 @@ InspectionQuery makeQuery(const Compiled &C, const WorkloadProgram &W,
   }
   Q.ExpandAliasOneLevel = ExpandAlias;
   return Q;
+}
+
+/// Fills InspectionRow::ThinSliceStmts/TradSliceStmts for a set of
+/// (graph, seed, row) triples with one SliceEngine batch per graph and
+/// mode — the Tables 2/3 batched-query path.
+struct SliceSizeRequest {
+  const SDG *G;
+  const Instr *Seed;
+  std::size_t RowIdx;
+};
+
+void fillSliceSizes(std::vector<InspectionRow> &Rows,
+                    const std::vector<SliceSizeRequest> &Requests) {
+  std::map<const SDG *, std::vector<const SliceSizeRequest *>> ByGraph;
+  for (const SliceSizeRequest &R : Requests)
+    if (R.Seed)
+      ByGraph[R.G].push_back(&R);
+  for (const auto &[G, Reqs] : ByGraph) {
+    std::vector<const Instr *> Seeds;
+    Seeds.reserve(Reqs.size());
+    for (const SliceSizeRequest *R : Reqs)
+      Seeds.push_back(R->Seed);
+    SliceEngine Engine(*G);
+    BatchOptions Thin;
+    Thin.Mode = SliceMode::Thin;
+    std::vector<SliceResult> ThinSlices = Engine.sliceBackwardBatch(Seeds, Thin);
+    BatchOptions Trad;
+    Trad.Mode = SliceMode::Traditional;
+    std::vector<SliceResult> TradSlices = Engine.sliceBackwardBatch(Seeds, Trad);
+    for (std::size_t I = 0; I != Reqs.size(); ++I) {
+      Rows[Reqs[I]->RowIdx].ThinSliceStmts = ThinSlices[I].sizeStmts();
+      Rows[Reqs[I]->RowIdx].TradSliceStmts = TradSlices[I].sizeStmts();
+    }
+  }
 }
 
 } // namespace
@@ -202,9 +239,13 @@ std::vector<InspectionRow>
 tsl::runDebuggingExperiment(InspectionStrategy Strategy) {
   std::map<std::string, Compiled> Cache;
   std::vector<InspectionRow> Rows;
+  std::vector<SliceSizeRequest> SliceSizes;
 
   for (const BugCase &Case : debuggingCases()) {
     Compiled &C = cached(Cache, Case.Prog, /*WithNoObjSens=*/true);
+    SliceSizes.push_back(
+        {C.G.get(), instrAtLine(*C.P, Case.Prog.markerLine(Case.SeedMarker)),
+         Rows.size()});
     InspectionRow Row;
     Row.Id = Case.Id;
     Row.Control = Case.NumControl;
@@ -234,6 +275,7 @@ tsl::runDebuggingExperiment(InspectionStrategy Strategy) {
     Row.Ratio = Row.Thin ? static_cast<double>(Row.Trad) / Row.Thin : 0;
     Rows.push_back(Row);
   }
+  fillSliceSizes(Rows, SliceSizes);
   return Rows;
 }
 
@@ -245,6 +287,7 @@ std::vector<InspectionRow>
 tsl::runToughCastExperiment(InspectionStrategy Strategy) {
   std::map<std::string, Compiled> Cache;
   std::vector<InspectionRow> Rows;
+  std::vector<SliceSizeRequest> SliceSizes;
 
   for (const CastCase &Case : toughCastCases()) {
     Compiled &C = cached(Cache, Case.Prog, /*WithNoObjSens=*/true);
@@ -264,6 +307,7 @@ tsl::runToughCastExperiment(InspectionStrategy Strategy) {
       Rows.push_back(Row);
       continue;
     }
+    SliceSizes.push_back({C.G.get(), Seed, Rows.size()});
 
     auto Run = [&](const SDG &G, SliceMode Mode) {
       InspectionQuery Q;
@@ -289,6 +333,7 @@ tsl::runToughCastExperiment(InspectionStrategy Strategy) {
     Row.Ratio = Row.Thin ? static_cast<double>(Row.Trad) / Row.Thin : 0;
     Rows.push_back(Row);
   }
+  fillSliceSizes(Rows, SliceSizes);
   return Rows;
 }
 
@@ -331,6 +376,15 @@ tsl::runScalability(const std::vector<unsigned> &PadSizes) {
     (void)Thin;
     (void)Trad;
 
+    // Multi-seed throughput at this size: sequential legacy slicing
+    // vs one engine batch over the same seed set.
+    std::vector<const Instr *> Seeds = collectSliceSeeds(*P, 16);
+    ThroughputRow TP =
+        runSliceThroughput(*CI, Seeds, SliceMode::Thin, /*Jobs=*/1);
+    Row.BatchSeeds = TP.Seeds;
+    Row.SeqLegacyMs = TP.SeqLegacyMs;
+    Row.BatchMs = TP.BatchMs;
+
     ModRefResult MR(*P, *PTA);
     SDGOptions CSOpts;
     CSOpts.ContextSensitive = true;
@@ -356,6 +410,11 @@ tsl::runScalability(const std::vector<unsigned> &PadSizes) {
 std::vector<AblationRow> tsl::runContextAblation() {
   std::vector<AblationRow> Rows;
   std::map<std::string, Compiled> Cache;
+  // The CS graphs and summary sets are shared across cases of one
+  // program: the cache keys summaries by (graph, epoch, mode), so the
+  // second and third nanoxml case reuse the first one's tabulation.
+  std::map<std::string, std::unique_ptr<SDG>> CSGraphs;
+  SummaryCache Summaries;
 
   for (const BugCase &Case : debuggingCases()) {
     if (Case.Id != "nanoxml-1" && Case.Id != "nanoxml-2" &&
@@ -363,19 +422,29 @@ std::vector<AblationRow> tsl::runContextAblation() {
       continue;
     Compiled &C = cached(Cache, Case.Prog, /*WithNoObjSens=*/false);
 
-    ModRefResult MR(*C.P, *C.PTA);
-    SDGOptions CSOpts;
-    CSOpts.ContextSensitive = true;
-    std::unique_ptr<SDG> CS = buildSDG(*C.P, *C.PTA, &MR, CSOpts);
-    TabulationSlicer Tab(*CS, SliceMode::Traditional);
+    std::unique_ptr<SDG> &CS = CSGraphs[Case.Prog.Name];
+    if (!CS) {
+      ModRefResult MR(*C.P, *C.PTA);
+      SDGOptions CSOpts;
+      CSOpts.ContextSensitive = true;
+      CS = buildSDG(*C.P, *C.PTA, &MR, CSOpts);
+    }
 
     const Instr *Seed =
         instrAtLine(*C.P, Case.Prog.markerLine(Case.SeedMarker));
 
     AblationRow Row;
     Row.Id = Case.Id;
-    SliceResult CISlice = sliceBackward(*C.G, Seed, SliceMode::Traditional);
-    SliceResult CSSlice = Tab.slice(Seed);
+    SliceEngine CIEngine(*C.G);
+    BatchOptions CIOpts;
+    CIOpts.Mode = SliceMode::Traditional;
+    SliceResult CISlice = CIEngine.sliceBackwardBatch({Seed}, CIOpts).front();
+    SliceEngine CSEngine(*CS);
+    BatchOptions CSOpts2;
+    CSOpts2.Mode = SliceMode::Traditional;
+    CSOpts2.ContextSensitive = true;
+    CSOpts2.Summaries = &Summaries;
+    SliceResult CSSlice = CSEngine.sliceBackwardBatch({Seed}, CSOpts2).front();
     // Compare in source lines: the two representations clone
     // statements differently, lines are the common currency.
     Row.CITradSliceStmts =
@@ -399,6 +468,86 @@ std::vector<AblationRow> tsl::runContextAblation() {
     Rows.push_back(Row);
   }
   return Rows;
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-seed throughput helpers
+//===----------------------------------------------------------------------===//
+
+std::vector<const Instr *> tsl::collectSliceSeeds(const Program &P,
+                                                  unsigned NumSeeds) {
+  std::vector<const Instr *> All;
+  for (const auto &M : P.methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (I->loc().isValid())
+          All.push_back(I.get());
+  std::vector<const Instr *> Out;
+  if (All.empty() || NumSeeds == 0)
+    return Out;
+  if (All.size() <= NumSeeds)
+    return All;
+  // Even stride over IR order: deterministic and spread across the
+  // whole program, so the seed set exercises unrelated slices.
+  std::size_t Stride = All.size() / NumSeeds;
+  for (unsigned I = 0; I != NumSeeds; ++I)
+    Out.push_back(All[I * Stride]);
+  return Out;
+}
+
+ThroughputRow tsl::runSliceThroughput(const SDG &G,
+                                      const std::vector<const Instr *> &Seeds,
+                                      SliceMode Mode, unsigned Jobs) {
+  ThroughputRow Row;
+  Row.Seeds = static_cast<unsigned>(Seeds.size());
+  G.ensureFinalized();
+
+  SliceEngine Engine(G);
+  BatchOptions Opts;
+  Opts.Mode = Mode;
+  Opts.Jobs = Jobs;
+
+  // One untimed warmup pass per configuration: the first traversal
+  // faults the graph into cache and the engine builds its reusable
+  // condensation, so the timed passes measure the steady-state regime
+  // the queries/sec comparison is about (every path warms equally).
+  for (const Instr *Seed : Seeds)
+    sliceBackwardLegacy(G, Seed, Mode);
+  for (const Instr *Seed : Seeds)
+    sliceBackward(G, Seed, Mode);
+  Engine.sliceBackwardBatch(Seeds, Opts);
+
+  // Several timed passes per configuration, run as contiguous blocks
+  // (all legacy passes, then all CSR passes, then all batch passes) and
+  // keeping each configuration's fastest. Contiguous blocks measure
+  // each path's steady state — interleaving the configurations would
+  // charge whichever runs second for the cache lines its predecessor
+  // evicted; the block minimum is also the least-noise estimator on a
+  // shared machine, where one scheduler blip would otherwise dominate
+  // a sub-millisecond measurement.
+  constexpr int Passes = 8;
+  Row.SeqLegacyMs = Row.SeqMs = Row.BatchMs =
+      std::numeric_limits<double>::infinity();
+  for (int P = 0; P != Passes; ++P) {
+    auto T0 = std::chrono::steady_clock::now();
+    for (const Instr *Seed : Seeds)
+      sliceBackwardLegacy(G, Seed, Mode);
+    Row.SeqLegacyMs = std::min(Row.SeqLegacyMs, msSince(T0));
+  }
+  for (int P = 0; P != Passes; ++P) {
+    auto T1 = std::chrono::steady_clock::now();
+    for (const Instr *Seed : Seeds)
+      sliceBackward(G, Seed, Mode);
+    Row.SeqMs = std::min(Row.SeqMs, msSince(T1));
+  }
+  for (int P = 0; P != Passes; ++P) {
+    auto T2 = std::chrono::steady_clock::now();
+    Engine.sliceBackwardBatch(Seeds, Opts);
+    Row.BatchMs = std::min(Row.BatchMs, msSince(T2));
+  }
+  Row.UniqueSeeds = Engine.stats().UniqueQueries;
+  Row.Speedup = Row.BatchMs > 0 ? Row.SeqLegacyMs / Row.BatchMs : 0;
+  return Row;
 }
 
 //===----------------------------------------------------------------------===//
@@ -427,7 +576,8 @@ tsl::formatInspectionTable(const std::string &Title,
   char Buf[256];
   std::string Out = Title + "\n"
                             "case         #thin  #trad  ratio  #control  "
-                            "#thin-noobj  #trad-noobj\n";
+                            "#thin-noobj  #trad-noobj  thin-slice  "
+                            "trad-slice\n";
   unsigned ThinSum = 0, TradSum = 0;
   for (const InspectionRow &R : Rows) {
     if (!R.SlicingUseful) {
@@ -437,9 +587,10 @@ tsl::formatInspectionTable(const std::string &Title,
       Out += Buf;
       continue;
     }
-    snprintf(Buf, sizeof(Buf), "%-12s %6u %6u %6.2f %9u %12u %12u%s\n",
+    snprintf(Buf, sizeof(Buf), "%-12s %6u %6u %6.2f %9u %12u %12u %11u %11u%s\n",
              R.Id.c_str(), R.Thin, R.Trad, R.Ratio, R.Control,
-             R.ThinNoObjSens, R.TradNoObjSens,
+             R.ThinNoObjSens, R.TradNoObjSens, R.ThinSliceStmts,
+             R.TradSliceStmts,
              (R.FoundAllThin && R.FoundAllTrad) ? "" : "  [!found]");
     Out += Buf;
     ThinSum += R.Thin;
@@ -458,13 +609,15 @@ std::string tsl::formatScalability(const std::vector<ScalabilityRow> &Rows) {
   std::string Out =
       "Scalability sweep (nanoxml + padding)\n"
       "pad  sdg-stmts  pta-ms  ci-build-ms  thin-slice-ms  trad-slice-ms  "
-      "cs-build-ms  cs-heap-nodes  summary-ms  summary-edges\n";
+      "cs-build-ms  cs-heap-nodes  summary-ms  summary-edges  "
+      "seeds  seq-legacy-ms  batch-ms\n";
   for (const ScalabilityRow &R : Rows) {
     snprintf(Buf, sizeof(Buf),
-             "%3u %10u %7.1f %12.1f %14.3f %14.3f %12.1f %14u %11.1f %14u\n",
+             "%3u %10u %7.1f %12.1f %14.3f %14.3f %12.1f %14u %11.1f %14u "
+             "%6u %14.3f %9.3f\n",
              R.PadClasses, R.SDGStmts, R.PTAMs, R.CIBuildMs, R.ThinSliceMs,
              R.TradSliceMs, R.CSBuildMs, R.CSHeapParamNodes, R.SummaryMs,
-             R.SummaryEdges);
+             R.SummaryEdges, R.BatchSeeds, R.SeqLegacyMs, R.BatchMs);
     Out += Buf;
   }
   return Out;

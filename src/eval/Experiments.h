@@ -59,6 +59,11 @@ struct InspectionRow {
   /// False when the case reproduces the paper's "slicing was not
   /// useful" pattern (excluded from the main table).
   bool SlicingUseful = true;
+  /// Full slice sizes (statement nodes) for the case's seed, computed
+  /// by one batched SliceEngine run per shared graph rather than a
+  /// traversal per case.
+  unsigned ThinSliceStmts = 0;
+  unsigned TradSliceStmts = 0;
 };
 
 /// One scalability sweep row.
@@ -73,6 +78,11 @@ struct ScalabilityRow {
   double SummaryMs = 0;
   unsigned CSHeapParamNodes = 0;
   unsigned SummaryEdges = 0;
+  /// Multi-seed columns: the same seed set sliced sequentially with
+  /// the legacy edge-record slicer vs. one SliceEngine batch.
+  unsigned BatchSeeds = 0;
+  double SeqLegacyMs = 0;
+  double BatchMs = 0;
 };
 
 /// One context-sensitivity ablation row (paper Sec. 6.1: nanoxml-1's
@@ -96,6 +106,27 @@ std::vector<InspectionRow> runToughCastExperiment(
 std::vector<ScalabilityRow>
 runScalability(const std::vector<unsigned> &PadSizes);
 std::vector<AblationRow> runContextAblation();
+
+/// Deterministic seed picker for multi-seed slicing experiments:
+/// \p NumSeeds statements spread evenly (by IR order) over the
+/// program's source statements. Stable across runs of one binary.
+std::vector<const Instr *> collectSliceSeeds(const Program &P,
+                                             unsigned NumSeeds);
+
+/// One slice-throughput measurement: \p Seeds sliced three ways on
+/// \p G — sequentially with the legacy edge-record slicer,
+/// sequentially with the CSR slicer, and as one SliceEngine batch.
+struct ThroughputRow {
+  unsigned Seeds = 0;
+  unsigned UniqueSeeds = 0;
+  double SeqLegacyMs = 0; ///< N x sliceBackwardLegacy.
+  double SeqMs = 0;       ///< N x sliceBackward (CSR path).
+  double BatchMs = 0;     ///< One N-seed SliceEngine batch.
+  double Speedup = 0;     ///< SeqLegacyMs / BatchMs.
+};
+ThroughputRow runSliceThroughput(const SDG &G,
+                                 const std::vector<const Instr *> &Seeds,
+                                 SliceMode Mode, unsigned Jobs);
 
 /// Fixed-width text renderings (what the bench binaries print).
 std::string formatTable1(const std::vector<Table1Row> &Rows);

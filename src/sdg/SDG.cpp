@@ -2,6 +2,8 @@
 
 #include "sdg/SDG.h"
 
+#include <algorithm>
+
 using namespace tsl;
 
 const char *tsl::sdgEdgeKindName(SDGEdgeKind K) {
@@ -23,24 +25,36 @@ const char *tsl::sdgEdgeKindName(SDGEdgeKind K) {
 }
 
 unsigned SDG::addStmtNode(const Instr *I, const Method *M, unsigned Ctx) {
-  std::vector<unsigned> &Clones = StmtIndex[I];
-  for (unsigned Id : Clones)
+  for (unsigned Id : nodesFor(I))
     if (Nodes[Id].Ctx == Ctx)
       return Id;
+  unfinalize();
+  ++Epoch;
   unsigned Id = static_cast<unsigned>(Nodes.size());
   Nodes.push_back({SDGNodeKind::Stmt, I, M, 0, Ctx, Id});
-  In.emplace_back();
-  Out.emplace_back();
-  Clones.push_back(Id);
+  StmtIndex[I].push_back(Id);
   ++NumStmts;
   return Id;
 }
 
+IdRange SDG::nodesFor(const Instr *I) const {
+  if (!Finalized) {
+    auto It = StmtIndex.find(I);
+    if (It == StmtIndex.end())
+      return {};
+    const std::vector<unsigned> &Clones = It->second;
+    return {Clones.data(), Clones.data() + Clones.size()};
+  }
+  auto It = std::lower_bound(StmtKeys.begin(), StmtKeys.end(), I);
+  if (It == StmtKeys.end() || *It != I)
+    return {};
+  std::size_t Idx = static_cast<std::size_t>(It - StmtKeys.begin());
+  return {StmtClones.data() + StmtCloneOff[Idx],
+          StmtClones.data() + StmtCloneOff[Idx + 1]};
+}
+
 int SDG::nodeFor(const Instr *I, unsigned Ctx) const {
-  auto It = StmtIndex.find(I);
-  if (It == StmtIndex.end())
-    return -1;
-  for (unsigned Id : It->second)
+  for (unsigned Id : nodesFor(I))
     if (Nodes[Id].Ctx == Ctx)
       return static_cast<int>(Id);
   return -1;
@@ -54,10 +68,10 @@ unsigned SDG::addHeapNode(SDGNodeKind K, const Instr *CallOrNull,
   auto [It, New] = HeapIndex.emplace(std::make_tuple(K, Anchor, Part, Ctx), 0);
   if (!New)
     return It->second;
+  unfinalize();
+  ++Epoch;
   unsigned Id = static_cast<unsigned>(Nodes.size());
   Nodes.push_back({K, CallOrNull, M, Part, Ctx, Id});
-  In.emplace_back();
-  Out.emplace_back();
   It->second = Id;
   if (K == SDGNodeKind::ScalarActualIn)
     ++NumStmts; // Scalar parameter passing counts as a statement.
@@ -74,10 +88,9 @@ bool SDG::addEdge(unsigned From, unsigned To, SDGEdgeKind K,
                   const CallInstr *Site) {
   if (!EdgeDedup.insert({From, To, K, Site}).second)
     return false;
-  unsigned Id = static_cast<unsigned>(Edges.size());
+  unfinalize();
+  ++Epoch;
   Edges.push_back({From, To, K, Site});
-  In[To].push_back(Id);
-  Out[From].push_back(Id);
   return true;
 }
 
@@ -86,4 +99,85 @@ unsigned SDG::numEdgesOfKind(SDGEdgeKind K) const {
   for (const SDGEdge &E : Edges)
     N += E.K == K;
   return N;
+}
+
+void SDG::finalize() {
+  if (Finalized)
+    return;
+  const std::size_t NK = NumSDGEdgeKinds;
+  const std::size_t Slots = Nodes.size() * NK;
+
+  // Counting sort of the edge list into kind-partitioned CSR rows, in
+  // both directions. Within one (node, kind) segment edges keep
+  // ascending edge-id order, so the layout is deterministic.
+  InOff.assign(Slots + 1, 0);
+  OutOff.assign(Slots + 1, 0);
+  for (const SDGEdge &E : Edges) {
+    ++InOff[std::size_t(E.To) * NK + sdgKindSlot(E.K) + 1];
+    ++OutOff[std::size_t(E.From) * NK + sdgKindSlot(E.K) + 1];
+  }
+  for (std::size_t I = 1; I <= Slots; ++I) {
+    InOff[I] += InOff[I - 1];
+    OutOff[I] += OutOff[I - 1];
+  }
+  InNbr.resize(Edges.size());
+  InEdgeId.resize(Edges.size());
+  OutNbr.resize(Edges.size());
+  OutEdgeId.resize(Edges.size());
+  std::vector<unsigned> InCur(InOff.begin(), InOff.end() - 1);
+  std::vector<unsigned> OutCur(OutOff.begin(), OutOff.end() - 1);
+  for (std::size_t EdgeId = 0; EdgeId != Edges.size(); ++EdgeId) {
+    const SDGEdge &E = Edges[EdgeId];
+    unsigned InPos = InCur[std::size_t(E.To) * NK + sdgKindSlot(E.K)]++;
+    InNbr[InPos] = E.From;
+    InEdgeId[InPos] = static_cast<unsigned>(EdgeId);
+    unsigned OutPos = OutCur[std::size_t(E.From) * NK + sdgKindSlot(E.K)]++;
+    OutNbr[OutPos] = E.To;
+    OutEdgeId[OutPos] = static_cast<unsigned>(EdgeId);
+  }
+
+  // Compact the statement index into sorted arrays and release the
+  // construction-time hash map. Clone order within one instruction is
+  // preserved (insertion order = context order; nodeFor() returns the
+  // first clone).
+  StmtKeys.clear();
+  StmtKeys.reserve(StmtIndex.size());
+  for (const auto &KV : StmtIndex)
+    StmtKeys.push_back(KV.first);
+  std::sort(StmtKeys.begin(), StmtKeys.end());
+  StmtCloneOff.assign(StmtKeys.size() + 1, 0);
+  std::size_t Total = 0;
+  for (std::size_t I = 0; I != StmtKeys.size(); ++I) {
+    Total += StmtIndex.find(StmtKeys[I])->second.size();
+    StmtCloneOff[I + 1] = static_cast<unsigned>(Total);
+  }
+  StmtClones.clear();
+  StmtClones.reserve(Total);
+  for (const Instr *Key : StmtKeys) {
+    const std::vector<unsigned> &Clones = StmtIndex.find(Key)->second;
+    StmtClones.insert(StmtClones.end(), Clones.begin(), Clones.end());
+  }
+  std::unordered_map<const Instr *, std::vector<unsigned>>().swap(StmtIndex);
+
+  Finalized = true;
+}
+
+void SDG::unfinalize() {
+  if (!Finalized)
+    return;
+  Finalized = false;
+  // Rebuild the construction-time index: node ids ascend in insertion
+  // order, so iterating Nodes restores the original clone order.
+  for (const SDGNode &N : Nodes)
+    if (N.K == SDGNodeKind::Stmt)
+      StmtIndex[N.I].push_back(N.Id);
+  std::vector<const Instr *>().swap(StmtKeys);
+  std::vector<unsigned>().swap(StmtCloneOff);
+  std::vector<unsigned>().swap(StmtClones);
+  std::vector<unsigned>().swap(InOff);
+  std::vector<unsigned>().swap(OutOff);
+  std::vector<unsigned>().swap(InNbr);
+  std::vector<unsigned>().swap(OutNbr);
+  std::vector<unsigned>().swap(InEdgeId);
+  std::vector<unsigned>().swap(OutEdgeId);
 }

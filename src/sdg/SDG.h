@@ -25,6 +25,17 @@
 /// Edges are stored in dependence direction: an edge From -> To means
 /// "To depends on From"; backward slicing walks inEdges.
 ///
+/// The graph has two phases. During construction it is mutable and
+/// keeps hash-map indexes. finalize() compacts it into an immutable,
+/// query-optimized form: CSR (compressed sparse row) in/out adjacency
+/// *partitioned by edge kind*, so a slicer following a set of kinds
+/// iterates contiguous neighbor runs with no per-edge branch or
+/// edge-record load, plus a sorted-array statement index replacing the
+/// unordered_map. buildSDG() returns finalized graphs; a mutation
+/// after finalize() transparently reopens the graph (and bumps the
+/// epoch that keys cross-query caches such as the tabulation
+/// SummaryCache).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef THINSLICER_SDG_SDG_H
@@ -34,6 +45,7 @@
 #include "ir/Program.h"
 #include "support/Budget.h"
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
@@ -71,6 +83,56 @@ enum class SDGEdgeKind {
   ParamOut,
   Summary,
 };
+
+/// Number of edge kinds — the CSR adjacency partition count.
+constexpr unsigned NumSDGEdgeKinds = 6;
+
+/// Bit mask over SDGEdgeKind values; the unit slicers select their
+/// followed-edge set with.
+using EdgeKindMask = unsigned;
+
+constexpr EdgeKindMask edgeKindMask(SDGEdgeKind K) {
+  return 1u << static_cast<unsigned>(K);
+}
+
+/// CSR partition slot of each edge kind. Slots order the kinds so the
+/// unit slicers' masks select one contiguous run per node: Flow,
+/// ParamIn, ParamOut first (the thin mask is slots [0,3)), then
+/// BaseFlow, Control (traditional is [0,5)), then Summary.
+constexpr unsigned sdgKindSlot(SDGEdgeKind K) {
+  constexpr unsigned Slot[NumSDGEdgeKinds] = {
+      /*Flow*/ 0, /*BaseFlow*/ 3, /*Control*/ 4,
+      /*ParamIn*/ 1, /*ParamOut*/ 2, /*Summary*/ 5};
+  return Slot[static_cast<unsigned>(K)];
+}
+
+/// The contiguous slot runs a kind mask selects, precomputed once per
+/// traversal so the per-node cost of a masked neighbor scan is two
+/// offset loads per run (both slicing masks are a single run).
+struct EdgeKindRuns {
+  struct Run {
+    unsigned Begin, End; ///< Slot interval [Begin, End).
+  };
+  Run Runs[NumSDGEdgeKinds];
+  unsigned NumRuns = 0;
+};
+
+inline EdgeKindRuns edgeKindRuns(EdgeKindMask Mask) {
+  bool Sel[NumSDGEdgeKinds] = {};
+  for (unsigned K = 0; K != NumSDGEdgeKinds; ++K)
+    if (Mask & (1u << K))
+      Sel[sdgKindSlot(static_cast<SDGEdgeKind>(K))] = true;
+  EdgeKindRuns R;
+  for (unsigned S = 0; S != NumSDGEdgeKinds; ++S) {
+    if (!Sel[S])
+      continue;
+    unsigned B = S;
+    while (S + 1 != NumSDGEdgeKinds && Sel[S + 1])
+      ++S;
+    R.Runs[R.NumRuns++] = {B, S + 1};
+  }
+  return R;
+}
 
 /// Returns a short printable edge-kind name.
 const char *sdgEdgeKindName(SDGEdgeKind K);
@@ -125,6 +187,26 @@ struct SDGEdge {
   const CallInstr *Site;
 };
 
+/// Lightweight view of a contiguous run of unsigned ids (node ids,
+/// edge ids, statement-clone ids). Valid as long as the graph is not
+/// mutated.
+class IdRange {
+public:
+  IdRange() = default;
+  IdRange(const unsigned *B, const unsigned *E) : B(B), E(E) {}
+
+  const unsigned *begin() const { return B; }
+  const unsigned *end() const { return E; }
+  std::size_t size() const { return static_cast<std::size_t>(E - B); }
+  bool empty() const { return B == E; }
+  unsigned operator[](std::size_t I) const { return B[I]; }
+  unsigned front() const { return *B; }
+
+private:
+  const unsigned *B = nullptr;
+  const unsigned *E = nullptr;
+};
+
 /// The dependence graph plus node/edge indexes.
 class SDG {
 public:
@@ -145,6 +227,31 @@ public:
                const CallInstr *Site = nullptr);
 
   //===------------------------------------------------------------------===//
+  // Finalization (CSR compaction)
+  //===------------------------------------------------------------------===//
+
+  /// Compacts the graph into the immutable query form: edge-kind-
+  /// partitioned CSR in/out adjacency and a sorted-array statement
+  /// index (freeing the construction-time unordered_map). Idempotent;
+  /// buildSDG() calls it before returning.
+  void finalize();
+
+  bool finalized() const { return Finalized; }
+
+  /// Const-callable finalization trigger, so read paths on a graph
+  /// someone forgot to finalize heal themselves instead of crashing.
+  /// Call once before fanning queries out across threads.
+  void ensureFinalized() const {
+    if (!Finalized)
+      const_cast<SDG *>(this)->finalize();
+  }
+
+  /// Mutation counter. Bumped by every node/edge addition; caches
+  /// derived from the graph (e.g. tabulation summary edges) key on
+  /// (graph, epoch) and are invalidated by any mutation.
+  uint64_t epoch() const { return Epoch; }
+
+  //===------------------------------------------------------------------===//
   // Queries
   //===------------------------------------------------------------------===//
 
@@ -155,31 +262,79 @@ public:
   unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
   const SDGEdge &edge(unsigned Id) const { return Edges[Id]; }
 
-  /// Edge ids whose To is \p Node (the node's dependences).
-  const std::vector<unsigned> &inEdges(unsigned Node) const {
-    return In[Node];
+  /// Edge ids whose To is \p Node (the node's dependences), grouped by
+  /// edge kind in sdgKindSlot order.
+  IdRange inEdges(unsigned Node) const {
+    ensureFinalized();
+    return rowEdges(InOff, InEdgeId, Node);
   }
   /// Edge ids whose From is \p Node (the node's dependents).
-  const std::vector<unsigned> &outEdges(unsigned Node) const {
-    return Out[Node];
+  IdRange outEdges(unsigned Node) const {
+    ensureFinalized();
+    return rowEdges(OutOff, OutEdgeId, Node);
+  }
+
+  /// In-edge ids of \p Node of exactly kind \p K (a contiguous CSR
+  /// segment).
+  IdRange inEdgesOfKind(unsigned Node, SDGEdgeKind K) const {
+    ensureFinalized();
+    return kindEdges(InOff, InEdgeId, Node, K);
+  }
+  IdRange outEdgesOfKind(unsigned Node, SDGEdgeKind K) const {
+    ensureFinalized();
+    return kindEdges(OutOff, OutEdgeId, Node, K);
+  }
+
+  /// Calls \p Fn(NeighborNode) for every in-edge of \p Node whose kind
+  /// is in \p Mask — the slicing hot path. The partition slot order
+  /// makes both slicing masks one contiguous run, so the scan is a
+  /// tight loop over the neighbor array (no edge-record loads). Hot
+  /// loops should precompute edgeKindRuns(Mask) once and use the runs
+  /// overload; the mask overloads recompute the runs per call.
+  template <typename Fn>
+  void forEachInNeighbor(unsigned Node, EdgeKindMask Mask, Fn F) const {
+    forEachNeighborRow(InOff, InNbr, Node, edgeKindRuns(Mask), F);
+  }
+  template <typename Fn>
+  void forEachOutNeighbor(unsigned Node, EdgeKindMask Mask, Fn F) const {
+    forEachNeighborRow(OutOff, OutNbr, Node, edgeKindRuns(Mask), F);
+  }
+  template <typename Fn>
+  void forEachInNeighbor(unsigned Node, const EdgeKindRuns &Runs,
+                         Fn F) const {
+    forEachNeighborRow(InOff, InNbr, Node, Runs, F);
+  }
+  template <typename Fn>
+  void forEachOutNeighbor(unsigned Node, const EdgeKindRuns &Runs,
+                          Fn F) const {
+    forEachNeighborRow(OutOff, OutNbr, Node, Runs, F);
+  }
+
+  /// Neighbor node ids of one slot run [SlotBegin, SlotEnd) as a
+  /// contiguous indexable range — for algorithms that need resumable
+  /// masked adjacency (e.g. an explicit-stack DFS over the masked
+  /// subgraph), which a callback can't provide.
+  IdRange inNeighborRun(unsigned Node, unsigned SlotBegin,
+                        unsigned SlotEnd) const {
+    ensureFinalized();
+    return neighborRun(InOff, InNbr, Node, SlotBegin, SlotEnd);
+  }
+  IdRange outNeighborRun(unsigned Node, unsigned SlotBegin,
+                         unsigned SlotEnd) const {
+    ensureFinalized();
+    return neighborRun(OutOff, OutNbr, Node, SlotBegin, SlotEnd);
   }
 
   /// One node of the instruction (the first clone), or -1 when the
   /// instruction has no node.
   int nodeFor(const Instr *I) const {
-    auto It = StmtIndex.find(I);
-    return It == StmtIndex.end() || It->second.empty()
-               ? -1
-               : static_cast<int>(It->second.front());
+    IdRange R = nodesFor(I);
+    return R.empty() ? -1 : static_cast<int>(R.front());
   }
 
   /// All clones of the instruction (one per analysis context). A
   /// source-statement seed means slicing from every clone.
-  const std::vector<unsigned> &nodesFor(const Instr *I) const {
-    static const std::vector<unsigned> Empty;
-    auto It = StmtIndex.find(I);
-    return It == StmtIndex.end() ? Empty : It->second;
-  }
+  IdRange nodesFor(const Instr *I) const;
 
   /// The clone of \p I in context \p Ctx, or -1.
   int nodeFor(const Instr *I, unsigned Ctx) const;
@@ -203,10 +358,52 @@ public:
   void setReport(StageReport R) { Report = std::move(R); }
 
 private:
+  /// Reopens a finalized graph for mutation: drops the CSR arrays and
+  /// rebuilds the construction-time statement index from Nodes.
+  void unfinalize();
+
+  IdRange rowEdges(const std::vector<unsigned> &Off,
+                   const std::vector<unsigned> &Ids, unsigned Node) const {
+    const std::size_t Row = std::size_t(Node) * NumSDGEdgeKinds;
+    return {Ids.data() + Off[Row], Ids.data() + Off[Row + NumSDGEdgeKinds]};
+  }
+  IdRange kindEdges(const std::vector<unsigned> &Off,
+                    const std::vector<unsigned> &Ids, unsigned Node,
+                    SDGEdgeKind K) const {
+    const std::size_t Slot =
+        std::size_t(Node) * NumSDGEdgeKinds + sdgKindSlot(K);
+    return {Ids.data() + Off[Slot], Ids.data() + Off[Slot + 1]};
+  }
+  IdRange neighborRun(const std::vector<unsigned> &Off,
+                      const std::vector<unsigned> &Nbr, unsigned Node,
+                      unsigned SlotBegin, unsigned SlotEnd) const {
+    const std::size_t Row = std::size_t(Node) * NumSDGEdgeKinds;
+    return {Nbr.data() + Off[Row + SlotBegin], Nbr.data() + Off[Row + SlotEnd]};
+  }
+
+  template <typename Fn>
+  void forEachNeighborRow(const std::vector<unsigned> &Off,
+                          const std::vector<unsigned> &Nbr, unsigned Node,
+                          const EdgeKindRuns &Runs, Fn F) const {
+    ensureFinalized();
+    // Raw pointers hoisted into locals: F's stores (visited words,
+    // worklist pushes) could alias vector-element loads, so indexing
+    // through the vectors re-reads their data pointers every
+    // iteration and the loop never tightens.
+    const unsigned *O = Off.data() + std::size_t(Node) * NumSDGEdgeKinds;
+    const unsigned *N = Nbr.data();
+    for (unsigned R = 0; R != Runs.NumRuns; ++R) {
+      unsigned End = O[Runs.Runs[R].End];
+      for (unsigned I = O[Runs.Runs[R].Begin]; I != End; ++I)
+        F(N[I]);
+    }
+  }
+
   const Program &P;
   std::vector<SDGNode> Nodes;
   std::vector<SDGEdge> Edges;
-  std::vector<std::vector<unsigned>> In, Out;
+  /// Construction-time statement index; freed by finalize() in favor
+  /// of the sorted arrays below.
   std::unordered_map<const Instr *, std::vector<unsigned>> StmtIndex;
   /// Exact node identity: (kind, anchor, partition/operand, ctx).
   std::map<std::tuple<SDGNodeKind, const void *, unsigned, unsigned>,
@@ -218,6 +415,27 @@ private:
       EdgeDedup;
   unsigned NumStmts = 0;
   StageReport Report{"sdg", StageStatus::Complete, "", "", 0, 0};
+
+  //===------------------------------------------------------------------===//
+  // CSR query form (built by finalize())
+  //===------------------------------------------------------------------===//
+
+  bool Finalized = false;
+  uint64_t Epoch = 0;
+  /// Per-(node, kind) offset tables, numNodes * NumSDGEdgeKinds + 1
+  /// entries: the in-edges of node n with kind k occupy
+  /// [InOff[n*NK+k], InOff[n*NK+k+1]) of InNbr/InEdgeId.
+  std::vector<unsigned> InOff, OutOff;
+  /// Neighbor node id per CSR slot (From for in-edges, To for
+  /// out-edges) — all the BFS slicers touch.
+  std::vector<unsigned> InNbr, OutNbr;
+  /// Parallel edge ids, for callers that need Site or kind details.
+  std::vector<unsigned> InEdgeId, OutEdgeId;
+  /// Sorted statement index: StmtKeys sorted; the clones of
+  /// StmtKeys[i] are StmtClones[StmtCloneOff[i] .. StmtCloneOff[i+1]).
+  std::vector<const Instr *> StmtKeys;
+  std::vector<unsigned> StmtCloneOff;
+  std::vector<unsigned> StmtClones;
 };
 
 /// SDG construction options.
@@ -237,8 +455,8 @@ struct SDGOptions {
   const AnalysisBudget *Budget = nullptr;
 };
 
-/// Builds the dependence graph. \p ModRef may be null unless
-/// \p Options.ContextSensitive is set.
+/// Builds the dependence graph, finalized into the CSR query form.
+/// \p ModRef may be null unless \p Options.ContextSensitive is set.
 std::unique_ptr<SDG> buildSDG(const Program &P, const PointsToResult &PTA,
                               const ModRefResult *ModRef,
                               const SDGOptions &Options = {});

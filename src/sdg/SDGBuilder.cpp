@@ -604,5 +604,10 @@ std::unique_ptr<SDG> tsl::buildSDG(const Program &P,
                                    const SDGOptions &Options) {
   assert((!Options.ContextSensitive || ModRef) &&
          "context-sensitive SDG requires mod-ref results");
-  return Builder(P, PTA, ModRef, Options).run(P);
+  std::unique_ptr<SDG> G = Builder(P, PTA, ModRef, Options).run(P);
+  // Compact into the CSR query form before handing the graph to
+  // slicers (queries self-heal via ensureFinalized, but doing it here
+  // keeps the finalization cost out of the first slice's timing).
+  G->finalize();
+  return G;
 }

@@ -1,0 +1,301 @@
+//===-- Engine.cpp - Batched slice-query engine ------------------------------==//
+
+#include "slicer/Engine.h"
+
+#include "support/BitSet.h"
+
+#include <atomic>
+#include <optional>
+#include <thread>
+
+using namespace tsl;
+
+//===----------------------------------------------------------------------===//
+// SCC condensation of the mode-masked subgraph
+//===----------------------------------------------------------------------===//
+
+namespace tsl {
+
+/// Condensation of the masked SDG subgraph. Component ids are Tarjan
+/// pop order, which gives the key invariant: for every cross-component
+/// edge From -> To, Comp[To] < Comp[From]. A sweep over components in
+/// increasing id therefore sees each edge's To side fully propagated
+/// before its From side — backward reachability for a whole chunk of
+/// queries is one linear pass.
+struct BatchCondensation {
+  std::vector<unsigned> Comp;      ///< Node -> component id.
+  std::vector<unsigned> MemberOff; ///< Component -> members offset.
+  std::vector<unsigned> Members;   ///< Node ids grouped by component.
+  unsigned NumComps = 0;
+};
+
+} // namespace tsl
+
+namespace {
+
+/// Iterative Tarjan over the masked out-adjacency (explicit DFS stack;
+/// the masked neighbor list of a frame is resumable via neighbor-run
+/// pointers, one run per contiguous slot interval of the mask).
+BatchCondensation condense(const SDG &G, const EdgeKindRuns &Runs) {
+  const unsigned NN = G.numNodes();
+  BatchCondensation C;
+  C.Comp.assign(NN, 0);
+  std::vector<unsigned> Index(NN, 0), Low(NN, 0);
+  std::vector<char> OnStack(NN, 0);
+  std::vector<unsigned> Stack;
+  struct Frame {
+    unsigned Node;
+    unsigned Run;
+    const unsigned *Pos, *End;
+  };
+  std::vector<Frame> DFS;
+  unsigned Counter = 0;
+  auto Open = [&](unsigned V) {
+    Index[V] = Low[V] = ++Counter;
+    Stack.push_back(V);
+    OnStack[V] = 1;
+    DFS.push_back({V, 0, nullptr, nullptr});
+  };
+  for (unsigned Root = 0; Root != NN; ++Root) {
+    if (Index[Root])
+      continue;
+    Open(Root);
+    while (!DFS.empty()) {
+      Frame &F = DFS.back();
+      unsigned Next = 0;
+      bool Have = false;
+      while (true) {
+        if (F.Pos == F.End) {
+          if (F.Run == Runs.NumRuns)
+            break;
+          IdRange R = G.outNeighborRun(F.Node, Runs.Runs[F.Run].Begin,
+                                       Runs.Runs[F.Run].End);
+          F.Pos = R.begin();
+          F.End = R.end();
+          ++F.Run;
+          continue;
+        }
+        Next = *F.Pos++;
+        Have = true;
+        break;
+      }
+      if (Have) {
+        if (!Index[Next])
+          Open(Next); // Invalidates F; re-fetched next iteration.
+        else if (OnStack[Next] && Index[Next] < Low[F.Node])
+          Low[F.Node] = Index[Next];
+        continue;
+      }
+      const unsigned V = F.Node;
+      const unsigned Lv = Low[V];
+      DFS.pop_back();
+      if (!DFS.empty() && Lv < Low[DFS.back().Node])
+        Low[DFS.back().Node] = Lv;
+      if (Lv == Index[V]) {
+        const unsigned Id = C.NumComps++;
+        while (true) {
+          unsigned X = Stack.back();
+          Stack.pop_back();
+          OnStack[X] = 0;
+          C.Comp[X] = Id;
+          if (X == V)
+            break;
+        }
+      }
+    }
+  }
+  // Member lists by counting sort.
+  C.MemberOff.assign(C.NumComps + 1, 0);
+  for (unsigned V = 0; V != NN; ++V)
+    ++C.MemberOff[C.Comp[V] + 1];
+  for (unsigned I = 1; I <= C.NumComps; ++I)
+    C.MemberOff[I] += C.MemberOff[I - 1];
+  C.Members.resize(NN);
+  std::vector<unsigned> Cur(C.MemberOff.begin(), C.MemberOff.end() - 1);
+  for (unsigned V = 0; V != NN; ++V)
+    C.Members[Cur[C.Comp[V]]++] = V;
+  return C;
+}
+
+/// One deduplicated query: the seed's expanded node set plus a
+/// representative instruction (used by the tabulation path, which
+/// seeds by instruction; seeds sharing a node set produce identical
+/// slices either way).
+struct UniqueQuery {
+  std::vector<unsigned> Nodes;
+  const Instr *Seed;
+};
+
+/// Queries per bit-parallel chunk: one label bit per query.
+constexpr unsigned LanesPerChunk = 64;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SliceEngine
+//===----------------------------------------------------------------------===//
+
+SliceEngine::SliceEngine(const SDG &G) : G(G) { G.ensureFinalized(); }
+
+SliceEngine::~SliceEngine() = default;
+
+std::shared_ptr<const BatchCondensation>
+SliceEngine::condensationFor(EdgeKindMask Mask) {
+  const std::pair<uint64_t, EdgeKindMask> Key{G.epoch(), Mask};
+  std::lock_guard<std::mutex> L(CondMu);
+  auto It = CondCache.find(Key);
+  if (It != CondCache.end()) {
+    Stats.CondensationReused = true;
+    return It->second;
+  }
+  // Evict condensations of stale epochs before inserting.
+  for (auto I = CondCache.begin(); I != CondCache.end();)
+    I = I->first.first != G.epoch() ? CondCache.erase(I) : std::next(I);
+  auto C = std::make_shared<const BatchCondensation>(
+      condense(G, edgeKindRuns(Mask)));
+  CondCache.emplace(Key, C);
+  return C;
+}
+
+std::vector<SliceResult>
+SliceEngine::sliceBackwardBatch(const std::vector<const Instr *> &Seeds,
+                                const BatchOptions &Opts) {
+  G.ensureFinalized();
+  Stats = BatchStats();
+  Stats.Queries = static_cast<unsigned>(Seeds.size());
+
+  // Deduplicate seeds by their expanded node set: textually different
+  // seeds on the same statement (or several misses) collapse to one
+  // query each.
+  std::vector<UniqueQuery> Unique;
+  std::vector<unsigned> QueryOf(Seeds.size());
+  std::map<std::vector<unsigned>, unsigned> Index;
+  for (std::size_t I = 0; I != Seeds.size(); ++I) {
+    std::vector<unsigned> Nodes;
+    for (unsigned Node : G.nodesFor(Seeds[I]))
+      Nodes.push_back(Node);
+    auto [It, New] =
+        Index.emplace(Nodes, static_cast<unsigned>(Unique.size()));
+    if (New)
+      Unique.push_back({std::move(Nodes), Seeds[I]});
+    QueryOf[I] = It->second;
+  }
+  Stats.UniqueQueries = static_cast<unsigned>(Unique.size());
+
+  // Everything that reaches process globals happens here, before
+  // workers exist: the batch-wide gate, the condensation cache, and
+  // (context-sensitive mode) the summary computation.
+  SharedBudgetGate Gate(Opts.Budget, "slice.pop",
+                        Opts.Budget ? Opts.Budget->MaxSlicePops : 0);
+  std::optional<TabulationSlicer> Tab;
+  std::shared_ptr<const BatchCondensation> Cond;
+  if (Opts.ContextSensitive) {
+    Tab.emplace(G, Opts.Mode, Opts.Budget, Opts.Summaries);
+    Stats.SummariesReused = Tab->summariesFromCache();
+  } else {
+    Cond = condensationFor(sliceEdgeMask(Opts.Mode));
+  }
+
+  std::vector<std::optional<SliceResult>> UniqueResults(Unique.size());
+
+  // Work items: unique queries in CS mode, 64-query chunks in CI mode.
+  const unsigned NumChunks =
+      (static_cast<unsigned>(Unique.size()) + LanesPerChunk - 1) /
+      LanesPerChunk;
+  const std::size_t NumItems = Tab ? Unique.size() : NumChunks;
+
+  unsigned Workers =
+      Opts.Jobs ? Opts.Jobs : std::thread::hardware_concurrency();
+  if (Workers == 0)
+    Workers = 1;
+  if (Workers > NumItems)
+    Workers = static_cast<unsigned>(NumItems);
+  if (Workers == 0)
+    Workers = 1;
+  Stats.Workers = Workers;
+
+  // CI chunk: plant each lane's seed nodes, sweep the components in
+  // topological id order (all of a component's dependents finish
+  // first), then emit per-lane node sets. Every member of a component
+  // carries the same label — mutually reachable nodes belong to
+  // exactly the same slices.
+  auto RunChunk = [&](unsigned Chunk) {
+    const unsigned C0 = Chunk * LanesPerChunk;
+    const unsigned Lanes = std::min(
+        LanesPerChunk, static_cast<unsigned>(Unique.size()) - C0);
+    const EdgeKindRuns Runs = edgeKindRuns(sliceEdgeMask(Opts.Mode));
+    std::vector<uint64_t> Label(G.numNodes(), 0);
+    for (unsigned L = 0; L != Lanes; ++L)
+      for (unsigned Node : Unique[C0 + L].Nodes)
+        Label[Node] |= uint64_t(1) << L;
+    std::vector<BitSet> Out;
+    Out.reserve(Lanes);
+    for (unsigned L = 0; L != Lanes; ++L)
+      Out.emplace_back(G.numNodes());
+    const std::vector<unsigned> &MemberOff = Cond->MemberOff;
+    const std::vector<unsigned> &Members = Cond->Members;
+    for (unsigned Cp = 0; Cp != Cond->NumComps; ++Cp) {
+      uint64_t Lb = 0;
+      const unsigned B = MemberOff[Cp], E = MemberOff[Cp + 1];
+      for (unsigned I = B; I != E; ++I)
+        Lb |= Label[Members[I]];
+      if (!Lb)
+        continue;
+      // One spend per labeled component — the batch analogue of the
+      // single-seed slicer's per-pop poll.
+      if (Gate.spend())
+        break;
+      for (unsigned I = B; I != E; ++I) {
+        const unsigned X = Members[I];
+        Label[X] = Lb;
+        G.forEachInNeighbor(X, Runs,
+                            [&](unsigned Y) { Label[Y] |= Lb; });
+      }
+      uint64_t T = Lb;
+      while (T) {
+        const unsigned L = static_cast<unsigned>(__builtin_ctzll(T));
+        T &= T - 1;
+        BitSet &R = Out[L];
+        for (unsigned I = B; I != E; ++I)
+          R.insert(Members[I]);
+      }
+    }
+    const bool Degraded = Gate.exhausted();
+    for (unsigned L = 0; L != Lanes; ++L) {
+      UniqueResults[C0 + L].emplace(&G, std::move(Out[L]));
+      if (Degraded)
+        UniqueResults[C0 + L]->markDegraded(Gate.reason());
+    }
+  };
+
+  auto RunItem = [&](unsigned Item) {
+    if (Tab)
+      UniqueResults[Item].emplace(Tab->slice(
+          std::vector<const Instr *>{Unique[Item].Seed}, &Gate));
+    else
+      RunChunk(Item);
+  };
+
+  if (Workers <= 1) {
+    for (unsigned I = 0; I != NumItems; ++I)
+      RunItem(I);
+  } else {
+    std::atomic<unsigned> Next{0};
+    auto Work = [&]() {
+      for (unsigned I; (I = Next.fetch_add(1)) < NumItems;)
+        RunItem(I);
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  std::vector<SliceResult> Results;
+  Results.reserve(Seeds.size());
+  for (std::size_t I = 0; I != Seeds.size(); ++I)
+    Results.push_back(*UniqueResults[QueryOf[I]]);
+  return Results;
+}

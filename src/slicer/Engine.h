@@ -1,0 +1,115 @@
+//===-- Engine.h - Batched slice-query engine -------------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batched slicing over one finalized SDG: N seeds in, N SliceResults
+/// out, in seed order. The engine deduplicates seeds that expand to
+/// the same SDG node set (each unique query runs once and the result
+/// is copied to every duplicate position) and fans work out across a
+/// worker pool.
+///
+/// Context-insensitive batches run as SCC-condensed bit-parallel
+/// label propagation: the mode-masked subgraph is condensed once
+/// (cached per graph epoch and edge mask, so repeated batches reuse
+/// it), queries are packed 64 per machine word, and one linear sweep
+/// over the components in topological order answers a whole chunk —
+/// all members of a strongly connected component provably belong to
+/// exactly the same slices. Workers fan out across chunks.
+///
+/// Context-sensitive batches run the tabulation slicer per unique
+/// query (workers fan out across queries), computing the summary set
+/// once per batch and optionally reusing it across batches through a
+/// SummaryCache.
+///
+/// Threading model: the finalized SDG is immutable and read
+/// concurrently without locking. Everything that touches process
+/// globals (TabulationSlicer construction, SharedBudgetGate
+/// construction — both reach the FaultInjector) and the condensation
+/// cache happens on the calling thread before workers start. Workers
+/// share one SharedBudgetGate, so an AnalysisBudget passed to a batch
+/// governs the batch's *total* slicing work; per-query results are
+/// otherwise identical to the single-seed entry points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_SLICER_ENGINE_H
+#define THINSLICER_SLICER_ENGINE_H
+
+#include "slicer/Slicer.h"
+#include "slicer/Tabulation.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tsl {
+
+/// Configuration of one batched slice run.
+struct BatchOptions {
+  SliceMode Mode = SliceMode::Thin;
+  /// Use the context-sensitive tabulation slicer (the SDG must have
+  /// been built with SDGOptions::ContextSensitive).
+  bool ContextSensitive = false;
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Clamped to the number of work items; 1 runs inline without
+  /// spawning.
+  unsigned Jobs = 0;
+  /// Optional batch-wide budget (MaxSlicePops caps the *total* pops
+  /// across all queries of the batch; see SharedBudgetGate).
+  const AnalysisBudget *Budget = nullptr;
+  /// Optional cross-batch summary cache for context-sensitive mode.
+  SummaryCache *Summaries = nullptr;
+};
+
+/// What one batch did, for reporting and tests.
+struct BatchStats {
+  unsigned Queries = 0;       ///< Seeds requested.
+  unsigned UniqueQueries = 0; ///< Distinct seed node sets actually run.
+  unsigned Workers = 0;       ///< Worker threads used (1 = inline).
+  bool SummariesReused = false; ///< CS summary set came from the cache.
+  bool CondensationReused = false; ///< CI condensation came from the cache.
+};
+
+/// The SCC condensation of one mode-masked SDG subgraph (defined in
+/// Engine.cpp); cached per (epoch, mask) inside the engine.
+struct BatchCondensation;
+
+/// Batched slice-query engine over one SDG. Construction finalizes
+/// the graph if needed; sliceBackwardBatch() may be called repeatedly
+/// (stats describe the most recent batch; the condensation cache
+/// carries over).
+class SliceEngine {
+public:
+  explicit SliceEngine(const SDG &G);
+  ~SliceEngine();
+
+  /// Backward-slices every seed, returning results in seed order.
+  /// Results are identical to calling sliceBackward() /
+  /// TabulationSlicer::slice() per seed (modulo batch-wide budget
+  /// accounting, see BatchOptions::Budget).
+  std::vector<SliceResult>
+  sliceBackwardBatch(const std::vector<const Instr *> &Seeds,
+                     const BatchOptions &Opts = {});
+
+  const BatchStats &stats() const { return Stats; }
+
+private:
+  /// Condensation for \p Mask at the graph's current epoch, building
+  /// and caching it on a miss. Stale-epoch entries are evicted.
+  std::shared_ptr<const BatchCondensation> condensationFor(EdgeKindMask Mask);
+
+  const SDG &G;
+  BatchStats Stats;
+  std::mutex CondMu;
+  std::map<std::pair<uint64_t, EdgeKindMask>,
+           std::shared_ptr<const BatchCondensation>>
+      CondCache;
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_SLICER_ENGINE_H

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <unordered_set>
 
 using namespace tsl;
@@ -23,6 +24,16 @@ bool tsl::sliceFollowsEdge(SliceMode Mode, SDGEdgeKind K) {
   return false;
 }
 
+EdgeKindMask tsl::sliceEdgeMask(SliceMode Mode) {
+  EdgeKindMask Mask = edgeKindMask(SDGEdgeKind::Flow) |
+                      edgeKindMask(SDGEdgeKind::ParamIn) |
+                      edgeKindMask(SDGEdgeKind::ParamOut);
+  if (Mode == SliceMode::Traditional)
+    Mask |= edgeKindMask(SDGEdgeKind::BaseFlow) |
+            edgeKindMask(SDGEdgeKind::Control);
+  return Mask;
+}
+
 bool SliceResult::containsLine(const Method *M, unsigned Line) const {
   bool Found = false;
   Nodes.forEach([&](unsigned Node) {
@@ -33,29 +44,36 @@ bool SliceResult::containsLine(const Method *M, unsigned Line) const {
   return Found;
 }
 
-std::vector<const Instr *> SliceResult::statements() const {
+const std::vector<const Instr *> &SliceResult::statements() const {
+  if (StmtsValid)
+    return CachedStmts;
   // Clones of one statement appear as separate nodes; dedup with a
   // seen-set rather than a linear scan per node.
-  std::vector<const Instr *> Out;
+  CachedStmts.clear();
   std::unordered_set<const Instr *> Seen;
   Nodes.forEach([&](unsigned Node) {
     const SDGNode &N = G->node(Node);
     if (N.isSourceStmt() && Seen.insert(N.I).second)
-      Out.push_back(N.I);
+      CachedStmts.push_back(N.I);
   });
-  return Out;
+  StmtsValid = true;
+  return CachedStmts;
 }
 
-std::vector<SourceLine> SliceResult::sourceLines() const {
-  std::vector<SourceLine> Out;
+const std::vector<SourceLine> &SliceResult::sourceLines() const {
+  if (LinesValid)
+    return CachedLines;
+  CachedLines.clear();
   Nodes.forEach([&](unsigned Node) {
     const SDGNode &N = G->node(Node);
     if (N.isSourceStmt() && N.I->loc().isValid())
-      Out.push_back({N.M, N.I->loc().Line});
+      CachedLines.push_back({N.M, N.I->loc().Line});
   });
-  std::sort(Out.begin(), Out.end());
-  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
-  return Out;
+  std::sort(CachedLines.begin(), CachedLines.end());
+  CachedLines.erase(std::unique(CachedLines.begin(), CachedLines.end()),
+                    CachedLines.end());
+  LinesValid = true;
+  return CachedLines;
 }
 
 unsigned SliceResult::sizeStmts() const {
@@ -82,38 +100,46 @@ std::string SliceResult::str() const {
 
 namespace {
 
-/// Shared reachability engine for both directions. A budget caps the
-/// number of worklist pops; stopping early only under-visits, so the
-/// partial result is a subset of the full slice (marked Degraded).
+/// Shared reachability engine for both directions, running on the
+/// finalized graph's kind-partitioned CSR adjacency. A budget caps
+/// the number of worklist pops; stopping early only under-visits, so
+/// the partial result is a subset of the full slice (marked
+/// Degraded). With \p Shared set, the pops are charged to the
+/// batch-wide gate and no local gate is constructed.
 SliceResult reachNodes(const SDG &G, const std::vector<unsigned> &SeedNodes,
                        SliceMode Mode, bool Backward,
-                       const AnalysisBudget *Budget) {
-  BudgetGate Gate(Budget, "slice.pop",
-                  Budget ? Budget->MaxSlicePops : 0);
+                       const AnalysisBudget *Budget,
+                       SharedBudgetGate *Shared = nullptr) {
+  G.ensureFinalized();
+  std::optional<BudgetGate> Local;
+  if (!Shared)
+    Local.emplace(Budget, "slice.pop", Budget ? Budget->MaxSlicePops : 0);
+  const EdgeKindRuns Runs = edgeKindRuns(sliceEdgeMask(Mode));
   BitSet Visited(G.numNodes());
-  std::deque<unsigned> Queue;
+  // Flat BFS worklist (never popped elements are dropped all at once):
+  // same visit order as a deque, one allocation per query.
+  std::vector<unsigned> Queue;
+  Queue.reserve(64);
+  std::size_t Head = 0;
   for (unsigned Node : SeedNodes)
     if (Visited.insert(Node))
       Queue.push_back(Node);
-  while (!Queue.empty()) {
-    if (Gate.spend())
+  while (Head != Queue.size()) {
+    if (Shared ? Shared->spend() : Local->spend())
       break;
-    unsigned Node = Queue.front();
-    Queue.pop_front();
-    const std::vector<unsigned> &EdgeIds =
-        Backward ? G.inEdges(Node) : G.outEdges(Node);
-    for (unsigned EdgeId : EdgeIds) {
-      const SDGEdge &E = G.edge(EdgeId);
-      if (!sliceFollowsEdge(Mode, E.K))
-        continue;
-      unsigned Next = Backward ? E.From : E.To;
+    unsigned Node = Queue[Head++];
+    auto Visit = [&](unsigned Next) {
       if (Visited.insert(Next))
         Queue.push_back(Next);
-    }
+    };
+    if (Backward)
+      G.forEachInNeighbor(Node, Runs, Visit);
+    else
+      G.forEachOutNeighbor(Node, Runs, Visit);
   }
   SliceResult R(&G, std::move(Visited));
-  if (Gate.exhausted())
-    R.markDegraded(Gate.reason());
+  if (Shared ? Shared->exhausted() : Local->exhausted())
+    R.markDegraded(Shared ? Shared->reason() : Local->reason());
   return R;
 }
 
@@ -144,11 +170,40 @@ SliceResult tsl::sliceBackward(const SDG &G,
 SliceResult tsl::sliceBackwardNodes(const SDG &G,
                                     const std::vector<unsigned> &SeedNodes,
                                     SliceMode Mode,
-                                    const AnalysisBudget *Budget) {
-  return reachNodes(G, SeedNodes, Mode, /*Backward=*/true, Budget);
+                                    const AnalysisBudget *Budget,
+                                    SharedBudgetGate *Shared) {
+  return reachNodes(G, SeedNodes, Mode, /*Backward=*/true, Budget, Shared);
 }
 
 SliceResult tsl::sliceForward(const SDG &G, const Instr *Seed,
                               SliceMode Mode, const AnalysisBudget *Budget) {
   return reach(G, {Seed}, Mode, /*Backward=*/false, Budget);
+}
+
+SliceResult tsl::sliceBackwardLegacy(const SDG &G, const Instr *Seed,
+                                     SliceMode Mode,
+                                     const AnalysisBudget *Budget) {
+  BudgetGate Gate(Budget, "slice.pop", Budget ? Budget->MaxSlicePops : 0);
+  BitSet Visited(G.numNodes());
+  std::deque<unsigned> Queue;
+  for (unsigned Node : G.nodesFor(Seed))
+    if (Visited.insert(Node))
+      Queue.push_back(Node);
+  while (!Queue.empty()) {
+    if (Gate.spend())
+      break;
+    unsigned Node = Queue.front();
+    Queue.pop_front();
+    for (unsigned EdgeId : G.inEdges(Node)) {
+      const SDGEdge &E = G.edge(EdgeId);
+      if (!sliceFollowsEdge(Mode, E.K))
+        continue;
+      if (Visited.insert(E.From))
+        Queue.push_back(E.From);
+    }
+  }
+  SliceResult R(&G, std::move(Visited));
+  if (Gate.exhausted())
+    R.markDegraded(Gate.reason());
+  return R;
 }

@@ -12,6 +12,13 @@
 /// linkage; traditional slices additionally follow base-pointer flow
 /// and control dependence.
 ///
+/// The BFS runs on the finalized graph's kind-partitioned CSR
+/// adjacency (see SDG.h): the mode is compiled into an EdgeKindMask
+/// once per slice and each visited node scans contiguous neighbor
+/// runs, with no per-edge kind branch or edge-record load.
+/// sliceBackwardLegacy() keeps the original edge-record traversal as a
+/// differential oracle and benchmark baseline.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef THINSLICER_SLICER_SLICER_H
@@ -35,6 +42,10 @@ enum class SliceMode {
 /// True when a slice in \p Mode follows edges of kind \p K.
 bool sliceFollowsEdge(SliceMode Mode, SDGEdgeKind K);
 
+/// The CSR edge-kind mask a slice in \p Mode follows (Summary edges
+/// are excluded; they belong to the tabulation slicer).
+EdgeKindMask sliceEdgeMask(SliceMode Mode);
+
 /// A (method, line) pair — the unit a human inspects.
 struct SourceLine {
   const Method *M;
@@ -50,7 +61,12 @@ struct SourceLine {
   }
 };
 
-/// The set of SDG nodes in a slice, with statement/line views.
+/// The set of SDG nodes in a slice, with statement/line views. The
+/// statement and line views are computed once on first use and cached
+/// (mutation through unionWith invalidates them), so repeated
+/// rendering/counting of one result is free. Not safe for concurrent
+/// first-use from multiple threads; the batch engine hands each result
+/// to exactly one worker.
 class SliceResult {
 public:
   SliceResult(const SDG *G, BitSet Nodes)
@@ -67,12 +83,14 @@ public:
   /// True when any statement of \p Line is in the slice.
   bool containsLine(const Method *M, unsigned Line) const;
 
-  /// Statement nodes only, in node-id order.
-  std::vector<const Instr *> statements() const;
+  /// Statement nodes only, in node-id order. Cached after the first
+  /// call; the reference stays valid until the result is mutated.
+  const std::vector<const Instr *> &statements() const;
 
   /// Distinct source lines of the statements (sorted), skipping
-  /// compiler-synthesized instructions without positions.
-  std::vector<SourceLine> sourceLines() const;
+  /// compiler-synthesized instructions without positions. Cached like
+  /// statements().
+  const std::vector<SourceLine> &sourceLines() const;
 
   /// Number of statement nodes in the slice (the paper's slice-size
   /// metric).
@@ -82,6 +100,8 @@ public:
   /// degraded operand degrades the union.
   void unionWith(const SliceResult &Other) {
     Nodes.unionWith(Other.Nodes);
+    StmtsValid = false;
+    LinesValid = false;
     if (!Other.complete())
       markDegraded(Other.Reason);
   }
@@ -111,6 +131,10 @@ private:
   BitSet Nodes;
   StageStatus Status = StageStatus::Complete;
   std::string Reason;
+  mutable std::vector<const Instr *> CachedStmts;
+  mutable std::vector<SourceLine> CachedLines;
+  mutable bool StmtsValid = false;
+  mutable bool LinesValid = false;
 };
 
 /// Backward slice from \p Seed by context-insensitive reachability.
@@ -127,14 +151,27 @@ SliceResult sliceBackward(const SDG &G, const std::vector<const Instr *> &Seeds,
 
 /// Backward slice seeded at specific SDG nodes (specific clones); used
 /// by the expansion machinery, which must not jump across contexts.
+/// When \p Shared is non-null the traversal polls that batch-wide gate
+/// instead of constructing its own BudgetGate — the thread-safe path
+/// the batch engine's workers use (BudgetGate construction touches the
+/// process-global FaultInjector and must stay on the main thread).
 SliceResult sliceBackwardNodes(const SDG &G,
                                const std::vector<unsigned> &SeedNodes,
                                SliceMode Mode,
-                               const AnalysisBudget *Budget = nullptr);
+                               const AnalysisBudget *Budget = nullptr,
+                               SharedBudgetGate *Shared = nullptr);
 
 /// Forward slice (statements the seed's value can flow to / affect).
 SliceResult sliceForward(const SDG &G, const Instr *Seed, SliceMode Mode,
                          const AnalysisBudget *Budget = nullptr);
+
+/// Reference slicer over the raw edge records (the pre-CSR traversal:
+/// per-edge kind test via sliceFollowsEdge, edge-id indirection).
+/// Kept as the differential-testing oracle for the CSR path and the
+/// baseline the throughput benchmark measures against.
+SliceResult sliceBackwardLegacy(const SDG &G, const Instr *Seed,
+                                SliceMode Mode,
+                                const AnalysisBudget *Budget = nullptr);
 
 } // namespace tsl
 

@@ -16,6 +16,11 @@
 /// context-insensitive graph the direct interprocedural heap edges
 /// would bypass the parenthesis matching.
 ///
+/// Summary computation is the dominant cost and depends only on
+/// (graph, mode) — not on the seed — so a SummaryCache can share one
+/// summary set across every query of a batch (and across batches,
+/// until the graph mutates: entries are keyed by the SDG's epoch).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef THINSLICER_SLICER_TABULATION_H
@@ -23,54 +28,113 @@
 
 #include "slicer/Slicer.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace tsl {
 
+/// Cross-query cache of tabulation summary sets, keyed by
+/// (graph identity, graph epoch, slice mode). A mutation of the graph
+/// bumps its epoch, so stale entries can never be served; they are
+/// evicted when a fresh entry for the same graph is stored. Only
+/// complete (non-degraded) summary sets are cached — a partial set is
+/// an artifact of one query's budget, not of the graph. Thread-safe.
+class SummaryCache {
+public:
+  /// One cached summary set: the summary adjacency (for each
+  /// actual-out node, its summary sources) plus its statistics.
+  struct Entry {
+    std::unordered_map<unsigned, std::vector<unsigned>> SummaryIn;
+    unsigned NumSummaries = 0;
+    bool Partial = false;
+    std::string PartialReason;
+  };
+
+  /// Returns the cached entry for (\p G at its current epoch, \p Mode)
+  /// or null on a miss.
+  std::shared_ptr<const Entry> lookup(const SDG &G, SliceMode Mode);
+
+  /// Publishes \p E for (\p G at its current epoch, \p Mode), evicting
+  /// entries of older epochs of the same graph. Partial entries are
+  /// ignored.
+  void store(const SDG &G, SliceMode Mode, std::shared_ptr<const Entry> E);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  std::size_t size() const;
+  void clear();
+
+private:
+  using Key = std::tuple<const SDG *, uint64_t, SliceMode>;
+
+  mutable std::mutex Mu;
+  std::map<Key, std::shared_ptr<const Entry>> Map;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
 /// Context-sensitive slicer with cached summary edges for one SDG and
-/// slice mode. Summary computation is the dominant cost and runs once
-/// in the constructor, mirroring the paper's observation that the
-/// heap-parameter SDG (not the traversal) is the scalability
-/// bottleneck.
+/// slice mode. Summary computation runs once in the constructor —
+/// or is reused from a SummaryCache hit — mirroring the paper's
+/// observation that the heap-parameter SDG (not the traversal) is the
+/// scalability bottleneck. A constructed slicer is immutable; slice()
+/// is const and safe to call from multiple threads concurrently (each
+/// call charging a SharedBudgetGate instead of a local gate).
 class TabulationSlicer {
 public:
-  /// Computes summary edges eagerly. When \p Budget is exhausted
-  /// mid-computation, the summary set stays partial — slices are then
-  /// subsets of the full context-sensitive slice and are marked
-  /// Degraded.
+  /// Computes summary edges eagerly, consulting \p Cache first when
+  /// given (and publishing the result to it). When \p Budget is
+  /// exhausted mid-computation, the summary set stays partial — slices
+  /// are then subsets of the full context-sensitive slice and are
+  /// marked Degraded.
   TabulationSlicer(const SDG &G, SliceMode Mode,
-                   const AnalysisBudget *Budget = nullptr);
+                   const AnalysisBudget *Budget = nullptr,
+                   SummaryCache *Cache = nullptr);
 
   /// Two-phase backward slice from \p Seed.
   SliceResult slice(const Instr *Seed) const;
   SliceResult slice(const std::vector<const Instr *> &Seeds) const;
 
+  /// Worker-thread variant: polls the batch-wide \p Shared gate and
+  /// constructs no local BudgetGate (see sliceBackwardNodes).
+  SliceResult slice(const std::vector<const Instr *> &Seeds,
+                    SharedBudgetGate *Shared) const;
+
   /// Number of summary edges discovered (a cost statistic).
-  unsigned numSummaryEdges() const { return NumSummaries; }
+  unsigned numSummaryEdges() const { return S->NumSummaries; }
 
   /// True when summary computation ran to its fixed point.
-  bool summariesComplete() const { return !Partial; }
+  bool summariesComplete() const { return !S->Partial; }
+
+  /// True when the summary set was served from the cache instead of
+  /// recomputed.
+  bool summariesFromCache() const { return FromCache; }
 
 private:
-  bool intraEdge(SDGEdgeKind K) const {
-    if (K == SDGEdgeKind::Flow)
-      return true;
+  /// Intraprocedural (same-level) edge kinds for this mode.
+  EdgeKindMask intraMask() const {
+    EdgeKindMask Mask = edgeKindMask(SDGEdgeKind::Flow);
     if (Mode == SliceMode::Traditional)
-      return K == SDGEdgeKind::BaseFlow || K == SDGEdgeKind::Control;
-    return false;
+      Mask |= edgeKindMask(SDGEdgeKind::BaseFlow) |
+              edgeKindMask(SDGEdgeKind::Control);
+    return Mask;
   }
 
-  void computeSummaries();
+  static std::shared_ptr<const SummaryCache::Entry>
+  computeSummaries(const SDG &G, SliceMode Mode, const AnalysisBudget *B);
+
+  SliceResult sliceImpl(const std::vector<const Instr *> &Seeds,
+                        SharedBudgetGate *Shared) const;
 
   const SDG &G;
   SliceMode Mode;
   const AnalysisBudget *B;
-  /// Summary adjacency: for each actual-out node, its summary sources.
-  std::unordered_map<unsigned, std::vector<unsigned>> SummaryIn;
-  unsigned NumSummaries = 0;
-  bool Partial = false;
-  std::string PartialReason;
+  std::shared_ptr<const SummaryCache::Entry> S;
+  bool FromCache = false;
 };
 
 } // namespace tsl

@@ -131,3 +131,13 @@ uint64_t FaultInjector::query(const std::string &Point) {
 void FaultInjector::recordFired(const std::string &Point) {
   Fired.insert(Point);
 }
+
+void SharedBudgetGate::trip(std::string Why, bool RecordFault) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Tripped.load(std::memory_order_relaxed))
+    return; // First tripper wins; the reason stays stable.
+  Reason = std::move(Why);
+  if (RecordFault)
+    FaultInjector::instance().recordFired(Point);
+  Tripped.store(true, std::memory_order_release);
+}

@@ -24,9 +24,11 @@
 #ifndef THINSLICER_SUPPORT_BUDGET_H
 #define THINSLICER_SUPPORT_BUDGET_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -195,6 +197,61 @@ private:
   uint64_t Used = 0;
   uint64_t Polls = 0;
   bool Exhausted = false;
+  std::string Reason;
+};
+
+/// Thread-safe sibling of BudgetGate for worker pools: one gate is
+/// shared by every worker of a batch, so the step cap (and armed
+/// fault) governs the batch's *total* work rather than each query's.
+/// Construction — which registers the fault point with the injector —
+/// must happen before workers start; spend() is safe from any thread
+/// (an atomic add plus occasional deadline reads). For an armed fault
+/// the gate fires once the batch-wide step count reaches the
+/// configured poll number.
+class SharedBudgetGate {
+public:
+  SharedBudgetGate(const AnalysisBudget *Budget, const char *Point,
+                   uint64_t StepCap)
+      : B(Budget), Point(Point), StepCap(StepCap),
+        FaultAtPoll(FaultInjector::instance().query(Point)) {}
+
+  /// Counts \p N steps against the shared pool; returns true once the
+  /// batch must stop (sticky).
+  bool spend(uint64_t N = 1) {
+    if (Tripped.load(std::memory_order_relaxed))
+      return true;
+    uint64_t U = Used.fetch_add(N, std::memory_order_relaxed) + N;
+    if (FaultAtPoll && U >= FaultAtPoll)
+      trip(std::string("fault:") + Point, /*RecordFault=*/true);
+    else if (StepCap && U > StepCap)
+      trip("step-cap", false);
+    else if (B && B->BudgetMs && (U & DeadlineCheckMask) == 0 &&
+             B->deadlineExpired())
+      trip("deadline", false);
+    return Tripped.load(std::memory_order_relaxed);
+  }
+
+  bool exhausted() const { return Tripped.load(std::memory_order_acquire); }
+  std::string reason() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Reason;
+  }
+  uint64_t used() const { return Used.load(std::memory_order_relaxed); }
+
+private:
+  void trip(std::string Why, bool RecordFault);
+
+  /// The deadline is read every 64 steps so hot loops do not hit the
+  /// clock on every pop.
+  static constexpr uint64_t DeadlineCheckMask = 63;
+
+  const AnalysisBudget *B;
+  const char *Point;
+  uint64_t StepCap;
+  uint64_t FaultAtPoll;
+  std::atomic<uint64_t> Used{0};
+  std::atomic<bool> Tripped{false};
+  mutable std::mutex Mu;
   std::string Reason;
 };
 

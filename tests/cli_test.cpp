@@ -41,7 +41,11 @@ protected:
   void SetUp() override {
     if (!toolExists())
       GTEST_SKIP() << "thinslice binary not found at " << ToolPath;
-    Program = "cli_test_prog.tsj";
+    // One file per test: ctest runs these in parallel processes from
+    // one working directory, and some tests rewrite the program.
+    Program = std::string("cli_test_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".tsj";
     std::ofstream F(Program);
     F << R"THINJ(
 def readNames(count: int): Vector {

@@ -250,6 +250,39 @@ TEST(Slicer, SliceResultViews) {
   EXPECT_FALSE(Thin.containsLine(F.P->mainMethod(), 99));
 }
 
+TEST(Slicer, StatementViewCachedAndInvalidated) {
+  Fixture F(R"(
+def main() {
+  var a = 1;
+  var b = a + 2;
+  print(b);
+  print(a);
+}
+)");
+  const Instr *Seed = F.lastAtLine(5); // print(b)
+  ASSERT_NE(Seed, nullptr);
+  SliceResult S = sliceBackward(*F.G, Seed, SliceMode::Thin);
+
+  // Repeated calls return the one cached vector, sorted by node id.
+  const std::vector<const Instr *> &Stmts = S.statements();
+  EXPECT_EQ(&Stmts, &S.statements());
+  EXPECT_EQ(&S.sourceLines(), &S.sourceLines());
+  std::vector<int> Ids;
+  for (const Instr *I : Stmts)
+    Ids.push_back(F.G->nodeFor(I));
+  EXPECT_TRUE(std::is_sorted(Ids.begin(), Ids.end()));
+
+  // Mutation through unionWith invalidates the cache; the recomputed
+  // view covers the union.
+  SliceResult Other =
+      sliceBackward(*F.G, F.lastAtLine(6), SliceMode::Traditional);
+  const std::size_t Before = S.statements().size();
+  S.unionWith(Other);
+  EXPECT_GE(S.statements().size(), Before);
+  for (const Instr *I : Other.statements())
+    EXPECT_TRUE(S.contains(I));
+}
+
 TEST(Slicer, Deterministic) {
   Fixture F(R"(
 class Box { var v: Object; }

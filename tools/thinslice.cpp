@@ -11,6 +11,7 @@
 //   thinslice prog.tsj --line 24 --forward        forward thin slice
 //   thinslice prog.tsj --line 3 --chop 24         thin chop 3 -> 24
 //   thinslice prog.tsj --line 24 --context-sensitive
+//   thinslice prog.tsj --seeds seeds.txt --jobs 4    batched slicing
 //   thinslice prog.tsj --run --int 1 --in "John Doe"
 //   thinslice prog.tsj --line 24 --dot slice.dot
 //   thinslice prog.tsj --dump-ir / --stats
@@ -31,6 +32,7 @@
 #include "sdg/SDG.h"
 #include "sdg/SDGDot.h"
 #include "slicer/Chop.h"
+#include "slicer/Engine.h"
 #include "slicer/Expansion.h"
 #include "slicer/Report.h"
 #include "slicer/Slicer.h"
@@ -62,6 +64,10 @@ struct CliOptions {
   bool ContextSensitive = false;
   bool NoObjSens = false;
   bool Run = false;
+  /// Batched slicing: a file of seed line numbers, fanned out over a
+  /// worker pool.
+  std::string SeedsFile;
+  unsigned Jobs = 0; ///< 0 = hardware_concurrency.
   bool DumpIR = false;
   bool Stats = false;
   bool PtaStats = false;
@@ -95,6 +101,7 @@ struct CliOptions {
 void usage() {
   fprintf(stderr,
           "usage: thinslice <file.tsj> [--line N] [--mode thin|trad]\n"
+          "                 [--seeds FILE] [--jobs N]\n"
           "                 [--forward] [--chop N] [--alias-depth K]\n"
           "                 [--expand] [--context-sensitive] [--no-objsens]\n"
           "                 [--run] [--in STR]... [--int N]...\n"
@@ -161,6 +168,16 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       if (!parsePositive("--line", Next(), N))
         return false;
       Opts.Line = static_cast<unsigned>(N);
+    } else if (Arg == "--seeds") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SeedsFile = V;
+    } else if (Arg == "--jobs") {
+      uint64_t N;
+      if (!parsePositive("--jobs", Next(), N))
+        return false;
+      Opts.Jobs = static_cast<unsigned>(N);
     } else if (Arg == "--chop") {
       uint64_t N;
       if (!parsePositive("--chop", Next(), N))
@@ -317,6 +334,14 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  if (!Opts.SeedsFile.empty() &&
+      (Opts.Line || Opts.ChopSink || Opts.Forward || Opts.Expand ||
+       Opts.AliasDepth || Opts.Why || !Opts.DotFile.empty())) {
+    fprintf(stderr, "error: --seeds is incompatible with --line/--chop/"
+                    "--forward/--expand/--alias-depth/--why/--dot\n");
+    return 2;
+  }
+
   if (!Opts.FaultSpec.empty() &&
       !FaultInjector::instance().armFromSpec(Opts.FaultSpec)) {
     std::string Known;
@@ -388,12 +413,13 @@ int main(int argc, char **argv) {
       printf("%s\n", Line.c_str());
     if (!R.Completed)
       fprintf(stderr, "%s\n", R.Error.c_str());
-    if (R.HitLimit && !Opts.Line && Opts.DotFile.empty() && !Opts.Stats &&
-        !Opts.PtaStats)
+    if (R.HitLimit && !Opts.Line && Opts.SeedsFile.empty() &&
+        Opts.DotFile.empty() && !Opts.Stats && !Opts.PtaStats)
       return Opts.StrictBudget ? 4 : 3;
   }
 
-  if (!Opts.Line && Opts.DotFile.empty() && !Opts.Stats && !Opts.PtaStats)
+  if (!Opts.Line && Opts.SeedsFile.empty() && Opts.DotFile.empty() &&
+      !Opts.Stats && !Opts.PtaStats)
     return 0;
 
   PTAOptions PtaOpts;
@@ -454,6 +480,98 @@ int main(int argc, char **argv) {
            PTA->callGraph().nodes().size());
     printf("sdg: %u statements, %u heap-param nodes, %u edges\n",
            G->numStmtNodes(), G->numHeapParamNodes(), G->numEdges());
+  }
+
+  if (!Opts.SeedsFile.empty()) {
+    std::ifstream SeedsIn(Opts.SeedsFile);
+    if (!SeedsIn) {
+      fprintf(stderr, "error: cannot open %s\n", Opts.SeedsFile.c_str());
+      return 1;
+    }
+    // One user-file line number per line; blank lines and '#' comments
+    // are skipped; anything else is a usage error (a typo silently
+    // slicing the wrong line would be worse than failing).
+    std::vector<unsigned> SeedUserLines;
+    std::string Raw;
+    unsigned FileLine = 0;
+    while (std::getline(SeedsIn, Raw)) {
+      ++FileLine;
+      std::size_t Begin = Raw.find_first_not_of(" \t\r");
+      if (Begin == std::string::npos || Raw[Begin] == '#')
+        continue;
+      std::size_t End = Raw.find_last_not_of(" \t\r");
+      std::string Tok = Raw.substr(Begin, End - Begin + 1);
+      bool Digits = !Tok.empty();
+      for (char C : Tok)
+        if (!isdigit(static_cast<unsigned char>(C)))
+          Digits = false;
+      errno = 0;
+      uint64_t N = Digits ? strtoull(Tok.c_str(), nullptr, 10) : 0;
+      if (!Digits || errno == ERANGE || N == 0) {
+        fprintf(stderr,
+                "error: %s:%u: expected a positive line number, got '%s'\n",
+                Opts.SeedsFile.c_str(), FileLine, Tok.c_str());
+        return 2;
+      }
+      SeedUserLines.push_back(static_cast<unsigned>(N));
+    }
+    if (SeedUserLines.empty()) {
+      fprintf(stderr, "error: %s contains no seeds\n", Opts.SeedsFile.c_str());
+      return 2;
+    }
+
+    std::vector<const Instr *> Seeds;
+    bool Missing = false;
+    for (unsigned UserLine : SeedUserLines) {
+      const Instr *Seed = seedAtLine(*P, UserLine + LineOffset);
+      if (!Seed) {
+        reportNoStatement(*P, UserLine, LineOffset);
+        Missing = true;
+      }
+      Seeds.push_back(Seed);
+    }
+    if (Missing)
+      return 1;
+
+    SummaryCache Cache;
+    SliceEngine Engine(*G);
+    BatchOptions BO;
+    BO.Mode = Opts.Mode;
+    BO.ContextSensitive = Opts.ContextSensitive;
+    BO.Jobs = Opts.Jobs;
+    BO.Budget = B;
+    BO.Summaries = Opts.ContextSensitive ? &Cache : nullptr;
+    std::vector<SliceResult> Results = Engine.sliceBackwardBatch(Seeds, BO);
+
+    const char *What =
+        Opts.ContextSensitive
+            ? "context-sensitive slice"
+            : (Opts.Mode == SliceMode::Thin ? "thin slice"
+                                            : "traditional slice");
+    for (std::size_t I = 0; I != Results.size(); ++I) {
+      const SliceResult &Slice = Results[I];
+      printf("=== seed line %u ===\n", SeedUserLines[I]);
+      printf("%s from line %u: %u statements, %zu source lines\n", What,
+             SeedUserLines[I], Slice.sizeStmts(), Slice.sourceLines().size());
+      for (const SourceLine &L : Slice.sourceLines()) {
+        unsigned Shown = L.Line > LineOffset ? L.Line - LineOffset : L.Line;
+        const char *Where = L.Line > LineOffset ? "" : " [runtime]";
+        printf("  %s:%u%s\n", L.M->qualifiedName(P->strings()).c_str(), Shown,
+               Where);
+      }
+    }
+    const BatchStats &St = Engine.stats();
+    printf("batch: %u queries (%u unique) on %u worker%s\n", St.Queries,
+           St.UniqueQueries, St.Workers, St.Workers == 1 ? "" : "s");
+
+    // Aggregate degradation: one slice stage for the whole batch.
+    const SliceResult *Rep = &Results.front();
+    for (const SliceResult &Slice : Results)
+      if (!Slice.complete()) {
+        Rep = &Slice;
+        break;
+      }
+    return Finish(Rep);
   }
 
   if (!Opts.Line) {
