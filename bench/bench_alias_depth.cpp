@@ -12,24 +12,26 @@
 
 #include "eval/Experiments.h"
 #include "eval/Workload.h"
-#include "lang/Lower.h"
-#include "pta/PointsTo.h"
-#include "sdg/SDG.h"
+#include "pipeline/Session.h"
 #include "slicer/Expansion.h"
 #include "slicer/Slicer.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 
 using namespace tsl;
 
 namespace {
 
+/// One warm session for every benchmark in this binary; the raw
+/// pointers borrow from it.
 struct Built {
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<SDG> G;
+  std::unique_ptr<AnalysisSession> S;
+  Program *P = nullptr;
+  PointsToResult *PTA = nullptr;
+  SDG *G = nullptr;
   const Instr *Seed = nullptr;
   unsigned BugLine = 0;
 };
@@ -41,12 +43,11 @@ Built &builtOnce() {
     for (const BugCase &Case : debuggingCases()) {
       if (Case.Id != "nanoxml-5")
         continue;
-      DiagnosticEngine Diag;
-      Out.P = compileThinJ(Case.Prog.Source, Diag);
-      Out.PTA = runPointsTo(*Out.P);
-      Out.G = buildSDG(*Out.P, *Out.PTA, nullptr);
-      Out.Seed =
-          instrAtLine(*Out.P, Case.Prog.markerLine(Case.SeedMarker));
+      Out.S = std::make_unique<AnalysisSession>(Case.Prog.Source);
+      Out.P = Out.S->program();
+      Out.PTA = Out.S->pointsTo();
+      Out.G = Out.S->sdg();
+      Out.Seed = instrAtLine(*Out.P, Case.Prog.markerLine(Case.SeedMarker));
       Out.BugLine = Case.Prog.markerLine(Case.DesiredMarkers.front());
     }
     return Out;

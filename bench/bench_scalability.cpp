@@ -18,23 +18,23 @@
 
 #include "eval/Experiments.h"
 #include "eval/Workload.h"
-#include "lang/Lower.h"
-#include "pta/PointsTo.h"
-#include "sdg/SDG.h"
+#include "pipeline/Session.h"
 #include "slicer/Slicer.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 
 using namespace tsl;
 
 namespace {
 
+/// One warm session for every benchmark in this binary; the raw
+/// pointers borrow from it.
 struct Built {
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<SDG> G;
+  std::unique_ptr<AnalysisSession> S;
+  SDG *G = nullptr;
   const Instr *Seed = nullptr;
 };
 
@@ -42,11 +42,9 @@ Built &builtOnce() {
   static Built B = [] {
     Built Out;
     WorkloadProgram W = padWorkload(debuggingCases().front().Prog, "SB", 8, 6);
-    DiagnosticEngine Diag;
-    Out.P = compileThinJ(W.Source, Diag);
-    Out.PTA = runPointsTo(*Out.P);
-    Out.G = buildSDG(*Out.P, *Out.PTA, nullptr);
-    Out.Seed = instrAtLine(*Out.P, W.markerLine("n1-seed"));
+    Out.S = std::make_unique<AnalysisSession>(W.Source);
+    Out.G = Out.S->sdg();
+    Out.Seed = instrAtLine(*Out.S->program(), W.markerLine("n1-seed"));
     return Out;
   }();
   return B;

@@ -26,9 +26,7 @@
 
 #include "eval/Experiments.h"
 #include "eval/Workload.h"
-#include "lang/Lower.h"
-#include "pta/PointsTo.h"
-#include "sdg/SDG.h"
+#include "pipeline/Session.h"
 #include "slicer/Engine.h"
 #include "slicer/Slicer.h"
 #include "slicer/Tabulation.h"
@@ -46,10 +44,11 @@ namespace {
 constexpr unsigned PAD = 12;
 constexpr unsigned NUM_SEEDS = 100;
 
+/// One warm session for every benchmark in this binary; the raw
+/// pointers borrow from it.
 struct Built {
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<SDG> G;
+  std::unique_ptr<AnalysisSession> S;
+  SDG *G = nullptr;
   std::vector<const Instr *> Seeds;
 };
 
@@ -57,12 +56,10 @@ Built &builtOnce() {
   static Built B = [] {
     Built Out;
     WorkloadProgram W = padWorkload(debuggingCases().front().Prog, "TP", PAD, 6);
-    DiagnosticEngine Diag;
-    Out.P = compileThinJ(W.Source, Diag);
-    Out.PTA = runPointsTo(*Out.P);
-    Out.G = buildSDG(*Out.P, *Out.PTA, nullptr);
+    Out.S = std::make_unique<AnalysisSession>(W.Source);
+    Out.G = Out.S->sdg();
     Out.G->finalize();
-    Out.Seeds = collectSliceSeeds(*Out.P, NUM_SEEDS);
+    Out.Seeds = collectSliceSeeds(*Out.S->program(), NUM_SEEDS);
     return Out;
   }();
   return B;

@@ -1,0 +1,339 @@
+//===-- Session.cpp - Memoized analysis pipeline sessions -----------------------==//
+
+#include "pipeline/Session.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+using namespace tsl;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// FNV-1a over the source text: the cheap, stable identity every
+/// cache key is prefixed with.
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// Option fingerprints. Budget pointers are deliberately excluded:
+/// the session threads its own budget in at compute time and treats
+/// budget changes as destructive invalidations instead.
+std::string digest(const CompileOptions &O) {
+  std::string D = "ssa=";
+  D += O.BuildSSA ? '1' : '0';
+  D += ";main=";
+  D += O.RequireMain ? '1' : '0';
+  return D;
+}
+
+std::string digest(const PTAOptions &O) {
+  std::ostringstream OS;
+  OS << "objsens=" << O.ObjSensContainers << ";depth=" << O.MaxObjSensDepth
+     << ";delta=" << O.DeltaPropagation << ";cyc=" << O.CycleElimination
+     << ";policy=" << static_cast<unsigned>(O.Policy) << ";containers=";
+  for (const std::string &C : O.ContainerClasses)
+    OS << C << ',';
+  return OS.str();
+}
+
+std::string digest(const SDGOptions &O) {
+  std::string D = "cs=";
+  D += O.ContextSensitive ? '1' : '0';
+  D += ";unreach=";
+  D += O.IncludeUnreachable ? '1' : '0';
+  return D;
+}
+
+} // namespace
+
+const char *tsl::sessionStageName(SessionStage S) {
+  switch (S) {
+  case SessionStage::Compile:
+    return "compile";
+  case SessionStage::PTA:
+    return "pta";
+  case SessionStage::ModRef:
+    return "modref";
+  case SessionStage::SDGBuild:
+    return "sdg";
+  case SessionStage::Engine:
+    return "engine";
+  case SessionStage::Slice:
+    return "slice";
+  }
+  return "?";
+}
+
+AnalysisSession::AnalysisSession()
+    : Diag(std::make_unique<DiagnosticEngine>()) {}
+
+AnalysisSession::AnalysisSession(std::string Source, CompileOptions CO)
+    : AnalysisSession() {
+  CurCompile = CO;
+  setSource(std::move(Source));
+}
+
+AnalysisSession::~AnalysisSession() = default;
+
+//===----------------------------------------------------------------------===//
+// Invalidation
+//===----------------------------------------------------------------------===//
+
+void AnalysisSession::bumpFrom(SessionStage S) {
+  for (unsigned I = static_cast<unsigned>(S); I != NumSessionStages; ++I)
+    ++Epochs[I];
+}
+
+void AnalysisSession::purgeAnalyses() {
+  counters(SessionStage::Slice).Invalidated += SliceCache.size();
+  counters(SessionStage::Engine).Invalidated += EngineCache.size();
+  counters(SessionStage::SDGBuild).Invalidated += SdgCache.size();
+  counters(SessionStage::ModRef).Invalidated += ModRefCache.size();
+  counters(SessionStage::PTA).Invalidated += PtaCache.size();
+  // Bottom-up: engines reference SDGs, mod-ref references PTA.
+  SliceCache.clear();
+  EngineCache.clear();
+  SdgCache.clear();
+  ModRefCache.clear();
+  PtaCache.clear();
+}
+
+void AnalysisSession::purgeAll() {
+  purgeAnalyses();
+  if (CompileAttempted)
+    ++counters(SessionStage::Compile).Invalidated;
+  Prog.reset();
+  CompileAttempted = false;
+}
+
+void AnalysisSession::setSource(std::string NewSource) {
+  Source = std::move(NewSource);
+  SourceDigest = fnv1a(Source);
+  purgeAll();
+  bumpFrom(SessionStage::Compile);
+}
+
+void AnalysisSession::setCompileOptions(const CompileOptions &O) {
+  if (digest(O) == digest(CurCompile))
+    return;
+  CurCompile = O;
+  purgeAll();
+  bumpFrom(SessionStage::Compile);
+}
+
+void AnalysisSession::setPTAOptions(const PTAOptions &O) {
+  if (digest(O) == digest(CurPta))
+    return;
+  CurPta = O;
+  bumpFrom(SessionStage::PTA);
+}
+
+void AnalysisSession::setSDGOptions(const SDGOptions &O) {
+  if (digest(O) == digest(CurSdg))
+    return;
+  CurSdg = O;
+  bumpFrom(SessionStage::SDGBuild);
+}
+
+void AnalysisSession::setBudget(const AnalysisBudget *B) {
+  if (B == Budget)
+    return;
+  Budget = B;
+  purgeAnalyses();
+  bumpFrom(SessionStage::PTA);
+}
+
+//===----------------------------------------------------------------------===//
+// Keys
+//===----------------------------------------------------------------------===//
+
+std::string AnalysisSession::ptaKey() const {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%016llx|",
+           static_cast<unsigned long long>(SourceDigest));
+  return Buf + digest(CurPta);
+}
+
+std::string AnalysisSession::sdgKey() const {
+  return ptaKey() + "|" + digest(CurSdg);
+}
+
+//===----------------------------------------------------------------------===//
+// Artifacts
+//===----------------------------------------------------------------------===//
+
+Program *AnalysisSession::program() {
+  StageCounters &C = counters(SessionStage::Compile);
+  if (CompileAttempted) {
+    ++C.Hits;
+    return Prog.get();
+  }
+  ++C.Misses;
+  auto T0 = std::chrono::steady_clock::now();
+  Diag = std::make_unique<DiagnosticEngine>();
+  Prog = compileThinJ(Source, *Diag, CurCompile);
+  CompileAttempted = true;
+  C.Seconds += secondsSince(T0);
+  return Prog.get();
+}
+
+PointsToResult *AnalysisSession::pointsTo() {
+  Program *P = program();
+  if (!P)
+    return nullptr;
+  StageCounters &C = counters(SessionStage::PTA);
+  auto It = PtaCache.find(ptaKey());
+  if (It != PtaCache.end()) {
+    ++C.Hits;
+    return It->second.get();
+  }
+  ++C.Misses;
+  auto T0 = std::chrono::steady_clock::now();
+  PTAOptions Opts = CurPta;
+  Opts.Budget = Budget;
+  std::unique_ptr<PointsToResult> R = runPointsTo(*P, Opts);
+  C.Seconds += secondsSince(T0);
+  return PtaCache.emplace(ptaKey(), std::move(R)).first->second.get();
+}
+
+ModRefResult *AnalysisSession::modRef() {
+  PointsToResult *PTA = pointsTo();
+  if (!PTA)
+    return nullptr;
+  StageCounters &C = counters(SessionStage::ModRef);
+  auto It = ModRefCache.find(ptaKey());
+  if (It != ModRefCache.end()) {
+    ++C.Hits;
+    return It->second.get();
+  }
+  ++C.Misses;
+  auto T0 = std::chrono::steady_clock::now();
+  auto MR = std::make_unique<ModRefResult>(*Prog, *PTA, Budget);
+  C.Seconds += secondsSince(T0);
+  return ModRefCache.emplace(ptaKey(), std::move(MR)).first->second.get();
+}
+
+SDG *AnalysisSession::sdg() {
+  PointsToResult *PTA = pointsTo();
+  if (!PTA)
+    return nullptr;
+  StageCounters &C = counters(SessionStage::SDGBuild);
+  auto It = SdgCache.find(sdgKey());
+  if (It != SdgCache.end()) {
+    ++C.Hits;
+    return It->second.get();
+  }
+  // The context-sensitive representation needs mod-ref; computing it
+  // through the session keeps it cached for the next CS graph of the
+  // same PTA cone.
+  ModRefResult *MR = CurSdg.ContextSensitive ? modRef() : nullptr;
+  ++C.Misses;
+  auto T0 = std::chrono::steady_clock::now();
+  SDGOptions Opts = CurSdg;
+  Opts.Budget = Budget;
+  std::unique_ptr<SDG> G = buildSDG(*Prog, *PTA, MR, Opts);
+  C.Seconds += secondsSince(T0);
+  return SdgCache.emplace(sdgKey(), std::move(G)).first->second.get();
+}
+
+SliceEngine *AnalysisSession::engine() {
+  SDG *G = sdg();
+  if (!G)
+    return nullptr;
+  StageCounters &C = counters(SessionStage::Engine);
+  auto It = EngineCache.find(sdgKey());
+  if (It != EngineCache.end()) {
+    ++C.Hits;
+    return It->second.get();
+  }
+  ++C.Misses;
+  auto T0 = std::chrono::steady_clock::now();
+  auto E = std::make_unique<SliceEngine>(*G);
+  C.Seconds += secondsSince(T0);
+  return EngineCache.emplace(sdgKey(), std::move(E)).first->second.get();
+}
+
+const SliceResult *AnalysisSession::sliceBackwardCached(const Instr *Seed,
+                                                        SliceMode Mode) {
+  if (!Seed)
+    return nullptr;
+  SliceEngine *E = engine();
+  if (!E)
+    return nullptr;
+  StageCounters &C = counters(SessionStage::Slice);
+  SliceKey Key{sdgKey(), Seed, Mode};
+  auto It = SliceCache.find(Key);
+  if (It != SliceCache.end()) {
+    ++C.Hits;
+    return &It->second;
+  }
+  ++C.Misses;
+  auto T0 = std::chrono::steady_clock::now();
+  BatchOptions BO;
+  BO.Mode = Mode;
+  BO.ContextSensitive = CurSdg.ContextSensitive;
+  BO.Budget = Budget;
+  BO.Summaries = CurSdg.ContextSensitive ? &Summaries : nullptr;
+  SliceResult R = E->sliceBackwardBatch({Seed}, BO).front();
+  C.Seconds += secondsSince(T0);
+  return &SliceCache.emplace(Key, std::move(R)).first->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Governance and telemetry
+//===----------------------------------------------------------------------===//
+
+PipelineStatus AnalysisSession::status() {
+  PipelineStatus Status;
+  auto PtaIt = PtaCache.find(ptaKey());
+  if (PtaIt != PtaCache.end())
+    Status.add(PtaIt->second->report());
+  auto MrIt = ModRefCache.find(ptaKey());
+  if (MrIt != ModRefCache.end() && CurSdg.ContextSensitive)
+    Status.add(MrIt->second->report());
+  auto SdgIt = SdgCache.find(sdgKey());
+  if (SdgIt != SdgCache.end())
+    Status.add(SdgIt->second->report());
+  return Status;
+}
+
+std::vector<StageReport> AnalysisSession::stageReports() const {
+  std::vector<StageReport> Out;
+  for (unsigned I = 0; I != NumSessionStages; ++I) {
+    StageReport R;
+    R.Stage = sessionStageName(static_cast<SessionStage>(I));
+    R.Seconds = Counters[I].Seconds;
+    R.CacheHits = Counters[I].Hits;
+    R.CacheMisses = Counters[I].Misses;
+    R.CacheInvalidated = Counters[I].Invalidated;
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+std::string AnalysisSession::statsString() const {
+  std::string Out = "session stages (memoization):\n";
+  char Buf[160];
+  for (const StageReport &R : stageReports()) {
+    snprintf(Buf, sizeof(Buf),
+             "  %s: hits=%llu misses=%llu invalidated=%llu ms=%.1f\n",
+             R.Stage.c_str(), static_cast<unsigned long long>(R.CacheHits),
+             static_cast<unsigned long long>(R.CacheMisses),
+             static_cast<unsigned long long>(R.CacheInvalidated),
+             R.Seconds * 1000.0);
+    Out += Buf;
+  }
+  return Out;
+}

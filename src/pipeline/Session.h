@@ -1,0 +1,235 @@
+//===-- Session.h - Memoized analysis pipeline sessions ---------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AnalysisSession: the long-lived facade over the whole analysis
+/// stage graph
+///
+///   source -> AST -> IR/SSA -> call graph + points-to -> mod-ref
+///          -> SDG -> SliceEngine -> slices
+///
+/// The paper's workflow is session-shaped — a developer holds one
+/// program open and issues many slice queries, expansions, and
+/// re-queries against the same underlying analyses — so every
+/// artifact is computed lazily, memoized, and keyed by
+/// (source digest, upstream artifact, per-stage options):
+///
+///  - Requesting an artifact computes exactly its missing ancestors;
+///    repeated requests return the identical object.
+///  - Changing a stage's options re-keys that stage and its downstream
+///    cone only (a CI -> CS switch reuses the IR and the points-to
+///    result), and the previous variant stays warm: switching back is
+///    a cache hit, which is what lets one session serve an eval
+///    workload's thin/traditional/NoObjSens/CS-ablation tables from
+///    one compile + one PTA per option set.
+///  - Replacing the source (or the compile options, or the budget)
+///    destroys the affected cone; per-stage epoch counters record
+///    every such invalidation, so clients can assert exactly which
+///    artifacts a change discarded.
+///
+/// Governance is threaded through unchanged: the session's
+/// AnalysisBudget is installed into every stage's options at compute
+/// time, so a budgeted session degrades byte-for-byte like the
+/// one-shot pipeline (see tests/session_test.cpp). Because a cached
+/// artifact embeds the budget outcome it was computed under, changing
+/// the budget is a destructive invalidation rather than a re-key.
+///
+/// Threading: a session is confined to one thread. The SliceEngine it
+/// hands out fans batches across its own worker pool over the
+/// immutable finalized SDG; that reuse is exercised under TSan by the
+/// `pipeline` ctest label.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_PIPELINE_SESSION_H
+#define THINSLICER_PIPELINE_SESSION_H
+
+#include "lang/Lower.h"
+#include "modref/ModRef.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+#include "slicer/Engine.h"
+#include "slicer/Slicer.h"
+#include "slicer/Tabulation.h"
+#include "support/Budget.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace tsl {
+
+/// The memoized stages, in dependence order. Compile covers
+/// parse + lower + SSA (one artifact: the Program).
+enum class SessionStage : unsigned {
+  Compile = 0,
+  PTA,
+  ModRef,
+  SDGBuild,
+  Engine,
+  Slice,
+};
+
+constexpr unsigned NumSessionStages = 6;
+
+/// Short printable stage name ("compile", "pta", ...).
+const char *sessionStageName(SessionStage S);
+
+/// A memoized, invalidation-aware analysis pipeline over one source
+/// program. See the file comment for the caching model.
+class AnalysisSession {
+public:
+  AnalysisSession();
+  explicit AnalysisSession(std::string Source, CompileOptions CO = {});
+  ~AnalysisSession();
+
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  //===------------------------------------------------------------------===//
+  // Inputs. Each setter invalidates exactly its downstream cone.
+  //===------------------------------------------------------------------===//
+
+  /// Replaces the program source: every cached artifact is destroyed
+  /// and every stage epoch bumps.
+  void setSource(std::string Source);
+
+  /// Changes the compile options: same cone as setSource.
+  void setCompileOptions(const CompileOptions &O);
+
+  /// Changes the pointer-analysis options: re-keys PTA and everything
+  /// below it (mod-ref, SDG, engine, slices). The Budget field of \p O
+  /// is ignored — the session's own budget is threaded in at compute
+  /// time. A no-op when the options are unchanged.
+  void setPTAOptions(const PTAOptions &O);
+
+  /// Changes the SDG options: re-keys the SDG, engine, and slices.
+  /// The Budget field of \p O is ignored, as in setPTAOptions.
+  void setSDGOptions(const SDGOptions &O);
+
+  /// Installs (or clears) the resource budget threaded into every
+  /// analysis stage. Cached analysis artifacts embed the budget
+  /// outcome they were computed under, so this destroys the PTA cone
+  /// (the compiled program survives: compilation is ungoverned).
+  void setBudget(const AnalysisBudget *B);
+
+  const PTAOptions &ptaOptions() const { return CurPta; }
+  const SDGOptions &sdgOptions() const { return CurSdg; }
+  const AnalysisBudget *budget() const { return Budget; }
+
+  //===------------------------------------------------------------------===//
+  // Artifacts, computed on demand. All return pointers owned by the
+  // session, valid until the owning cache entry is invalidated. Every
+  // accessor returns null when the source does not compile (the
+  // compile stage memoizes failure, too — see diagnostics()).
+  //===------------------------------------------------------------------===//
+
+  Program *program();
+  PointsToResult *pointsTo();
+  ModRefResult *modRef();
+  SDG *sdg();
+  SliceEngine *engine();
+
+  /// Diagnostics of the most recent compile (empty before the first
+  /// program() call).
+  const DiagnosticEngine &diagnostics() const { return *Diag; }
+
+  /// The session-owned cross-batch summary cache for context-
+  /// sensitive slicing (keyed internally by graph epoch and mode).
+  SummaryCache &summaries() { return Summaries; }
+
+  //===------------------------------------------------------------------===//
+  // Memoized whole-query slicing
+  //===------------------------------------------------------------------===//
+
+  /// Backward slice from \p Seed under the current SDG options
+  /// (context-sensitive tabulation when sdgOptions().ContextSensitive,
+  /// the batch engine otherwise), memoized per (graph, seed, mode).
+  /// Null when the source does not compile or \p Seed is null.
+  const SliceResult *sliceBackwardCached(const Instr *Seed, SliceMode Mode);
+
+  //===------------------------------------------------------------------===//
+  // Epochs, governance, telemetry
+  //===------------------------------------------------------------------===//
+
+  /// Invalidation epoch of \p S: bumped every time an input change
+  /// invalidates (destroys or re-keys) the stage's current artifact.
+  uint64_t epoch(SessionStage S) const {
+    return Epochs[static_cast<unsigned>(S)];
+  }
+
+  /// Per-stage budget reports of the artifacts computed for the
+  /// *current* options, in pipeline order (pta, modref if computed,
+  /// sdg) — the same sequence the one-shot pipeline assembles by hand.
+  PipelineStatus status();
+
+  /// Per-stage memoization telemetry as StageReports: CacheHits /
+  /// CacheMisses / CacheInvalidated counts plus total Seconds spent
+  /// computing misses. One report per SessionStage, in stage order.
+  std::vector<StageReport> stageReports() const;
+
+  /// Human-readable rendering of stageReports(), the block `thinslice
+  /// --stats` and the interactive `stats` command print.
+  std::string statsString() const;
+
+private:
+  struct StageCounters {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Invalidated = 0;
+    double Seconds = 0;
+  };
+
+  /// Memo key of a whole slice query. The SDG key pins the upstream
+  /// cone (source digest, PTA options, SDG options); the seed pointer
+  /// is stable while the program artifact lives, which the key's SDG
+  /// entry guarantees.
+  using SliceKey = std::tuple<std::string, const Instr *, SliceMode>;
+
+  StageCounters &counters(SessionStage S) {
+    return Counters[static_cast<unsigned>(S)];
+  }
+  void bumpFrom(SessionStage S);
+  void purgeAnalyses(); ///< Destroys PTA..Slice entries (not the program).
+  void purgeAll();      ///< Destroys everything including the program.
+
+  std::string ptaKey() const;
+  std::string sdgKey() const;
+
+  // --- inputs
+  std::string Source;
+  uint64_t SourceDigest = 0;
+  CompileOptions CurCompile;
+  PTAOptions CurPta;
+  SDGOptions CurSdg;
+  const AnalysisBudget *Budget = nullptr;
+
+  // --- artifact stores. Declaration order is lifetime order: every
+  // downstream artifact holds references into its upstream (ModRef
+  // into PTA, SDG into the Program, SliceEngine into its SDG), so the
+  // members are destroyed bottom-up (reverse declaration order) and
+  // the purge helpers clear them in the same bottom-up order.
+  std::unique_ptr<DiagnosticEngine> Diag;
+  std::unique_ptr<Program> Prog;
+  bool CompileAttempted = false;
+  std::map<std::string, std::unique_ptr<PointsToResult>> PtaCache;
+  std::map<std::string, std::unique_ptr<ModRefResult>> ModRefCache;
+  std::map<std::string, std::unique_ptr<SDG>> SdgCache;
+  std::map<std::string, std::unique_ptr<SliceEngine>> EngineCache;
+  std::map<SliceKey, SliceResult> SliceCache;
+  SummaryCache Summaries;
+
+  // --- telemetry
+  StageCounters Counters[NumSessionStages];
+  uint64_t Epochs[NumSessionStages] = {};
+};
+
+} // namespace tsl
+
+#endif // THINSLICER_PIPELINE_SESSION_H

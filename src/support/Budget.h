@@ -81,6 +81,15 @@ struct StageReport {
   uint64_t StepsUsed = 0; ///< Work units consumed (stage-specific).
   double Seconds = 0;     ///< Wall time spent in the stage.
 
+  /// Session memoization telemetry (see pipeline/Session.h): how often
+  /// this stage's artifact was served from the session cache, computed
+  /// fresh, or purged by an invalidation. All zero outside a session;
+  /// not rendered by str() (governed one-shot output is byte-stable) —
+  /// AnalysisSession::statsString() formats them.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheInvalidated = 0;
+
   bool degraded() const { return Status == StageStatus::Degraded; }
   std::string str() const;
 };

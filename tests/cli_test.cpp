@@ -272,3 +272,88 @@ TEST_F(CliTest, RunStepsTerminatesInfiniteLoop) {
   EXPECT_EQ(exitCode(Status), 3) << Out;
   EXPECT_NE(Out.find("step limit exceeded"), std::string::npos) << Out;
 }
+
+//===----------------------------------------------------------------------===//
+// Interactive mode: one warm session answering repeated queries
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Pipes \p Input into `thinslice <program> <args>` on stdin.
+int runInteractive(const std::string &Program, const std::string &Input,
+                   const std::string &Args, std::string &Out) {
+  return runCapture("printf '" + Input + "' | " + ToolPath + " " + Program +
+                        " " + Args,
+                    Out);
+}
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Haystack.find(Needle); Pos != std::string::npos;
+       Pos = Haystack.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+} // namespace
+
+TEST_F(CliTest, InteractiveRepeatQueryIsAFullCacheHit) {
+  std::string Out;
+  int Status = runInteractive(
+      Program, "slice 15\\nslice 15\\nstats\\nquit\\n", "--interactive", Out);
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  // Both queries answered, identically formatted to the one-shot path.
+  EXPECT_EQ(countOccurrences(Out, "thin slice from line 15"), 2u) << Out;
+  EXPECT_NE(Out.find("readNames:7"), std::string::npos) << Out;
+  // The second query never recomputed anything: every analysis stage
+  // ran once, and the repeated slice was served from the memo.
+  EXPECT_NE(Out.find("session stages (memoization):"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("slice: hits=1 misses=1"), std::string::npos) << Out;
+  for (const char *Stage : {"compile:", "pta:", "sdg:", "engine:"}) {
+    size_t Pos = Out.find(Stage);
+    ASSERT_NE(Pos, std::string::npos) << Stage << "\n" << Out;
+    EXPECT_NE(Out.find("misses=1", Pos), std::string::npos) << Stage;
+  }
+}
+
+TEST_F(CliTest, InteractiveModeAndContextSwitches) {
+  std::string Out;
+  runInteractive(Program,
+                 "mode trad\\nslice 15\\ncs on\\nslice 15\\ncs off\\n"
+                 "mode thin\\nslice 15\\n",
+                 "--interactive", Out);
+  EXPECT_NE(Out.find("traditional slice from line 15"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("context-sensitive slice from line 15"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("thin slice from line 15"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, InteractiveErrorsKeepTheLoopAlive) {
+  std::string Out;
+  int Status = runInteractive(
+      Program, "slice x\\nbogus\\nmode nope\\nslice 15\\n", "--interactive",
+      Out);
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_NE(Out.find("error: slice expects a positive line number, got 'x'"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("error: unknown command 'bogus'"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("error: mode expects thin|trad"), std::string::npos)
+      << Out;
+  // The loop survived all three errors and still answered the query.
+  EXPECT_NE(Out.find("thin slice from line 15"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, InteractiveStatsFlagPrintsTelemetryAtExit) {
+  std::string Out;
+  runInteractive(Program, "slice 15\\n", "--interactive --stats", Out);
+  // No explicit stats command: the --stats flag reports the session
+  // block once the input ends.
+  EXPECT_NE(Out.find("session stages (memoization):"), std::string::npos)
+      << Out;
+}

@@ -12,6 +12,7 @@
 #include "eval/Experiments.h"
 #include "eval/Workload.h"
 #include "lang/Lower.h"
+#include "pipeline/Session.h"
 #include "modref/ModRef.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
@@ -31,27 +32,28 @@ using namespace tsl;
 namespace {
 
 struct Compiled {
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<ModRefResult> MR;
-  std::unique_ptr<SDG> CI;
-  std::unique_ptr<SDG> CS;
+  std::unique_ptr<AnalysisSession> S;
+  Program *P = nullptr;
+  PointsToResult *PTA = nullptr;
+  SDG *CI = nullptr;
+  SDG *CS = nullptr;
 };
 
 Compiled compile(const std::string &Source, bool WithCS = false) {
   Compiled C;
-  DiagnosticEngine Diag;
-  C.P = compileThinJ(Source, Diag);
-  EXPECT_NE(C.P, nullptr) << Diag.str();
+  C.S = std::make_unique<AnalysisSession>(Source);
+  C.P = C.S->program();
+  EXPECT_NE(C.P, nullptr) << C.S->diagnostics().str();
   if (!C.P)
     return C;
-  C.PTA = runPointsTo(*C.P);
-  C.CI = buildSDG(*C.P, *C.PTA, nullptr);
+  C.PTA = C.S->pointsTo();
+  C.CI = C.S->sdg();
   if (WithCS) {
-    C.MR = std::make_unique<ModRefResult>(*C.P, *C.PTA);
     SDGOptions CSOpts;
     CSOpts.ContextSensitive = true;
-    C.CS = buildSDG(*C.P, *C.PTA, C.MR.get(), CSOpts);
+    C.S->setSDGOptions(CSOpts);
+    C.CS = C.S->sdg();
+    C.S->setSDGOptions(SDGOptions());
   }
   return C;
 }

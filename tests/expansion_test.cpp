@@ -2,6 +2,7 @@
 
 #include "eval/Workload.h"
 #include "lang/Lower.h"
+#include "pipeline/Session.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
 #include "slicer/Expansion.h"
@@ -14,19 +15,20 @@ using namespace tsl;
 namespace {
 
 struct Fixture {
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<SDG> G;
+  std::unique_ptr<AnalysisSession> S;
+  Program *P = nullptr;
+  PointsToResult *PTA = nullptr;
+  SDG *G = nullptr;
   std::unique_ptr<ThinExpansion> Exp;
 
   explicit Fixture(const std::string &Source) {
-    DiagnosticEngine Diag;
-    P = compileThinJ(Source, Diag);
-    EXPECT_NE(P, nullptr) << Diag.str();
+    S = std::make_unique<AnalysisSession>(Source);
+    P = S->program();
+    EXPECT_NE(P, nullptr) << S->diagnostics().str();
     if (!P)
       return;
-    PTA = runPointsTo(*P);
-    G = buildSDG(*P, *PTA, nullptr);
+    PTA = S->pointsTo();
+    G = S->sdg();
     Exp = std::make_unique<ThinExpansion>(*G, *PTA);
   }
 

@@ -11,6 +11,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "lang/Lower.h"
+#include "pipeline/Session.h"
 #include "modref/ModRef.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
@@ -28,17 +29,18 @@ namespace {
 /// Everything the figure tests need, built once per workload.
 struct Pipeline {
   WorkloadProgram W;
-  DiagnosticEngine Diag;
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<SDG> G;
+  std::unique_ptr<AnalysisSession> S;
+  Program *P = nullptr;
+  PointsToResult *PTA = nullptr;
+  SDG *G = nullptr;
 
   explicit Pipeline(WorkloadProgram Workload) : W(std::move(Workload)) {
-    P = compileThinJ(W.Source, Diag);
+    S = std::make_unique<AnalysisSession>(W.Source);
+    P = S->program();
     if (!P)
       return;
-    PTA = runPointsTo(*P);
-    G = buildSDG(*P, *PTA, nullptr);
+    PTA = S->pointsTo();
+    G = S->sdg();
   }
 
   bool ok() const { return P != nullptr; }
@@ -60,7 +62,7 @@ struct Pipeline {
 
 TEST(Figure2, ThinSliceIsProducersOnly) {
   Pipeline PL(makeFigure2());
-  ASSERT_TRUE(PL.ok()) << PL.Diag.str();
+  ASSERT_TRUE(PL.ok()) << PL.S->diagnostics().str();
   ASSERT_TRUE(verifyProgram(*PL.P).empty());
 
   SliceResult Thin = sliceBackward(*PL.G, PL.at("seed"), SliceMode::Thin);
@@ -89,7 +91,7 @@ TEST(Figure2, ThinSliceIsProducersOnly) {
 
 TEST(Figure2, ExpansionRecoversTraditional) {
   Pipeline PL(makeFigure2());
-  ASSERT_TRUE(PL.ok()) << PL.Diag.str();
+  ASSERT_TRUE(PL.ok()) << PL.S->diagnostics().str();
   ThinExpansion Exp(*PL.G, *PL.PTA);
   SliceResult Expanded = Exp.expandToTraditional(PL.at("seed"));
   SliceResult Trad =
@@ -99,7 +101,7 @@ TEST(Figure2, ExpansionRecoversTraditional) {
 
 TEST(Figure1, ThinSliceFindsTheSubstringBug) {
   Pipeline PL(makeFigure1());
-  ASSERT_TRUE(PL.ok()) << PL.Diag.str();
+  ASSERT_TRUE(PL.ok()) << PL.S->diagnostics().str();
   ASSERT_TRUE(verifyProgram(*PL.P).empty());
 
   SliceResult Thin = sliceBackward(*PL.G, PL.at("seed"), SliceMode::Thin);
@@ -120,7 +122,7 @@ TEST(Figure1, ThinSliceFindsTheSubstringBug) {
 
 TEST(Figure1, InterpreterReproducesTheFailure) {
   Pipeline PL(makeFigure1());
-  ASSERT_TRUE(PL.ok()) << PL.Diag.str();
+  ASSERT_TRUE(PL.ok()) << PL.S->diagnostics().str();
   InterpOptions Opts;
   Opts.InputInts = {1};
   Opts.InputLines = {"John Doe"};
@@ -133,7 +135,7 @@ TEST(Figure1, InterpreterReproducesTheFailure) {
 
 TEST(Figure4, ExpansionExplainsTheAliasing) {
   Pipeline PL(makeFigure4());
-  ASSERT_TRUE(PL.ok()) << PL.Diag.str();
+  ASSERT_TRUE(PL.ok()) << PL.S->diagnostics().str();
 
   // Slicing from the conditional's read (line 10 in the paper): the
   // thin slice has the open-flag producers but not the aliasing story.
@@ -170,7 +172,7 @@ TEST(Figure4, ExpansionExplainsTheAliasing) {
 
 TEST(Figure4, InterpreterThrows) {
   Pipeline PL(makeFigure4());
-  ASSERT_TRUE(PL.ok()) << PL.Diag.str();
+  ASSERT_TRUE(PL.ok()) << PL.S->diagnostics().str();
   InterpResult R = interpret(*PL.P);
   EXPECT_TRUE(R.ThrewException);
   ASSERT_NE(R.FailurePoint, nullptr);
@@ -179,7 +181,7 @@ TEST(Figure4, InterpreterThrows) {
 
 TEST(Figure5, ThinSliceExplainsTheToughCast) {
   Pipeline PL(makeFigure5());
-  ASSERT_TRUE(PL.ok()) << PL.Diag.str();
+  ASSERT_TRUE(PL.ok()) << PL.S->diagnostics().str();
 
   // The cast is "tough": the points-to analysis cannot verify it.
   const CastInstr *Cast = castAtLine(*PL.P, PL.W.markerLine("cast"));
@@ -195,7 +197,7 @@ TEST(Figure5, ThinSliceExplainsTheToughCast) {
 
 TEST(Figure1, ContextSensitivePipelineRuns) {
   Pipeline PL(makeFigure1());
-  ASSERT_TRUE(PL.ok()) << PL.Diag.str();
+  ASSERT_TRUE(PL.ok()) << PL.S->diagnostics().str();
   ModRefResult MR(*PL.P, *PL.PTA);
   SDGOptions Opts;
   Opts.ContextSensitive = true;

@@ -18,6 +18,7 @@
 #include "eval/Generator.h"
 #include "ir/Verifier.h"
 #include "lang/Lower.h"
+#include "pipeline/Session.h"
 #include "modref/ModRef.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
@@ -34,22 +35,23 @@ using namespace tsl;
 namespace {
 
 struct Built {
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<SDG> G;
+  std::unique_ptr<AnalysisSession> S;
+  Program *P = nullptr;
+  PointsToResult *PTA = nullptr;
+  SDG *G = nullptr;
   std::vector<const Instr *> Seeds; ///< All print statements.
 };
 
 Built buildFromSource(const std::string &Source) {
   Built B;
-  DiagnosticEngine Diag;
-  B.P = compileThinJ(Source, Diag);
-  EXPECT_NE(B.P, nullptr) << Diag.str();
+  B.S = std::make_unique<AnalysisSession>(Source);
+  B.P = B.S->program();
+  EXPECT_NE(B.P, nullptr) << B.S->diagnostics().str();
   if (!B.P)
     return B;
   EXPECT_TRUE(verifyProgram(*B.P).empty());
-  B.PTA = runPointsTo(*B.P);
-  B.G = buildSDG(*B.P, *B.PTA, nullptr);
+  B.PTA = B.S->pointsTo();
+  B.G = B.S->sdg();
   for (const auto &M : B.P->methods())
     for (const auto &BB : M->blocks())
       for (const auto &I : BB->instrs())

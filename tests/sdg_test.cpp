@@ -1,6 +1,7 @@
 //===-- sdg_test.cpp - SDG construction unit tests ------------------------------==//
 
 #include "lang/Lower.h"
+#include "pipeline/Session.h"
 #include "modref/ModRef.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
@@ -12,23 +13,26 @@ using namespace tsl;
 namespace {
 
 struct Fixture {
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<ModRefResult> MR;
-  std::unique_ptr<SDG> G;
+  std::unique_ptr<AnalysisSession> S;
+  Program *P = nullptr;
+  PointsToResult *PTA = nullptr;
+  ModRefResult *MR = nullptr;
+  SDG *G = nullptr;
 
   explicit Fixture(const std::string &Source, bool CS = false,
                    PTAOptions PtaOpts = {}) {
-    DiagnosticEngine Diag;
-    P = compileThinJ(Source, Diag);
-    EXPECT_NE(P, nullptr) << Diag.str();
+    S = std::make_unique<AnalysisSession>(Source);
+    S->setPTAOptions(PtaOpts);
+    P = S->program();
+    EXPECT_NE(P, nullptr) << S->diagnostics().str();
     if (!P)
       return;
-    PTA = runPointsTo(*P, PtaOpts);
-    MR = std::make_unique<ModRefResult>(*P, *PTA);
+    PTA = S->pointsTo();
+    MR = S->modRef();
     SDGOptions Opts;
     Opts.ContextSensitive = CS;
-    G = buildSDG(*P, *PTA, MR.get(), Opts);
+    S->setSDGOptions(Opts);
+    G = S->sdg();
   }
 
   const Instr *find(InstrKind K, unsigned Skip = 0) {

@@ -1,0 +1,436 @@
+//===-- session_test.cpp - AnalysisSession memoization tests --------------------==//
+//
+// The pipeline-layer contract (pipeline/Session.h): artifact identity
+// on repeated requests, invalidation of exactly the downstream cone on
+// option changes (with warm retention of the previous variant), a full
+// reset on source replacement, and budget degradation identical to the
+// hand-built one-shot pipeline. The suite carries the "pipeline" ctest
+// label: like "engine", it runs under the TSL_SANITIZE=address and
+// TSL_SANITIZE=thread trees (session-owned engines fan batches across
+// worker pools over graphs the session keeps warm).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Experiments.h"
+#include "eval/Workload.h"
+#include "lang/Lower.h"
+#include "modref/ModRef.h"
+#include "pipeline/Session.h"
+#include "pta/PointsTo.h"
+#include "sdg/SDG.h"
+#include "slicer/Engine.h"
+#include "slicer/Slicer.h"
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace tsl;
+
+namespace {
+
+/// A small program with a call, heap flow through a field and an
+/// array, and a downcast, so every stage (points-to, mod-ref, SDG,
+/// slicing) has real work to do.
+const char *Source = R"(
+class Cell { var v: int; }
+def store(c: Cell, x: int) {
+  c.v = x;
+}
+def main() {
+  var c = new Cell();
+  var box: Object[] = new Object[2];
+  store(c, readInt());
+  box[0] = c;
+  var got = (Cell) box[0];
+  print(got.v);
+}
+)";
+
+PTAOptions noObjOptions() {
+  PTAOptions O;
+  O.ObjSensContainers = false;
+  return O;
+}
+
+SDGOptions csOptions() {
+  SDGOptions O;
+  O.ContextSensitive = true;
+  return O;
+}
+
+uint64_t hitsOf(const AnalysisSession &S, SessionStage St) {
+  return S.stageReports()[static_cast<unsigned>(St)].CacheHits;
+}
+
+uint64_t missesOf(const AnalysisSession &S, SessionStage St) {
+  return S.stageReports()[static_cast<unsigned>(St)].CacheMisses;
+}
+
+uint64_t invalidatedOf(const AnalysisSession &S, SessionStage St) {
+  return S.stageReports()[static_cast<unsigned>(St)].CacheInvalidated;
+}
+
+/// Outcome equality: Status/Reason/Fallback/StepsUsed. Seconds is wall
+/// time and legitimately differs between two runs of the same work, so
+/// StageReport::str() is not byte-comparable.
+void expectSameOutcome(const StageReport &Got, const StageReport &Want) {
+  EXPECT_EQ(Got.Stage, Want.Stage);
+  EXPECT_EQ(Got.Status, Want.Status) << Got.Stage;
+  EXPECT_EQ(Got.Reason, Want.Reason) << Got.Stage;
+  EXPECT_EQ(Got.Fallback, Want.Fallback) << Got.Stage;
+  EXPECT_EQ(Got.StepsUsed, Want.StepsUsed) << Got.Stage;
+}
+
+std::vector<unsigned> lineNumbers(const SliceResult &S) {
+  std::vector<unsigned> Out;
+  for (const SourceLine &L : S.sourceLines())
+    Out.push_back(L.Line);
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// (a) Artifact identity on repeated requests
+//===----------------------------------------------------------------------===//
+
+TEST(Session, RepeatedRequestsReturnTheIdenticalArtifact) {
+  AnalysisSession S(Source);
+  Program *P1 = S.program();
+  ASSERT_NE(P1, nullptr) << S.diagnostics().str();
+  PointsToResult *Pta1 = S.pointsTo();
+  SDG *G1 = S.sdg();
+  SliceEngine *E1 = S.engine();
+
+  EXPECT_EQ(S.program(), P1);
+  EXPECT_EQ(S.pointsTo(), Pta1);
+  EXPECT_EQ(S.sdg(), G1);
+  EXPECT_EQ(S.engine(), E1);
+
+  // Each stage computed exactly once; the second round was all hits.
+  for (SessionStage St : {SessionStage::Compile, SessionStage::PTA,
+                          SessionStage::SDGBuild, SessionStage::Engine}) {
+    EXPECT_EQ(missesOf(S, St), 1u) << sessionStageName(St);
+    EXPECT_GE(hitsOf(S, St), 1u) << sessionStageName(St);
+  }
+}
+
+TEST(Session, SliceQueriesAreMemoizedPerSeedAndMode) {
+  AnalysisSession S(Source);
+  ASSERT_NE(S.program(), nullptr) << S.diagnostics().str();
+  const Instr *Seed = instrAtLine(*S.program(), 12); // print(got.v)
+  ASSERT_NE(Seed, nullptr);
+
+  const SliceResult *R1 = S.sliceBackwardCached(Seed, SliceMode::Thin);
+  ASSERT_NE(R1, nullptr);
+  EXPECT_EQ(S.sliceBackwardCached(Seed, SliceMode::Thin), R1);
+  EXPECT_EQ(hitsOf(S, SessionStage::Slice), 1u);
+  EXPECT_EQ(missesOf(S, SessionStage::Slice), 1u);
+
+  // A different mode is a different query.
+  const SliceResult *R2 = S.sliceBackwardCached(Seed, SliceMode::Traditional);
+  ASSERT_NE(R2, nullptr);
+  EXPECT_NE(R2, R1);
+  EXPECT_EQ(missesOf(S, SessionStage::Slice), 2u);
+  EXPECT_GE(R2->sizeStmts(), R1->sizeStmts());
+}
+
+//===----------------------------------------------------------------------===//
+// (b) Option changes invalidate exactly the downstream cone
+//===----------------------------------------------------------------------===//
+
+TEST(Session, PtaOptionChangeKeepsTheProgramAndRetainsBothVariants) {
+  AnalysisSession S(Source);
+  Program *P = S.program();
+  ASSERT_NE(P, nullptr) << S.diagnostics().str();
+  PointsToResult *Obj = S.pointsTo();
+  SDG *ObjG = S.sdg();
+  uint64_t CompileEpoch = S.epoch(SessionStage::Compile);
+  uint64_t PtaEpoch = S.epoch(SessionStage::PTA);
+  uint64_t SliceEpoch = S.epoch(SessionStage::Slice);
+
+  S.setPTAOptions(noObjOptions());
+  // Downstream cone bumped, compile untouched.
+  EXPECT_EQ(S.epoch(SessionStage::Compile), CompileEpoch);
+  EXPECT_EQ(S.epoch(SessionStage::PTA), PtaEpoch + 1);
+  EXPECT_EQ(S.epoch(SessionStage::Slice), SliceEpoch + 1);
+
+  // The program is reused; the PTA and SDG are new variants.
+  EXPECT_EQ(S.program(), P);
+  PointsToResult *NoObj = S.pointsTo();
+  EXPECT_NE(NoObj, Obj);
+  EXPECT_NE(S.sdg(), ObjG);
+
+  // Re-keying retains the old variant: switching back is a cache hit,
+  // not a rebuild, and nothing was destroyed along the way.
+  S.setPTAOptions(PTAOptions());
+  EXPECT_EQ(S.pointsTo(), Obj);
+  EXPECT_EQ(S.sdg(), ObjG);
+  EXPECT_EQ(missesOf(S, SessionStage::PTA), 2u);
+  EXPECT_EQ(invalidatedOf(S, SessionStage::PTA), 0u);
+}
+
+TEST(Session, SdgOptionChangeReusesThePointsToRun) {
+  AnalysisSession S(Source);
+  ASSERT_NE(S.program(), nullptr) << S.diagnostics().str();
+  PointsToResult *Pta = S.pointsTo();
+  SDG *CI = S.sdg();
+  uint64_t PtaEpoch = S.epoch(SessionStage::PTA);
+  uint64_t SdgEpoch = S.epoch(SessionStage::SDGBuild);
+
+  // CI -> CS: the points-to run (and its epoch) survive; only the
+  // SDG..Slice cone re-keys.
+  S.setSDGOptions(csOptions());
+  EXPECT_EQ(S.epoch(SessionStage::PTA), PtaEpoch);
+  EXPECT_EQ(S.epoch(SessionStage::SDGBuild), SdgEpoch + 1);
+  SDG *CS = S.sdg();
+  ASSERT_NE(CS, nullptr);
+  EXPECT_NE(CS, CI);
+  EXPECT_GT(CS->numHeapParamNodes(), 0u);
+  EXPECT_EQ(S.pointsTo(), Pta);
+  EXPECT_EQ(missesOf(S, SessionStage::PTA), 1u);
+
+  // And back: the CI graph is still warm.
+  S.setSDGOptions(SDGOptions());
+  EXPECT_EQ(S.sdg(), CI);
+  EXPECT_EQ(missesOf(S, SessionStage::SDGBuild), 2u);
+}
+
+TEST(Session, NoOpOptionSetDoesNotInvalidate) {
+  AnalysisSession S(Source);
+  SDG *G = S.sdg();
+  ASSERT_NE(G, nullptr);
+  uint64_t SdgEpoch = S.epoch(SessionStage::SDGBuild);
+  S.setPTAOptions(PTAOptions());
+  S.setSDGOptions(SDGOptions());
+  EXPECT_EQ(S.epoch(SessionStage::SDGBuild), SdgEpoch);
+  EXPECT_EQ(S.sdg(), G);
+}
+
+//===----------------------------------------------------------------------===//
+// (c) Source replacement resets everything
+//===----------------------------------------------------------------------===//
+
+TEST(Session, SourceReplacementDestroysEveryArtifact) {
+  AnalysisSession S(Source);
+  ASSERT_NE(S.program(), nullptr) << S.diagnostics().str();
+  S.sdg();
+  S.engine();
+  const Instr *Seed = instrAtLine(*S.program(), 12);
+  S.sliceBackwardCached(Seed, SliceMode::Thin);
+
+  uint64_t Epochs[NumSessionStages];
+  for (unsigned I = 0; I != NumSessionStages; ++I)
+    Epochs[I] = S.epoch(static_cast<SessionStage>(I));
+
+  S.setSource("def main() { print(1); }");
+
+  // Every stage epoch bumped, every cached artifact counted destroyed
+  // (mod-ref was never computed — the CI build does not need it).
+  for (unsigned I = 0; I != NumSessionStages; ++I)
+    EXPECT_EQ(S.epoch(static_cast<SessionStage>(I)), Epochs[I] + 1)
+        << sessionStageName(static_cast<SessionStage>(I));
+  for (SessionStage St :
+       {SessionStage::Compile, SessionStage::PTA, SessionStage::SDGBuild,
+        SessionStage::Engine, SessionStage::Slice})
+    EXPECT_EQ(invalidatedOf(S, St), 1u) << sessionStageName(St);
+  EXPECT_EQ(invalidatedOf(S, SessionStage::ModRef), 0u);
+
+  // The session recompiles the new source on demand.
+  Program *P = S.program();
+  ASSERT_NE(P, nullptr) << S.diagnostics().str();
+  EXPECT_EQ(missesOf(S, SessionStage::Compile), 2u);
+  EXPECT_NE(S.sdg(), nullptr);
+}
+
+TEST(Session, CompileFailureIsMemoizedAndRecoverable) {
+  AnalysisSession S("def main() { this does not parse }");
+  EXPECT_EQ(S.program(), nullptr);
+  EXPECT_FALSE(S.diagnostics().str().empty());
+  EXPECT_EQ(S.sdg(), nullptr);
+  // The failed compile is cached, not retried.
+  EXPECT_EQ(S.program(), nullptr);
+  EXPECT_EQ(missesOf(S, SessionStage::Compile), 1u);
+
+  S.setSource("def main() { print(1); }");
+  ASSERT_NE(S.program(), nullptr) << S.diagnostics().str();
+  const Instr *Seed = instrAtLine(*S.program(), 1);
+  ASSERT_NE(Seed, nullptr);
+  EXPECT_NE(S.sliceBackwardCached(Seed, SliceMode::Thin), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// (d) Budget exhaustion degrades identically to the one-shot pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(Session, BudgetedSdgDegradesLikeOneShot) {
+  // A deterministic step cap (no wall clock): the SDG node budget
+  // trips on this program in both pipelines.
+  AnalysisBudget B;
+  B.MaxSdgNodes = 4;
+  B.start();
+
+  // The hand-built one-shot pipeline, budget threaded by hand exactly
+  // as tools/thinslice.cpp does for a single query.
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(Source, Diag);
+  ASSERT_NE(P, nullptr) << Diag.str();
+  PTAOptions PO;
+  PO.Budget = &B;
+  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P, PO);
+  SDGOptions SO;
+  SO.Budget = &B;
+  std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr, SO);
+  ASSERT_TRUE(G->report().degraded());
+
+  AnalysisSession S(Source);
+  S.setBudget(&B);
+  SDG *GS = S.sdg();
+  ASSERT_NE(GS, nullptr);
+  expectSameOutcome(GS->report(), G->report());
+  EXPECT_EQ(GS->numStmtNodes(), G->numStmtNodes());
+  EXPECT_EQ(GS->numEdges(), G->numEdges());
+  expectSameOutcome(S.pointsTo()->report(), PTA->report());
+
+  // The governed status block the CLI prints is assembled identically.
+  PipelineStatus OneShot;
+  OneShot.add(PTA->report());
+  OneShot.add(G->report());
+  PipelineStatus FromSession = S.status();
+  ASSERT_EQ(FromSession.Stages.size(), OneShot.Stages.size());
+  for (std::size_t I = 0; I != OneShot.Stages.size(); ++I)
+    expectSameOutcome(FromSession.Stages[I], OneShot.Stages[I]);
+  EXPECT_EQ(FromSession.complete(), OneShot.complete());
+}
+
+TEST(Session, BudgetedSliceDegradesLikeOneShotBatch) {
+  AnalysisBudget B;
+  B.MaxSlicePops = 2;
+  B.start();
+
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> P = compileThinJ(Source, Diag);
+  ASSERT_NE(P, nullptr) << Diag.str();
+  PTAOptions PO;
+  PO.Budget = &B;
+  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P, PO);
+  SDGOptions SO;
+  SO.Budget = &B;
+  std::unique_ptr<SDG> G = buildSDG(*P, *PTA, nullptr, SO);
+  const Instr *SeedOne = instrAtLine(*P, 12);
+  ASSERT_NE(SeedOne, nullptr);
+  SliceEngine Eng(*G);
+  BatchOptions BO;
+  BO.Mode = SliceMode::Thin;
+  BO.Budget = &B;
+  SliceResult OneShot = Eng.sliceBackwardBatch({SeedOne}, BO).front();
+  ASSERT_FALSE(OneShot.complete());
+
+  AnalysisSession S(Source);
+  S.setBudget(&B);
+  ASSERT_NE(S.program(), nullptr) << S.diagnostics().str();
+  const Instr *SeedSess = instrAtLine(*S.program(), 12);
+  const SliceResult *Sess = S.sliceBackwardCached(SeedSess, SliceMode::Thin);
+  ASSERT_NE(Sess, nullptr);
+  EXPECT_EQ(Sess->complete(), OneShot.complete());
+  EXPECT_EQ(Sess->degradedReason(), OneShot.degradedReason());
+  EXPECT_EQ(Sess->sizeStmts(), OneShot.sizeStmts());
+  EXPECT_EQ(lineNumbers(*Sess), lineNumbers(OneShot));
+}
+
+TEST(Session, BudgetChangeDestroysAnalysesButKeepsTheProgram) {
+  AnalysisSession S(Source);
+  Program *P = S.program();
+  ASSERT_NE(P, nullptr) << S.diagnostics().str();
+  ASSERT_NE(S.sdg(), nullptr);
+  uint64_t CompileEpoch = S.epoch(SessionStage::Compile);
+
+  AnalysisBudget B;
+  B.MaxSdgNodes = 4;
+  B.start();
+  S.setBudget(&B);
+
+  // Cached analyses embed the budget outcome they were computed under,
+  // so they are destroyed (not re-keyed); compilation is ungoverned
+  // and survives.
+  EXPECT_EQ(S.epoch(SessionStage::Compile), CompileEpoch);
+  EXPECT_EQ(invalidatedOf(S, SessionStage::PTA), 1u);
+  EXPECT_EQ(invalidatedOf(S, SessionStage::SDGBuild), 1u);
+  EXPECT_EQ(S.program(), P);
+  ASSERT_NE(S.sdg(), nullptr);
+  EXPECT_TRUE(S.sdg()->report().degraded());
+
+  // Clearing the budget invalidates again; the complete artifacts come
+  // back.
+  S.setBudget(nullptr);
+  ASSERT_NE(S.sdg(), nullptr);
+  EXPECT_FALSE(S.sdg()->report().degraded());
+}
+
+//===----------------------------------------------------------------------===//
+// Warm-session batched slicing (the thread-sanitizer target)
+//===----------------------------------------------------------------------===//
+
+TEST(Session, MultiWorkerBatchesOnOneWarmSession) {
+  WorkloadProgram W =
+      padWorkload(debuggingCases().front().Prog, "SS", /*PadClasses=*/2,
+                  /*MethodsPerClass=*/4);
+  AnalysisSession S(W.Source);
+  ASSERT_NE(S.program(), nullptr) << S.diagnostics().str();
+  std::vector<const Instr *> Seeds = collectSliceSeeds(*S.program(), 16);
+  ASSERT_FALSE(Seeds.empty());
+
+  SliceEngine *E = S.engine();
+  ASSERT_NE(E, nullptr);
+  BatchOptions BO;
+  BO.Mode = SliceMode::Thin;
+  BO.Jobs = 4;
+  std::vector<SliceResult> First = E->sliceBackwardBatch(Seeds, BO);
+  // Same warm engine again, across its worker pool: the session hands
+  // out the identical engine and the results are reproducible.
+  ASSERT_EQ(S.engine(), E);
+  std::vector<SliceResult> Second = E->sliceBackwardBatch(Seeds, BO);
+  ASSERT_EQ(First.size(), Second.size());
+  for (std::size_t I = 0; I != First.size(); ++I)
+    EXPECT_TRUE(First[I].nodeSet() == Second[I].nodeSet()) << I;
+  EXPECT_EQ(missesOf(S, SessionStage::Engine), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The eval drivers ride the session registry unchanged
+//===----------------------------------------------------------------------===//
+
+TEST(Session, ExperimentTablesAreStableAcrossRuns) {
+  // The eval drivers share one session per workload; a second run is
+  // served from warm caches and must format byte-identically (the
+  // inspection and ablation tables carry no timings).
+  std::string T2a =
+      formatInspectionTable("Table 2", runDebuggingExperiment());
+  std::string T2b =
+      formatInspectionTable("Table 2", runDebuggingExperiment());
+  EXPECT_EQ(T2a, T2b);
+
+  std::string Aa = formatAblation(runContextAblation());
+  std::string Ab = formatAblation(runContextAblation());
+  EXPECT_EQ(Aa, Ab);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry rendering
+//===----------------------------------------------------------------------===//
+
+TEST(Session, StatsStringListsEveryStage) {
+  AnalysisSession S(Source);
+  ASSERT_NE(S.sdg(), nullptr);
+  std::string Stats = S.statsString();
+  EXPECT_NE(Stats.find("session stages (memoization):"), std::string::npos);
+  for (unsigned I = 0; I != NumSessionStages; ++I)
+    EXPECT_NE(Stats.find(std::string("  ") +
+                         sessionStageName(static_cast<SessionStage>(I)) +
+                         ": hits="),
+              std::string::npos)
+        << sessionStageName(static_cast<SessionStage>(I));
+}

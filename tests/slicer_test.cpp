@@ -1,6 +1,7 @@
 //===-- slicer_test.cpp - CI slicing unit tests ---------------------------------==//
 
 #include "lang/Lower.h"
+#include "pipeline/Session.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
 #include "slicer/Slicer.h"
@@ -12,18 +13,19 @@ using namespace tsl;
 namespace {
 
 struct Fixture {
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<SDG> G;
+  std::unique_ptr<AnalysisSession> S;
+  Program *P = nullptr;
+  PointsToResult *PTA = nullptr;
+  SDG *G = nullptr;
 
   explicit Fixture(const std::string &Source) {
-    DiagnosticEngine Diag;
-    P = compileThinJ(Source, Diag);
-    EXPECT_NE(P, nullptr) << Diag.str();
+    S = std::make_unique<AnalysisSession>(Source);
+    P = S->program();
+    EXPECT_NE(P, nullptr) << S->diagnostics().str();
     if (!P)
       return;
-    PTA = runPointsTo(*P);
-    G = buildSDG(*P, *PTA, nullptr);
+    PTA = S->pointsTo();
+    G = S->sdg();
   }
 
   const Instr *lastAtLine(unsigned Line) {

@@ -4,6 +4,7 @@
 #include "support/Budget.h"
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/ParseInt.h"
 #include "support/StringTable.h"
 #include "support/Worklist.h"
 
@@ -401,4 +402,53 @@ TEST(Budget, PipelineStatusAggregates) {
   EXPECT_NE(Str.find("pipeline: degraded"), std::string::npos) << Str;
   EXPECT_NE(Str.find("step-cap"), std::string::npos) << Str;
   EXPECT_NE(Str.find("coarse heap hubs"), std::string::npos) << Str;
+}
+
+//===----------------------------------------------------------------------===//
+// ParseInt
+//===----------------------------------------------------------------------===//
+
+TEST(ParseInt, PositiveAcceptsPlainDecimals) {
+  uint64_t Out = 0;
+  EXPECT_TRUE(parsePositiveInt("1", Out));
+  EXPECT_EQ(Out, 1u);
+  EXPECT_TRUE(parsePositiveInt("42", Out));
+  EXPECT_EQ(Out, 42u);
+  EXPECT_TRUE(parsePositiveInt(std::string("007"), Out));
+  EXPECT_EQ(Out, 7u);
+  EXPECT_TRUE(parsePositiveInt("18446744073709551615", Out));
+  EXPECT_EQ(Out, UINT64_MAX);
+}
+
+TEST(ParseInt, PositiveRejectsEverythingElse) {
+  uint64_t Out = 99;
+  for (const char *Bad :
+       {"", "0", "-1", "+1", " 1", "1 ", "1x", "x1", "abc", "1.5", "0x10",
+        "18446744073709551616", "99999999999999999999999"})
+    EXPECT_FALSE(parsePositiveInt(Bad, Out)) << "'" << Bad << "'";
+  EXPECT_FALSE(parsePositiveInt(static_cast<const char *>(nullptr), Out));
+  // Out is untouched on failure.
+  EXPECT_EQ(Out, 99u);
+}
+
+TEST(ParseInt, NonZeroAcceptsSignedDecimals) {
+  int64_t Out = 0;
+  EXPECT_TRUE(parseNonZeroInt("5", Out));
+  EXPECT_EQ(Out, 5);
+  EXPECT_TRUE(parseNonZeroInt("-5", Out));
+  EXPECT_EQ(Out, -5);
+  EXPECT_TRUE(parseNonZeroInt(std::string("9223372036854775807"), Out));
+  EXPECT_EQ(Out, INT64_MAX);
+  EXPECT_TRUE(parseNonZeroInt("-9223372036854775808", Out));
+  EXPECT_EQ(Out, INT64_MIN);
+}
+
+TEST(ParseInt, NonZeroRejectsZeroJunkAndOverflow) {
+  int64_t Out = 7;
+  for (const char *Bad :
+       {"", "0", "-0", "+5", "-", "--5", "5-", " 5", "5 ", "1e3",
+        "9223372036854775808", "-9223372036854775809"})
+    EXPECT_FALSE(parseNonZeroInt(Bad, Out)) << "'" << Bad << "'";
+  EXPECT_FALSE(parseNonZeroInt(static_cast<const char *>(nullptr), Out));
+  EXPECT_EQ(Out, 7);
 }

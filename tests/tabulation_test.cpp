@@ -1,6 +1,7 @@
 //===-- tabulation_test.cpp - Context-sensitive slicing tests -------------------==//
 
 #include "lang/Lower.h"
+#include "pipeline/Session.h"
 #include "modref/ModRef.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
@@ -14,24 +15,27 @@ using namespace tsl;
 namespace {
 
 struct Fixture {
-  std::unique_ptr<Program> P;
-  std::unique_ptr<PointsToResult> PTA;
-  std::unique_ptr<ModRefResult> MR;
-  std::unique_ptr<SDG> CS;
-  std::unique_ptr<SDG> CI;
+  std::unique_ptr<AnalysisSession> S;
+  Program *P = nullptr;
+  PointsToResult *PTA = nullptr;
+  ModRefResult *MR = nullptr;
+  SDG *CS = nullptr;
+  SDG *CI = nullptr;
 
   explicit Fixture(const std::string &Source) {
-    DiagnosticEngine Diag;
-    P = compileThinJ(Source, Diag);
-    EXPECT_NE(P, nullptr) << Diag.str();
+    S = std::make_unique<AnalysisSession>(Source);
+    P = S->program();
+    EXPECT_NE(P, nullptr) << S->diagnostics().str();
     if (!P)
       return;
-    PTA = runPointsTo(*P);
-    MR = std::make_unique<ModRefResult>(*P, *PTA);
+    PTA = S->pointsTo();
+    MR = S->modRef();
     SDGOptions CSOpts;
     CSOpts.ContextSensitive = true;
-    CS = buildSDG(*P, *PTA, MR.get(), CSOpts);
-    CI = buildSDG(*P, *PTA, nullptr);
+    S->setSDGOptions(CSOpts);
+    CS = S->sdg();
+    S->setSDGOptions(SDGOptions());
+    CI = S->sdg();
   }
 
   const Instr *lastAtLine(unsigned Line) {

@@ -16,6 +16,13 @@
 //   thinslice prog.tsj --line 24 --dot slice.dot
 //   thinslice prog.tsj --dump-ir / --stats
 //   thinslice prog.tsj --line 24 --budget-ms 50
+//   thinslice prog.tsj --interactive               warm-session REPL
+//
+// All analysis artifacts are owned by an AnalysisSession (see
+// pipeline/Session.h): the one-shot paths request them once, and
+// --interactive answers repeated `slice <line>` queries against the
+// same warm session — identical re-queries are full cache hits, which
+// `--stats` (or the interactive `stats` command) makes observable.
 //
 // Exit codes: 0 success (complete result), 1 file/compile/write error,
 // 2 usage error, 3 budget-degraded result, 4 degraded result refused
@@ -28,6 +35,7 @@
 #include "ir/IRPrinter.h"
 #include "lang/Lower.h"
 #include "modref/ModRef.h"
+#include "pipeline/Session.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
 #include "sdg/SDGDot.h"
@@ -39,14 +47,14 @@
 #include "slicer/Tabulation.h"
 
 #include "support/Budget.h"
+#include "support/ParseInt.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 using namespace tsl;
@@ -68,6 +76,9 @@ struct CliOptions {
   /// worker pool.
   std::string SeedsFile;
   unsigned Jobs = 0; ///< 0 = hardware_concurrency.
+  /// Warm-session REPL: answer repeated `slice <line>` queries against
+  /// one AnalysisSession.
+  bool Interactive = false;
   bool DumpIR = false;
   bool Stats = false;
   bool PtaStats = false;
@@ -101,7 +112,7 @@ struct CliOptions {
 void usage() {
   fprintf(stderr,
           "usage: thinslice <file.tsj> [--line N] [--mode thin|trad]\n"
-          "                 [--seeds FILE] [--jobs N]\n"
+          "                 [--seeds FILE] [--jobs N] [--interactive]\n"
           "                 [--forward] [--chop N] [--alias-depth K]\n"
           "                 [--expand] [--context-sensitive] [--no-objsens]\n"
           "                 [--run] [--in STR]... [--int N]...\n"
@@ -116,42 +127,19 @@ void usage() {
           "            3 degraded by budget, 4 refused (--strict-budget)\n");
 }
 
-/// Strict decimal parse of a positive count. atoi-style silent
-/// acceptance of "abc" (as 0) turned typos into "no seed"; reject
-/// anything that is not a digit string, plus zero.
+/// CLI wrappers over the shared strict parsers (support/ParseInt.h):
+/// same acceptance rules, flag-labelled error reporting.
 bool parsePositive(const char *Flag, const char *V, uint64_t &Out) {
-  bool Digits = V && *V;
-  for (const char *C = V; Digits && *C; ++C)
-    if (!isdigit(static_cast<unsigned char>(*C)))
-      Digits = false;
-  if (!Digits) {
-    fprintf(stderr, "error: %s expects a positive integer, got '%s'\n", Flag,
-            V ? V : "");
-    return false;
-  }
-  errno = 0;
-  Out = strtoull(V, nullptr, 10);
-  if (errno == ERANGE || Out == 0) {
-    fprintf(stderr, "error: %s expects a positive integer, got '%s'\n", Flag,
-            V);
-    return false;
-  }
-  return true;
+  if (V && parsePositiveInt(V, Out))
+    return true;
+  fprintf(stderr, "error: %s expects a positive integer, got '%s'\n", Flag,
+          V ? V : "");
+  return false;
 }
 
-/// Strict parse of a nonzero signed integer for --int.
-bool parseNonZeroInt(const char *Flag, const char *V, int64_t &Out) {
-  const char *Body = V && *V == '-' ? V + 1 : V;
-  bool Digits = Body && *Body;
-  for (const char *C = Body; Digits && *C; ++C)
-    if (!isdigit(static_cast<unsigned char>(*C)))
-      Digits = false;
-  if (Digits) {
-    errno = 0;
-    Out = strtoll(V, nullptr, 10);
-    if (errno != ERANGE && Out != 0)
-      return true;
-  }
+bool parseNonZero(const char *Flag, const char *V, int64_t &Out) {
+  if (V && parseNonZeroInt(V, Out))
+    return true;
   fprintf(stderr, "error: %s expects a nonzero integer, got '%s'\n", Flag,
           V ? V : "");
   return false;
@@ -173,6 +161,8 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.SeedsFile = V;
+    } else if (Arg == "--interactive") {
+      Opts.Interactive = true;
     } else if (Arg == "--jobs") {
       uint64_t N;
       if (!parsePositive("--jobs", Next(), N))
@@ -215,7 +205,7 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.InputLines.push_back(V);
     } else if (Arg == "--int") {
       int64_t N;
-      if (!parseNonZeroInt("--int", Next(), N))
+      if (!parseNonZero("--int", Next(), N))
         return false;
       Opts.InputInts.push_back(N);
     } else if (Arg == "--dot") {
@@ -325,6 +315,121 @@ void reportNoStatement(const Program &P, unsigned UserLine,
             UserLine, Near.c_str());
 }
 
+/// The warm-session REPL: reads one command per stdin line and answers
+/// slice queries against \p Session without ever rebuilding an
+/// artifact a previous query already computed. Commands:
+///
+///   slice N         backward slice from user-file line N
+///   mode thin|trad  switch the slice mode for subsequent queries
+///   cs on|off       toggle the context-sensitive representation
+///   reload          re-read the source file (resets the session)
+///   stats           print per-stage memoization telemetry
+///   quit            exit (EOF works too)
+///
+/// With --stats the telemetry block is also printed on exit.
+int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
+                   unsigned LineOffset) {
+  SliceMode Mode = Opts.Mode;
+  std::string LineBuf;
+  while (std::getline(std::cin, LineBuf)) {
+    std::istringstream Words(LineBuf);
+    std::string Cmd, Arg;
+    Words >> Cmd >> Arg;
+    if (Cmd.empty())
+      continue;
+    if (Cmd == "quit" || Cmd == "exit")
+      break;
+    if (Cmd == "stats") {
+      printf("%s", Session.statsString().c_str());
+      continue;
+    }
+    if (Cmd == "mode") {
+      if (Arg == "thin")
+        Mode = SliceMode::Thin;
+      else if (Arg == "trad" || Arg == "traditional")
+        Mode = SliceMode::Traditional;
+      else
+        fprintf(stderr, "error: mode expects thin|trad\n");
+      continue;
+    }
+    if (Cmd == "cs") {
+      if (Arg == "on" || Arg == "off") {
+        SDGOptions SO = Session.sdgOptions();
+        SO.ContextSensitive = Arg == "on";
+        Session.setSDGOptions(SO);
+      } else {
+        fprintf(stderr, "error: cs expects on|off\n");
+      }
+      continue;
+    }
+    if (Cmd == "reload") {
+      std::ifstream In(Opts.File);
+      if (!In) {
+        fprintf(stderr, "error: cannot open %s\n", Opts.File.c_str());
+        continue;
+      }
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      std::string Src = Opts.NoRuntime ? "" : runtimeLibrarySource();
+      Src += Buf.str();
+      Session.setSource(std::move(Src));
+      if (!Session.program())
+        for (const Diagnostic &D : Session.diagnostics().diagnostics()) {
+          SourceLoc Loc = D.Loc;
+          if (Loc.Line > LineOffset)
+            Loc.Line -= LineOffset;
+          fprintf(stderr, "%s:%s: error: %s\n", Opts.File.c_str(),
+                  Loc.str().c_str(), D.Message.c_str());
+        }
+      continue;
+    }
+    if (Cmd == "slice") {
+      uint64_t N = 0;
+      if (!parsePositiveInt(Arg, N)) {
+        fprintf(stderr,
+                "error: slice expects a positive line number, got '%s'\n",
+                Arg.c_str());
+        continue;
+      }
+      Program *P = Session.program();
+      if (!P) {
+        fprintf(stderr, "error: program does not compile (try reload)\n");
+        continue;
+      }
+      unsigned UserLine = static_cast<unsigned>(N);
+      const Instr *Seed = seedAtLine(*P, UserLine + LineOffset);
+      if (!Seed) {
+        reportNoStatement(*P, UserLine, LineOffset);
+        continue;
+      }
+      const SliceResult *Slice = Session.sliceBackwardCached(Seed, Mode);
+      const char *What = Session.sdgOptions().ContextSensitive
+                             ? "context-sensitive slice"
+                             : (Mode == SliceMode::Thin ? "thin slice"
+                                                        : "traditional slice");
+      printf("%s from line %u: %u statements, %zu source lines\n", What,
+             UserLine, Slice->sizeStmts(), Slice->sourceLines().size());
+      for (const SourceLine &L : Slice->sourceLines()) {
+        unsigned Shown = L.Line > LineOffset ? L.Line - LineOffset : L.Line;
+        const char *Where = L.Line > LineOffset ? "" : " [runtime]";
+        printf("  %s:%u%s\n", L.M->qualifiedName(P->strings()).c_str(), Shown,
+               Where);
+      }
+      if (!Slice->complete())
+        fprintf(stderr, "warning: slice degraded (%s)\n",
+                Slice->degradedReason().c_str());
+      continue;
+    }
+    fprintf(stderr,
+            "error: unknown command '%s' (try: slice N, mode thin|trad, "
+            "cs on|off, stats, reload, quit)\n",
+            Cmd.c_str());
+  }
+  if (Opts.Stats)
+    printf("%s", Session.statsString().c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -339,6 +444,16 @@ int main(int argc, char **argv) {
        Opts.AliasDepth || Opts.Why || !Opts.DotFile.empty())) {
     fprintf(stderr, "error: --seeds is incompatible with --line/--chop/"
                     "--forward/--expand/--alias-depth/--why/--dot\n");
+    return 2;
+  }
+
+  if (Opts.Interactive &&
+      (Opts.Line || Opts.ChopSink || Opts.Forward || Opts.Expand ||
+       Opts.AliasDepth || Opts.Why || !Opts.DotFile.empty() ||
+       !Opts.SeedsFile.empty() || Opts.Run)) {
+    fprintf(stderr, "error: --interactive is incompatible with --line/"
+                    "--chop/--forward/--expand/--alias-depth/--why/--dot/"
+                    "--seeds/--run\n");
     return 2;
   }
 
@@ -383,12 +498,16 @@ int main(int argc, char **argv) {
   }
   Source += Buf.str();
 
-  DiagnosticEngine Diag;
-  std::unique_ptr<Program> P = compileThinJ(Source, Diag);
+  // The session owns every analysis artifact from here on: the
+  // one-shot paths below request each one exactly once, and
+  // --interactive re-queries the same warm session.
+  AnalysisSession Session(std::move(Source));
+  Session.setBudget(B);
+  Program *P = Session.program();
   if (!P) {
     // Report user-file positions (the runtime prefix is an
     // implementation detail).
-    for (const Diagnostic &D : Diag.diagnostics()) {
+    for (const Diagnostic &D : Session.diagnostics().diagnostics()) {
       SourceLoc Loc = D.Loc;
       if (Loc.Line > LineOffset)
         Loc.Line -= LineOffset;
@@ -419,31 +538,33 @@ int main(int argc, char **argv) {
   }
 
   if (!Opts.Line && Opts.SeedsFile.empty() && Opts.DotFile.empty() &&
-      !Opts.Stats && !Opts.PtaStats)
+      !Opts.Stats && !Opts.PtaStats && !Opts.Interactive)
     return 0;
 
   PTAOptions PtaOpts;
   PtaOpts.ObjSensContainers = !Opts.NoObjSens;
   PtaOpts.DeltaPropagation = !Opts.PtaNoDelta && !Opts.PtaNaive;
   PtaOpts.CycleElimination = !Opts.PtaNoCycleElim && !Opts.PtaNaive;
-  PtaOpts.Budget = B;
   if (Opts.PtaNaive)
     PtaOpts.Policy = WorklistPolicy::FIFO;
   else
     PtaOpts.Policy = Opts.PtaPolicy;
-  std::unique_ptr<PointsToResult> PTA = runPointsTo(*P, PtaOpts);
+  Session.setPTAOptions(PtaOpts);
+
+  SDGOptions SdgOpts;
+  SdgOpts.ContextSensitive = Opts.ContextSensitive;
+  Session.setSDGOptions(SdgOpts);
+
+  if (Opts.Interactive)
+    return runInteractive(Session, Opts, LineOffset);
+
+  PointsToResult *PTA = Session.pointsTo();
 
   if (Opts.PtaStats)
     printf("%s", PTA->stats().str().c_str());
 
-  std::unique_ptr<ModRefResult> MR;
-  SDGOptions SdgOpts;
-  SdgOpts.Budget = B;
-  if (Opts.ContextSensitive) {
-    MR = std::make_unique<ModRefResult>(*P, *PTA, B);
-    SdgOpts.ContextSensitive = true;
-  }
-  std::unique_ptr<SDG> G = buildSDG(*P, *PTA, MR.get(), SdgOpts);
+  ModRefResult *MR = Opts.ContextSensitive ? Session.modRef() : nullptr;
+  SDG *G = Session.sdg();
 
   // Governed runs report per-stage status and map degradation onto the
   // exit code; ungoverned runs keep the historical 0/1/2 codes and
@@ -480,6 +601,7 @@ int main(int argc, char **argv) {
            PTA->callGraph().nodes().size());
     printf("sdg: %u statements, %u heap-param nodes, %u edges\n",
            G->numStmtNodes(), G->numHeapParamNodes(), G->numEdges());
+    printf("%s", Session.statsString().c_str());
   }
 
   if (!Opts.SeedsFile.empty()) {
@@ -501,13 +623,8 @@ int main(int argc, char **argv) {
         continue;
       std::size_t End = Raw.find_last_not_of(" \t\r");
       std::string Tok = Raw.substr(Begin, End - Begin + 1);
-      bool Digits = !Tok.empty();
-      for (char C : Tok)
-        if (!isdigit(static_cast<unsigned char>(C)))
-          Digits = false;
-      errno = 0;
-      uint64_t N = Digits ? strtoull(Tok.c_str(), nullptr, 10) : 0;
-      if (!Digits || errno == ERANGE || N == 0) {
+      uint64_t N = 0;
+      if (!parsePositiveInt(Tok, N)) {
         fprintf(stderr,
                 "error: %s:%u: expected a positive line number, got '%s'\n",
                 Opts.SeedsFile.c_str(), FileLine, Tok.c_str());
