@@ -2,7 +2,9 @@
 
 #include "modref/ModRef.h"
 
-#include "support/Worklist.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 
 using namespace tsl;
 
@@ -122,49 +124,177 @@ void ModRefResult::collectDirect(const Method *M, const PointsToResult &PTA,
 }
 
 ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn,
-                           const AnalysisBudget *Budget)
+                           const AnalysisBudget *Budget, ThreadPool *Pool)
     : PTA(PTAIn) {
   (void)P;
   auto T0 = std::chrono::steady_clock::now();
   const CallGraph &CG = PTA.callGraph();
   std::vector<Method *> Reachable = CG.reachableMethods();
+  const unsigned NumM = static_cast<unsigned>(Reachable.size());
 
-  // Direct effects.
-  for (Method *M : Reachable)
-    collectDirect(M, PTA, Mod[M], Ref[M]);
+  // Direct effects, sequential in method order: getPartition interns
+  // partition ids in first-seen order, so this scan fixes the id
+  // space every downstream consumer (and every serialized artifact)
+  // depends on.
+  std::vector<BitSet> DirectMod(NumM), DirectRef(NumM);
+  std::unordered_map<const Method *, unsigned> Idx;
+  Idx.reserve(NumM);
+  for (unsigned I = 0; I != NumM; ++I)
+    Idx.emplace(Reachable[I], I);
+  for (unsigned I = 0; I != NumM; ++I)
+    collectDirect(Reachable[I], PTA, DirectMod[I], DirectRef[I]);
+
+  // Method-level callee adjacency, deduplicated and sorted so the
+  // condensation below is deterministic.
+  std::vector<std::vector<unsigned>> Callees(NumM);
+  for (const CallEdge &E : CG.edges()) {
+    auto Caller = Idx.find(CG.node(E.CallerNode).M);
+    auto Callee = Idx.find(CG.node(E.CalleeNode).M);
+    if (Caller == Idx.end() || Callee == Idx.end() ||
+        Caller->second == Callee->second)
+      continue;
+    Callees[Caller->second].push_back(Callee->second);
+  }
+  for (std::vector<unsigned> &C : Callees) {
+    std::sort(C.begin(), C.end());
+    C.erase(std::unique(C.begin(), C.end()), C.end());
+  }
+
+  // SCC condensation (iterative Tarjan). Component ids are pop order:
+  // for every cross-component call edge caller -> callee,
+  // Comp[callee] < Comp[caller], so increasing id is bottom-up
+  // (callees-first) topological order.
+  std::vector<unsigned> Comp(NumM, 0);
+  unsigned NumComps = 0;
+  {
+    std::vector<unsigned> Index(NumM, 0), Low(NumM, 0);
+    std::vector<char> OnStack(NumM, 0);
+    std::vector<unsigned> Stack;
+    struct Frame {
+      unsigned Node;
+      std::size_t SuccIdx;
+    };
+    std::vector<Frame> DFS;
+    unsigned Counter = 0;
+    auto Open = [&](unsigned V) {
+      Index[V] = Low[V] = ++Counter;
+      Stack.push_back(V);
+      OnStack[V] = 1;
+      DFS.push_back({V, 0});
+    };
+    for (unsigned Root = 0; Root != NumM; ++Root) {
+      if (Index[Root])
+        continue;
+      Open(Root);
+      while (!DFS.empty()) {
+        Frame &F = DFS.back();
+        if (F.SuccIdx < Callees[F.Node].size()) {
+          unsigned W = Callees[F.Node][F.SuccIdx++];
+          if (!Index[W])
+            Open(W); // Invalidates F; re-fetched next iteration.
+          else if (OnStack[W] && Index[W] < Low[F.Node])
+            Low[F.Node] = Index[W];
+          continue;
+        }
+        const unsigned V = F.Node;
+        const unsigned Lv = Low[V];
+        DFS.pop_back();
+        if (!DFS.empty() && Lv < Low[DFS.back().Node])
+          Low[DFS.back().Node] = Lv;
+        if (Lv == Index[V]) {
+          const unsigned Id = NumComps++;
+          while (true) {
+            unsigned X = Stack.back();
+            Stack.pop_back();
+            OnStack[X] = 0;
+            Comp[X] = Id;
+            if (X == V)
+              break;
+          }
+        }
+      }
+    }
+  }
+
+  // Per-SCC member lists (counting sort) and deduplicated cross-SCC
+  // callee lists.
+  std::vector<unsigned> MemberOff(NumComps + 1, 0), Members(NumM);
+  for (unsigned M = 0; M != NumM; ++M)
+    ++MemberOff[Comp[M] + 1];
+  for (unsigned S = 1; S <= NumComps; ++S)
+    MemberOff[S] += MemberOff[S - 1];
+  {
+    std::vector<unsigned> Cur(MemberOff.begin(), MemberOff.end() - 1);
+    for (unsigned M = 0; M != NumM; ++M)
+      Members[Cur[Comp[M]]++] = M;
+  }
+  std::vector<std::vector<unsigned>> SccCallees(NumComps);
+  for (unsigned M = 0; M != NumM; ++M)
+    for (unsigned C : Callees[M])
+      if (Comp[C] != Comp[M])
+        SccCallees[Comp[M]].push_back(Comp[C]);
+  for (std::vector<unsigned> &C : SccCallees) {
+    std::sort(C.begin(), C.end());
+    C.erase(std::unique(C.begin(), C.end()), C.end());
+  }
+
+  // Bottom-up waves: an SCC's wave is one past the deepest callee
+  // SCC's, so every SCC it reads from lies in an earlier wave. All
+  // SCCs of one wave are independent — the pool fans them out, and
+  // the per-SCC unions read only frozen earlier-wave results.
+  std::vector<unsigned> Depth(NumComps, 0);
+  unsigned MaxDepth = 0;
+  for (unsigned S = 0; S != NumComps; ++S) {
+    for (unsigned C : SccCallees[S]) // C < S: already assigned.
+      Depth[S] = std::max(Depth[S], Depth[C] + 1);
+    MaxDepth = std::max(MaxDepth, Depth[S]);
+  }
+  std::vector<std::vector<unsigned>> Waves(NumComps ? MaxDepth + 1 : 0);
+  for (unsigned S = 0; S != NumComps; ++S)
+    Waves[Depth[S]].push_back(S);
 
   BudgetGate Gate(Budget, "modref.closure",
                   Budget ? Budget->MaxModRefSteps : 0);
 
-  // Transitive closure over the (method-level) call graph: propagate
-  // callee effects to callers with a worklist instead of rescanning
-  // the whole edge list until a full pass changes nothing.
-  std::unordered_map<const Method *, unsigned> Idx;
-  Idx.reserve(Reachable.size());
-  for (unsigned I = 0; I != Reachable.size(); ++I)
-    Idx.emplace(Reachable[I], I);
-  std::vector<std::vector<Method *>> CallersOf(Reachable.size());
-  for (const CallEdge &E : CG.edges()) {
-    Method *Caller = CG.node(E.CallerNode).M;
-    Method *Callee = CG.node(E.CalleeNode).M;
-    if (Caller != Callee)
-      CallersOf[Idx.at(Callee)].push_back(Caller);
-  }
-  Worklist WL;
-  for (unsigned I = 0; I != Reachable.size(); ++I)
-    WL.push(I);
-  while (!WL.empty()) {
-    if (Gate.spend())
+  // All members of an SCC call each other transitively, so they share
+  // one transitive mod/ref set: the union of the members' direct
+  // effects and the callee SCCs' sets. This is the same least
+  // fixpoint the old per-method worklist converged to, computed with
+  // each union performed exactly once.
+  std::vector<BitSet> SccMod(NumComps), SccRef(NumComps);
+  for (const std::vector<unsigned> &Wave : Waves) {
+    // Pay for the wave up front on this thread, in SCC id order, so
+    // budget accounting (and any armed fault) is identical for every
+    // pool size.
+    bool Stop = false;
+    for (std::size_t I = 0; I != Wave.size() && !Stop; ++I)
+      Stop = Gate.spend();
+    if (Stop)
       break; // Budget exhausted; degrade below.
-    unsigned I = WL.pop();
-    Method *Callee = Reachable[I];
-    for (Method *Caller : CallersOf[I]) {
-      bool Changed = Mod[Caller].unionWith(Mod[Callee]);
-      Changed |= Ref[Caller].unionWith(Ref[Callee]);
-      if (Changed)
-        WL.push(Idx.at(Caller));
-    }
+    auto RunScc = [&](std::size_t WI) {
+      const unsigned S = Wave[WI];
+      BitSet &WMod = SccMod[S], &WRef = SccRef[S];
+      for (unsigned I = MemberOff[S]; I != MemberOff[S + 1]; ++I) {
+        WMod.unionWith(DirectMod[Members[I]]);
+        WRef.unionWith(DirectRef[Members[I]]);
+      }
+      for (unsigned C : SccCallees[S]) {
+        WMod.unionWith(SccMod[C]);
+        WRef.unionWith(SccRef[C]);
+      }
+    };
+    if (Pool)
+      Pool->parallelFor(Wave.size(), RunScc);
+    else
+      for (std::size_t I = 0; I != Wave.size(); ++I)
+        RunScc(I);
   }
+
+  if (!Gate.exhausted())
+    for (unsigned M = 0; M != NumM; ++M) {
+      Mod[Reachable[M]] = SccMod[Comp[M]];
+      Ref[Reachable[M]] = SccRef[Comp[M]];
+    }
 
   if (Gate.exhausted()) {
     // Sound fallback: every reachable method may read and write every

@@ -31,6 +31,8 @@
 
 namespace tsl {
 
+class ThreadPool;
+
 /// One heap partition.
 struct HeapPartition {
   enum class Kind { Field, ArrayElem, Static } K;
@@ -45,8 +47,18 @@ public:
   /// Runs the analysis. When \p Budget is exhausted mid-closure, the
   /// result degrades soundly: every reachable method's mod and ref
   /// sets become the set of all interned partitions.
+  ///
+  /// The transitive closure runs as bottom-up waves over the SCC
+  /// condensation of the method-level call graph: all members of an
+  /// SCC call each other transitively, so they share one transitive
+  /// mod/ref set — the union of the members' direct effects and the
+  /// callee SCCs' sets. SCCs of equal condensation depth are
+  /// independent; \p Pool, when non-null, fans each wave across its
+  /// workers. The result is the unique least fixpoint either way, so
+  /// it is byte-identical for every pool size including none.
   ModRefResult(const Program &P, const PointsToResult &PTA,
-               const AnalysisBudget *Budget = nullptr);
+               const AnalysisBudget *Budget = nullptr,
+               ThreadPool *Pool = nullptr);
 
   unsigned numPartitions() const {
     return static_cast<unsigned>(Partitions.size());

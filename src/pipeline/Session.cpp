@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <thread>
 
 using namespace tsl;
 
@@ -38,11 +39,17 @@ std::string digest(const CompileOptions &O) {
   return D;
 }
 
+// ParallelFrontier is part of the PTA digest — its round-granularity
+// visit order assigns different (equivalent) object/context ids than
+// the per-pop loop, so the two modes are distinct artifacts. The Pool
+// pointer and the session thread count are NOT digested: pool size
+// never changes any artifact's bytes.
 std::string digest(const PTAOptions &O) {
   std::ostringstream OS;
   OS << "objsens=" << O.ObjSensContainers << ";depth=" << O.MaxObjSensDepth
      << ";delta=" << O.DeltaPropagation << ";cyc=" << O.CycleElimination
-     << ";policy=" << static_cast<unsigned>(O.Policy) << ";containers=";
+     << ";policy=" << static_cast<unsigned>(O.Policy)
+     << ";pf=" << O.ParallelFrontier << ";containers=";
   for (const std::string &C : O.ContainerClasses)
     OS << C << ',';
   return OS.str();
@@ -86,6 +93,22 @@ AnalysisSession::AnalysisSession(std::string Source, CompileOptions CO)
 }
 
 AnalysisSession::~AnalysisSession() = default;
+
+unsigned AnalysisSession::threadsResolved() const {
+  if (Threads)
+    return Threads;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+ThreadPool *AnalysisSession::pool() {
+  unsigned N = threadsResolved();
+  if (N <= 1)
+    return nullptr;
+  if (Pools.empty() || Pools.back()->concurrency() != N)
+    Pools.push_back(std::make_unique<ThreadPool>(N));
+  return Pools.back().get();
+}
 
 //===----------------------------------------------------------------------===//
 // Invalidation
@@ -203,6 +226,7 @@ PointsToResult *AnalysisSession::pointsTo() {
   auto T0 = std::chrono::steady_clock::now();
   PTAOptions Opts = CurPta;
   Opts.Budget = Budget;
+  Opts.Pool = pool();
   std::unique_ptr<PointsToResult> R = runPointsTo(*P, Opts);
   C.Seconds += secondsSince(T0);
   return PtaCache.emplace(ptaKey(), std::move(R)).first->second.get();
@@ -220,7 +244,7 @@ ModRefResult *AnalysisSession::modRef() {
   }
   ++C.Misses;
   auto T0 = std::chrono::steady_clock::now();
-  auto MR = std::make_unique<ModRefResult>(*Prog, *PTA, Budget);
+  auto MR = std::make_unique<ModRefResult>(*Prog, *PTA, Budget, pool());
   C.Seconds += secondsSince(T0);
   return ModRefCache.emplace(ptaKey(), std::move(MR)).first->second.get();
 }
@@ -243,6 +267,7 @@ SDG *AnalysisSession::sdg() {
   auto T0 = std::chrono::steady_clock::now();
   SDGOptions Opts = CurSdg;
   Opts.Budget = Budget;
+  Opts.Pool = pool();
   std::unique_ptr<SDG> G = buildSDG(*Prog, *PTA, MR, Opts);
   C.Seconds += secondsSince(T0);
   return SdgCache.emplace(sdgKey(), std::move(G)).first->second.get();
@@ -260,7 +285,7 @@ SliceEngine *AnalysisSession::engine() {
   }
   ++C.Misses;
   auto T0 = std::chrono::steady_clock::now();
-  auto E = std::make_unique<SliceEngine>(*G);
+  auto E = std::make_unique<SliceEngine>(*G, pool());
   C.Seconds += secondsSince(T0);
   return EngineCache.emplace(sdgKey(), std::move(E)).first->second.get();
 }
@@ -284,6 +309,7 @@ const SliceResult *AnalysisSession::sliceBackwardCached(const Instr *Seed,
   BatchOptions BO;
   BO.Mode = Mode;
   BO.ContextSensitive = CurSdg.ContextSensitive;
+  BO.Jobs = threadsResolved();
   BO.Budget = Budget;
   BO.Summaries = CurSdg.ContextSensitive ? &Summaries : nullptr;
   SliceResult R = E->sliceBackwardBatch({Seed}, BO).front();
@@ -335,5 +361,17 @@ std::string AnalysisSession::statsString() const {
              R.Seconds * 1000.0);
     Out += Buf;
   }
+  uint64_t Executed = 0, Stolen = 0;
+  for (const auto &P : Pools) {
+    Executed += P->tasksExecuted();
+    Stolen += P->tasksStolen();
+  }
+  snprintf(Buf, sizeof(Buf),
+           "parallelism: threads=%u pool_workers=%u tasks=%llu stolen=%llu\n",
+           threadsResolved(),
+           Pools.empty() ? 0 : Pools.back()->numWorkers(),
+           static_cast<unsigned long long>(Executed),
+           static_cast<unsigned long long>(Stolen));
+  Out += Buf;
   return Out;
 }

@@ -56,6 +56,7 @@
 #include "slicer/Tabulation.h"
 #include "support/Budget.h"
 #include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
 
 #include <map>
 #include <memory>
@@ -118,6 +119,25 @@ public:
   /// outcome they were computed under, so this destroys the PTA cone
   /// (the compiled program survives: compilation is ungoverned).
   void setBudget(const AnalysisBudget *B);
+
+  /// Sets the analysis concurrency: the total number of threads
+  /// (including the calling one) the shared pool offers to the
+  /// parallel stages. 0 means hardware concurrency; 1 runs every
+  /// stage inline with no pool at all. Unlike the option setters this
+  /// re-keys NOTHING — every parallel stage produces byte-identical
+  /// artifacts for every thread count, so a cached artifact stays
+  /// valid across setThreads calls (asserted by the determinism
+  /// tests). Pools already handed to cached engines stay alive until
+  /// the session dies.
+  void setThreads(unsigned N) { Threads = N; }
+  unsigned threads() const { return Threads; }
+
+  /// Resolved thread count (hardware concurrency substituted for 0).
+  unsigned threadsResolved() const;
+
+  /// The shared pool sized to threadsResolved(), created lazily; null
+  /// when the session is effectively single-threaded.
+  ThreadPool *pool();
 
   const PTAOptions &ptaOptions() const { return CurPta; }
   const SDGOptions &sdgOptions() const { return CurSdg; }
@@ -209,6 +229,14 @@ private:
   PTAOptions CurPta;
   SDGOptions CurSdg;
   const AnalysisBudget *Budget = nullptr;
+  unsigned Threads = 1;
+
+  // --- shared worker pools. Declared before the artifact stores:
+  // cached SliceEngines hold a pointer to the pool they were built
+  // with, so pools must be destroyed after them. setThreads never
+  // destroys a pool mid-session — a resize just makes the next pool()
+  // call append a fresh one, and retired pools idle until teardown.
+  std::vector<std::unique_ptr<ThreadPool>> Pools;
 
   // --- artifact stores. Declaration order is lifetime order: every
   // downstream artifact holds references into its upstream (ModRef

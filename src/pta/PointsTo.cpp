@@ -29,6 +29,7 @@
 #include "pta/PointsTo.h"
 
 #include "cg/CHA.h"
+#include "support/ThreadPool.h"
 #include "support/Worklist.h"
 
 #include <cassert>
@@ -371,6 +372,7 @@ private:
   //===------------------------------------------------------------------===//
 
   void solveLoop(BudgetGate &Gate);
+  void solveLoopParallel(BudgetGate &Gate);
   void degradeToCoarse(const BudgetGate &Gate);
   void processMethodCtx(unsigned MCId);
   void processInstr(const Instr *I, Method *M, unsigned Ctx, unsigned MCId);
@@ -469,7 +471,10 @@ void Solver::run() {
 
   BudgetGate Gate(Opts.Budget, "pta.solve",
                   Opts.Budget ? Opts.Budget->MaxPtaPropagations : 0);
-  solveLoop(Gate);
+  if (Opts.ParallelFrontier && Opts.DeltaPropagation)
+    solveLoopParallel(Gate);
+  else
+    solveLoop(Gate);
 
   auto SolveEnd = std::chrono::steady_clock::now();
 
@@ -611,6 +616,121 @@ void Solver::solveLoop(BudgetGate &Gate) {
     for (unsigned ConsIdx : Cons)
       applyConstraint(ConsIdx,
                       Opts.DeltaPropagation ? Moved : Nodes[find(N)].Pts);
+  }
+}
+
+/// Bulk-synchronous variant of solveLoop (PTAOptions::ParallelFrontier;
+/// requires DeltaPropagation). Each round has three phases:
+///
+///  1. Drain (sequential): pop the whole worklist, swapping each live
+///     node's delta and snapshotting its edge list.
+///  2. Precompute (parallel): for every cast edge of every frontier
+///     entry, compute the type-filtered delta. This reads only frozen
+///     state — the drained Moved sets, the edge snapshots, the object
+///     table, and the class hierarchy (isSubtype is pure) — through
+///     findConst, so it is safe across workers and its outputs are
+///     pure values independent of scheduling.
+///  3. Merge (sequential, drain order): every flowInto, constraint
+///     application, and cycle collapse, exactly as the sequential
+///     loop body would run them for this frontier.
+///
+/// All mutation happens in phases 1 and 3 on the calling thread, in an
+/// order fixed by the drain, so the full mutation trace — points-to
+/// sets, merge decisions, visit-order object/context ids, and every
+/// Stats counter — is byte-identical for every pool size, including no
+/// pool at all. Deltas that arrive for an already-drained node during
+/// the merge stay in the node's Delta and are re-queued for the next
+/// round rather than joining the in-flight frontier (the one ordering
+/// difference from the per-pop sequential loop; both reach the same
+/// least fixpoint).
+void Solver::solveLoopParallel(BudgetGate &Gate) {
+  struct FrontierEntry {
+    unsigned N;     ///< Representative at drain time.
+    BitSet Moved;   ///< Delta drained from N.
+    /// Edge-list snapshot (merge-phase collapsing mutates the live
+    /// lists, and workers must not chase them).
+    std::vector<std::pair<unsigned, const Type *>> Succs;
+    /// Type-filtered Moved per cast edge, parallel to Succs (empty
+    /// for unfiltered edges).
+    std::vector<BitSet> Filtered;
+  };
+  std::vector<FrontierEntry> Frontier;
+  std::vector<unsigned> Cons;
+
+  while (!worklistEmpty()) {
+    // Phase 1: drain.
+    Frontier.clear();
+    while (!worklistEmpty()) {
+      if (Gate.poll(Stats.Propagations))
+        return; // Budget exhausted; run() degrades to the coarse result.
+      if (Opts.Policy == WorklistPolicy::Topo && NumCopyEdges >= TopoResortAt)
+        recomputeTopoPriorities();
+      unsigned N = find(popNode());
+      ++Stats.WorklistPops;
+      if (Opts.Policy == WorklistPolicy::LRF)
+        PrioWL.setPriority(N, ++LRFClock);
+      FrontierEntry E;
+      E.N = N;
+      std::swap(E.Moved, Nodes[N].Delta);
+      if (E.Moved.empty())
+        continue; // Stale entry (merged away or already drained).
+      E.Succs = Nodes[N].Succs;
+      Frontier.push_back(std::move(E));
+    }
+
+    // Phase 2: precompute cast-edge filters against frozen state.
+    auto Precompute = [&](std::size_t I) {
+      FrontierEntry &E = Frontier[I];
+      E.Filtered.resize(E.Succs.size());
+      for (std::size_t K = 0; K != E.Succs.size(); ++K) {
+        const Type *Filter = E.Succs[K].second;
+        if (!Filter)
+          continue;
+        BitSet &Out = E.Filtered[K];
+        E.Moved.forEach([&](unsigned Obj) {
+          if (CH.isSubtype(Objects[Obj].Ty, Filter))
+            Out.insert(Obj);
+        });
+      }
+    };
+    if (Opts.Pool && Opts.Pool->numWorkers())
+      Opts.Pool->parallelFor(Frontier.size(), Precompute);
+    else
+      for (std::size_t I = 0; I != Frontier.size(); ++I)
+        Precompute(I);
+
+    // Phase 3: merge in drain order. Mirrors the sequential loop body;
+    // Stats accounting matches flowInto's filtered path (the filter
+    // work was merely hoisted, not skipped).
+    for (FrontierEntry &E : Frontier) {
+      unsigned MovedCount = E.Moved.count();
+      for (std::size_t K = 0; K != E.Succs.size(); ++K) {
+        unsigned Self = find(E.N);
+        unsigned Dst = find(E.Succs[K].first);
+        const Type *Filter = E.Succs[K].second;
+        if (Dst == Self && !Filter)
+          continue;
+        bool Changed;
+        if (!Filter) {
+          Changed = flowInto(Dst, E.Moved, nullptr);
+        } else {
+          NodeData &D = Nodes[Dst];
+          Changed = D.Pts.unionWithReturningChanged(E.Filtered[K], D.Delta);
+          if (Changed) {
+            ++Stats.Propagations;
+            pushNode(Dst);
+          } else {
+            ++Stats.NoChangePropagations;
+          }
+        }
+        Stats.DeltaBitsMoved += MovedCount;
+        if (!Changed && Opts.CycleElimination && !Filter)
+          maybeDetectCycle(Self, Dst);
+      }
+      Cons = Nodes[find(E.N)].Cons;
+      for (unsigned ConsIdx : Cons)
+        applyConstraint(ConsIdx, E.Moved);
+    }
   }
 }
 

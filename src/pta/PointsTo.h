@@ -39,6 +39,8 @@
 
 namespace tsl {
 
+class ThreadPool;
+
 /// Configuration of the pointer analysis.
 struct PTAOptions {
   /// Clone methods of container classes per receiver allocation site
@@ -85,6 +87,26 @@ struct PTAOptions {
   /// round-robin on ring- and chain-shaped flow (see
   /// bench_pta_solver for the measured gap).
   WorklistPolicy Policy = WorklistPolicy::Topo;
+
+  /// Bulk-synchronous parallel frontier processing: each solver round
+  /// drains the whole worklist at once, computes the type-filtered
+  /// prospective deltas of the drained nodes' cast edges across Pool's
+  /// workers — pure reads of the frozen constraint graph — and then
+  /// applies every propagation, constraint, and cycle collapse on the
+  /// calling thread in drain order. The parallel phase computes pure
+  /// functions of frozen state, so the mutation trace (and with it
+  /// every artifact and telemetry counter) is byte-identical for every
+  /// pool size, including a null pool. The round granularity visits
+  /// nodes in a different order than the per-pop sequential solver, so
+  /// visit-order-assigned object/context ids may differ from
+  /// ParallelFrontier=false — the two modes reach the same fixpoint
+  /// (the differential solver tests canonicalize ids), but they are
+  /// distinct cache keys. Requires DeltaPropagation; with it off the
+  /// solve falls back to the sequential loop.
+  bool ParallelFrontier = false;
+
+  /// Shared pool for ParallelFrontier. Not owned; may be null.
+  ThreadPool *Pool = nullptr;
 
   /// Optional resource budget. When the solver exhausts it (deadline
   /// or MaxPtaPropagations), the analysis degrades to a sound coarse

@@ -22,9 +22,11 @@
 #include "modref/ModRef.h"
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -38,19 +40,37 @@ struct Clone {
   unsigned Ctx;
 };
 
+/// One intraprocedural edge computed by the parallel phase, inserted
+/// by the sequential phase.
+struct PendingEdge {
+  unsigned From, To;
+  SDGEdgeKind K;
+};
+
 /// One heap access of a clone (see buildHeapCI / buildHeapCoarse).
 struct Access {
   const Instr *I;
   unsigned Ctx;
   const Local *Base; ///< Null for statics.
   const Local *Src;  ///< Stores only.
+  /// Points-to set of Base under the clone's aliasing regime (merged
+  /// sets when clones were context-merged), resolved once here so the
+  /// pairwise wiring loops do no per-pair hash lookups. Null for
+  /// statics.
+  const BitSet *BasePts;
 };
 
 /// All heap accesses of the collected clones, bucketed the way the
-/// heap-edge wiring consumes them.
+/// heap-edge wiring consumes them. Keyed by dense Field::id() in an
+/// ordered map: the wiring loops iterate these, and their iteration
+/// order decides edge insertion order AND — under a budget gate that
+/// can trip mid-loop — which pairs get precise edges before the
+/// coarse fallback takes over. Pointer-keyed unordered iteration
+/// would make both depend on allocator state, breaking the
+/// byte-identical-artifacts guarantee.
 struct HeapAccesses {
-  std::unordered_map<const Field *, std::vector<Access>> FieldStores,
-      FieldLoads, StaticStores, StaticLoads;
+  std::map<unsigned, std::vector<Access>> FieldStores, FieldLoads,
+      StaticStores, StaticLoads;
   std::vector<Access> ArrStores, ArrLoads;
 };
 
@@ -58,7 +78,8 @@ class Builder {
 public:
   Builder(const Program &P, const PointsToResult &PTA,
           const ModRefResult *MR, const SDGOptions &Opts)
-      : PTA(PTA), MR(MR), Opts(Opts), G(std::make_unique<SDG>(P)) {
+      : PTA(PTA), MR(MR), Opts(Opts), Pool(Opts.Pool),
+        G(std::make_unique<SDG>(P)) {
     (void)P;
   }
 
@@ -66,7 +87,10 @@ public:
 
 private:
   void collectClones(const Program &P, BudgetGate &Gate);
-  void buildIntra(const Clone &C);
+  void addIntraNodes(const Clone &C);
+  void computeIntraEdges(const Clone &C, const ControlDeps &CD,
+                         std::vector<PendingEdge> &Out) const;
+  void buildIntra();
   void buildScalarCallsCI();
   void buildHeapCI(BudgetGate &Gate);
   void buildScalarCallsCS(const Clone &C);
@@ -84,6 +108,7 @@ private:
   const PointsToResult &PTA;
   const ModRefResult *MR;
   SDGOptions Opts;
+  ThreadPool *Pool = nullptr;
   std::unique_ptr<SDG> G;
   std::vector<Clone> Clones;
   std::unordered_map<const Method *, std::unique_ptr<ControlDeps>> CDCache;
@@ -157,13 +182,20 @@ void Builder::collectClones(const Program &P, BudgetGate &Gate) {
   }
 }
 
-void Builder::buildIntra(const Clone &C) {
+void Builder::addIntraNodes(const Clone &C) {
+  for (const auto &BB : C.M->blocks())
+    for (const auto &I : BB->instrs())
+      G->addStmtNode(I.get(), C.M, C.Ctx);
+}
+
+/// Pure per-clone edge computation: resolves every intraprocedural
+/// dependence of clone \p C against the completed statement-node
+/// index (read-only) into \p Out, in the exact order the sequential
+/// builder inserted them. Safe to run concurrently across clones.
+void Builder::computeIntraEdges(const Clone &C, const ControlDeps &CD,
+                                std::vector<PendingEdge> &Out) const {
   const Method *M = C.M;
   unsigned Ctx = C.Ctx;
-
-  for (const auto &BB : M->blocks())
-    for (const auto &I : BB->instrs())
-      G->addStmtNode(I.get(), M, Ctx);
 
   // SSA flow dependences, classified by operand role. Call operands
   // are wired through parameter edges instead (paper Sec. 5.1), with
@@ -176,8 +208,8 @@ void Builder::buildIntra(const Clone &C) {
         if (Call->isVirtual()) {
           const Instr *RecvDef = Call->receiver()->def();
           if (RecvDef)
-            G->addEdge(static_cast<unsigned>(G->nodeFor(RecvDef, Ctx)), To,
-                       SDGEdgeKind::Control);
+            Out.push_back({static_cast<unsigned>(G->nodeFor(RecvDef, Ctx)),
+                           To, SDGEdgeKind::Control});
         }
         continue;
       }
@@ -188,14 +220,13 @@ void Builder::buildIntra(const Clone &C) {
         SDGEdgeKind K = I->operandRole(OpIdx) == OperandRole::Value
                             ? SDGEdgeKind::Flow
                             : SDGEdgeKind::BaseFlow;
-        G->addEdge(static_cast<unsigned>(G->nodeFor(Def, Ctx)), To, K);
+        Out.push_back({static_cast<unsigned>(G->nodeFor(Def, Ctx)), To, K});
       }
     }
   }
 
   // Control dependences: every statement depends on the terminators of
   // its controlling blocks.
-  const ControlDeps &CD = controlDeps(M);
   for (const auto &BB : M->blocks()) {
     std::vector<const Instr *> Branches;
     for (unsigned Controller : CD.controllers(BB->id()))
@@ -206,10 +237,55 @@ void Builder::buildIntra(const Clone &C) {
     for (const auto &I : BB->instrs()) {
       unsigned To = static_cast<unsigned>(G->nodeFor(I.get(), Ctx));
       for (const Instr *Br : Branches)
-        G->addEdge(static_cast<unsigned>(G->nodeFor(Br, Ctx)), To,
-                   SDGEdgeKind::Control);
+        Out.push_back({static_cast<unsigned>(G->nodeFor(Br, Ctx)), To,
+                       SDGEdgeKind::Control});
     }
   }
+}
+
+/// Statement nodes and intraprocedural edges for every clone, in
+/// three phases: sequential node insertion in clone order (fixes node
+/// ids), parallel per-method control dependences and per-clone edge
+/// lists (pure reads of the node index), sequential edge insertion in
+/// clone order (fixes edge ids). Interleaving node and edge insertion
+/// per clone — what the old one-pass builder did — assigns the same
+/// ids, because node and edge id spaces are independent; the graph is
+/// byte-identical either way, for every pool size.
+void Builder::buildIntra() {
+  for (const Clone &C : Clones)
+    addIntraNodes(C);
+
+  // Unique methods in first-clone order; dominator trees are per
+  // method, not per clone.
+  std::vector<const Method *> Methods;
+  for (const Clone &C : Clones)
+    if (CDCache.emplace(C.M, nullptr).second)
+      Methods.push_back(C.M);
+  std::vector<std::unique_ptr<ControlDeps>> CDs(Methods.size());
+  auto ComputeCD = [&](std::size_t I) {
+    CDs[I] = std::make_unique<ControlDeps>(*Methods[I]);
+  };
+  std::vector<std::vector<PendingEdge>> PerClone(Clones.size());
+  auto ComputeEdges = [&](std::size_t I) {
+    computeIntraEdges(Clones[I], controlDeps(Clones[I].M), PerClone[I]);
+  };
+  if (Pool && Pool->numWorkers()) {
+    Pool->parallelFor(Methods.size(), ComputeCD);
+    for (std::size_t I = 0; I != Methods.size(); ++I)
+      CDCache[Methods[I]] = std::move(CDs[I]);
+    Pool->parallelFor(Clones.size(), ComputeEdges);
+  } else {
+    for (std::size_t I = 0; I != Methods.size(); ++I)
+      ComputeCD(I);
+    for (std::size_t I = 0; I != Methods.size(); ++I)
+      CDCache[Methods[I]] = std::move(CDs[I]);
+    for (std::size_t I = 0; I != Clones.size(); ++I)
+      ComputeEdges(I);
+  }
+
+  for (const std::vector<PendingEdge> &Edges : PerClone)
+    for (const PendingEdge &E : Edges)
+      G->addEdge(E.From, E.To, E.K);
 }
 
 void Builder::wireCallEdge(const CallInstr *Call, unsigned CallerCtx,
@@ -272,21 +348,33 @@ void Builder::buildScalarCallsCS(const Clone &C) {
 
 HeapAccesses Builder::collectHeapAccesses() const {
   HeapAccesses A;
+  // In merged-clone degradation mode the per-context sets of the
+  // unanalyzed context-0 clones would be empty (unsound), so aliasing
+  // uses the context-merged supersets instead.
+  auto Pts = [&](const Local *Base, unsigned Ctx) -> const BitSet * {
+    if (!Base)
+      return nullptr;
+    return MergedClones ? &PTA.pointsTo(Base) : &PTA.pointsTo(Base, Ctx);
+  };
   for (const Clone &C : Clones) {
     for (const auto &BB : C.M->blocks()) {
       for (const auto &I : BB->instrs()) {
         if (const auto *S = dyn_cast<StoreInstr>(I.get())) {
-          auto &Bucket =
-              (S->isStaticAccess() ? A.StaticStores : A.FieldStores)[S->field()];
-          Bucket.push_back({S, C.Ctx, S->base(), S->src()});
+          auto &Bucket = (S->isStaticAccess() ? A.StaticStores
+                                              : A.FieldStores)[S->field()->id()];
+          Bucket.push_back(
+              {S, C.Ctx, S->base(), S->src(), Pts(S->base(), C.Ctx)});
         } else if (const auto *L = dyn_cast<LoadInstr>(I.get())) {
-          auto &Bucket =
-              (L->isStaticAccess() ? A.StaticLoads : A.FieldLoads)[L->field()];
-          Bucket.push_back({L, C.Ctx, L->base(), nullptr});
+          auto &Bucket = (L->isStaticAccess() ? A.StaticLoads
+                                              : A.FieldLoads)[L->field()->id()];
+          Bucket.push_back(
+              {L, C.Ctx, L->base(), nullptr, Pts(L->base(), C.Ctx)});
         } else if (const auto *AS = dyn_cast<ArrayStoreInstr>(I.get())) {
-          A.ArrStores.push_back({AS, C.Ctx, AS->array(), AS->src()});
+          A.ArrStores.push_back(
+              {AS, C.Ctx, AS->array(), AS->src(), Pts(AS->array(), C.Ctx)});
         } else if (const auto *AL = dyn_cast<ArrayLoadInstr>(I.get())) {
-          A.ArrLoads.push_back({AL, C.Ctx, AL->array(), nullptr});
+          A.ArrLoads.push_back(
+              {AL, C.Ctx, AL->array(), nullptr, Pts(AL->array(), C.Ctx)});
         }
       }
     }
@@ -303,9 +391,11 @@ void Builder::buildHeapCI(BudgetGate &Gate) {
   // aliasing uses the context-merged supersets instead.
   HeapAccesses A = collectHeapAccesses();
 
+  // Base points-to sets were resolved once per access at collection
+  // time; the quadratic pairwise loops below are pure BitSet
+  // intersections with no hash lookups.
   auto MayAlias = [&](const Access &S, const Access &L) {
-    return MergedClones ? PTA.mayAlias(S.Base, L.Base)
-                        : PTA.mayAlias(S.Base, S.Ctx, L.Base, L.Ctx);
+    return S.BasePts->intersects(*L.BasePts);
   };
   auto Connect = [&](const Access &S, const Access &L) {
     G->addEdge(static_cast<unsigned>(G->nodeFor(S.I, S.Ctx)),
@@ -373,12 +463,12 @@ void Builder::buildHeapCoarse() {
   for (const auto &[F, Loads] : A.FieldLoads) {
     auto It = A.FieldStores.find(F);
     if (It != A.FieldStores.end())
-      Wire(F->id(), It->second, Loads);
+      Wire(F, It->second, Loads);
   }
   for (const auto &[F, Loads] : A.StaticLoads) {
     auto It = A.StaticStores.find(F);
     if (It != A.StaticStores.end())
-      Wire(F->id(), It->second, Loads);
+      Wire(F, It->second, Loads);
   }
   Wire(~0u, A.ArrStores, A.ArrLoads);
 }
@@ -401,8 +491,9 @@ void Builder::buildHeapCS(const Clone &C, BudgetGate &Gate) {
   });
 
   // Group this method's heap accesses and calls by partition.
-  std::unordered_map<unsigned, std::vector<const Instr *>> LoadsByPart,
-      StoresByPart;
+  // Ordered by partition id: iteration below inserts edges and can
+  // trip the gate mid-loop, so its order must be deterministic.
+  std::map<unsigned, std::vector<const Instr *>> LoadsByPart, StoresByPart;
   std::vector<const CallInstr *> Calls;
   for (const auto &BB : M->blocks()) {
     for (const auto &I : BB->instrs()) {
@@ -545,8 +636,7 @@ std::unique_ptr<SDG> Builder::run(const Program &P) {
   BudgetGate HeapGate(B, "sdg.heap", B ? B->MaxSdgEdges : 0);
 
   collectClones(P, CloneGate);
-  for (const Clone &C : Clones)
-    buildIntra(C);
+  buildIntra();
   if (Opts.ContextSensitive) {
     for (const Clone &C : Clones)
       buildScalarCallsCS(C);

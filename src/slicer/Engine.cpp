@@ -3,8 +3,8 @@
 #include "slicer/Engine.h"
 
 #include "support/BitSet.h"
+#include "support/ThreadPool.h"
 
-#include <atomic>
 #include <optional>
 #include <thread>
 
@@ -135,7 +135,9 @@ constexpr unsigned LanesPerChunk = 64;
 // SliceEngine
 //===----------------------------------------------------------------------===//
 
-SliceEngine::SliceEngine(const SDG &G) : G(G) { G.ensureFinalized(); }
+SliceEngine::SliceEngine(const SDG &G, ThreadPool *Pool) : G(G), Pool(Pool) {
+  G.ensureFinalized();
+}
 
 SliceEngine::~SliceEngine() = default;
 
@@ -277,20 +279,25 @@ SliceEngine::sliceBackwardBatch(const std::vector<const Instr *> &Seeds,
   };
 
   if (Workers <= 1) {
+    // Single-worker batches run inline: no pool is consulted or
+    // created, no thread is spawned, no task is queued.
     for (unsigned I = 0; I != NumItems; ++I)
       RunItem(I);
   } else {
-    std::atomic<unsigned> Next{0};
-    auto Work = [&]() {
-      for (unsigned I; (I = Next.fetch_add(1)) < NumItems;)
-        RunItem(I);
-    };
-    std::vector<std::thread> Pool;
-    Pool.reserve(Workers);
-    for (unsigned W = 0; W != Workers; ++W)
-      Pool.emplace_back(Work);
-    for (std::thread &T : Pool)
-      T.join();
+    ThreadPool *TP = Pool;
+    if (!TP) {
+      if (!OwnedPool || OwnedPool->concurrency() < Workers)
+        OwnedPool = std::make_unique<ThreadPool>(Workers);
+      TP = OwnedPool.get();
+    }
+    if (TP->concurrency() < Workers)
+      Stats.Workers = Workers = TP->concurrency();
+    // The gate is deliberately not handed to parallelFor: every item
+    // must produce a SliceResult (degraded once the gate trips), so
+    // cancellation happens inside RunItem, never by skipping items.
+    TP->parallelFor(
+        NumItems,
+        [&](std::size_t I) { RunItem(static_cast<unsigned>(I)); }, Workers);
   }
 
   std::vector<SliceResult> Results;

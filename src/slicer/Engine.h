@@ -33,6 +33,12 @@
 /// governs the batch's *total* slicing work; per-query results are
 /// otherwise identical to the single-seed entry points.
 ///
+/// Work fans out on a shared ThreadPool (see support/ThreadPool.h):
+/// either one handed in at construction (the session threads its pool
+/// through every stage) or a lazily created engine-owned pool. A
+/// single-worker batch never touches a pool at all — it runs inline
+/// on the calling thread, and no pool is created for it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef THINSLICER_SLICER_ENGINE_H
@@ -47,6 +53,8 @@
 #include <vector>
 
 namespace tsl {
+
+class ThreadPool;
 
 /// Configuration of one batched slice run.
 struct BatchOptions {
@@ -84,8 +92,18 @@ struct BatchCondensation;
 /// carries over).
 class SliceEngine {
 public:
-  explicit SliceEngine(const SDG &G);
+  /// \p Pool, when non-null, is the shared worker pool batches fan
+  /// out on (not owned; must outlive the engine). With a null pool
+  /// the engine lazily creates its own the first time a batch asks
+  /// for more than one worker.
+  explicit SliceEngine(const SDG &G, ThreadPool *Pool = nullptr);
   ~SliceEngine();
+
+  /// The pool batches currently fan out on: the one injected at
+  /// construction, the lazily created owned pool, or null when no
+  /// multi-worker batch has run yet (the single-worker path never
+  /// creates one — see tests/engine_test.cpp).
+  const ThreadPool *pool() const { return Pool ? Pool : OwnedPool.get(); }
 
   /// Backward-slices every seed, returning results in seed order.
   /// Results are identical to calling sliceBackward() /
@@ -103,6 +121,8 @@ private:
   std::shared_ptr<const BatchCondensation> condensationFor(EdgeKindMask Mask);
 
   const SDG &G;
+  ThreadPool *Pool = nullptr;
+  std::unique_ptr<ThreadPool> OwnedPool;
   BatchStats Stats;
   std::mutex CondMu;
   std::map<std::pair<uint64_t, EdgeKindMask>,

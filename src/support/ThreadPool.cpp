@@ -1,0 +1,213 @@
+//===-- ThreadPool.cpp - Shared work-stealing thread pool ----------------------==//
+
+#include "support/ThreadPool.h"
+
+#include "support/Budget.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace tsl;
+
+namespace {
+
+/// Identity of the pool worker running on this thread, so submit()
+/// can route a worker's child tasks to its own deque (the Chase-Lev
+/// bottom) instead of the shared injection queue.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorkerId = ~0u;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 1;
+  NumWorkers = Threads - 1;
+  Workers.reserve(NumWorkers);
+  for (unsigned Id = 0; Id != NumWorkers; ++Id)
+    Workers.push_back(std::make_unique<Worker>());
+  // Start only after every Worker slot exists: a starting worker's
+  // steal sweep walks the whole vector.
+  for (unsigned Id = 0; Id != NumWorkers; ++Id)
+    Workers[Id]->Thread = std::thread([this, Id] { workerLoop(Id); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(InjectMu);
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (auto &W : Workers)
+    W->Thread.join();
+  // Workers drained their deques and the injection queue before
+  // exiting; anything left could only have been submitted after
+  // Stopping was set, which the contract forbids.
+  assert(Pending.load() == 0 && "tasks submitted during shutdown");
+}
+
+void ThreadPool::schedule(std::function<void()> Task) {
+  if (NumWorkers == 0) {
+    // No workers: run inline so futures still complete.
+    TasksExecuted.fetch_add(1, std::memory_order_relaxed);
+    Task();
+    return;
+  }
+  if (CurrentPool == this && CurrentWorkerId < NumWorkers) {
+    Worker &W = *Workers[CurrentWorkerId];
+    {
+      std::lock_guard<std::mutex> L(W.Mu);
+      W.Deque.push_back(std::move(Task));
+    }
+    Pending.fetch_add(1, std::memory_order_release);
+    WorkCV.notify_one();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(InjectMu);
+    Inject.push_back(std::move(Task));
+  }
+  Pending.fetch_add(1, std::memory_order_release);
+  WorkCV.notify_one();
+}
+
+bool ThreadPool::runOne(unsigned SelfId) {
+  std::function<void()> Task;
+
+  // 1. Own deque, bottom (LIFO: the task pushed most recently is the
+  //    cache-warm one).
+  if (SelfId < NumWorkers) {
+    Worker &W = *Workers[SelfId];
+    std::lock_guard<std::mutex> L(W.Mu);
+    if (!W.Deque.empty()) {
+      Task = std::move(W.Deque.back());
+      W.Deque.pop_back();
+    }
+  }
+  // 2. The shared injection queue.
+  if (!Task) {
+    std::lock_guard<std::mutex> L(InjectMu);
+    if (!Inject.empty()) {
+      Task = std::move(Inject.front());
+      Inject.pop_front();
+    }
+  }
+  // 3. Steal sweep: the top (oldest) task of another worker's deque.
+  if (!Task) {
+    for (unsigned K = 1; K <= NumWorkers && !Task; ++K) {
+      unsigned Victim = (SelfId < NumWorkers ? SelfId + K : K - 1) % NumWorkers;
+      if (Victim == SelfId)
+        continue;
+      Worker &W = *Workers[Victim];
+      std::lock_guard<std::mutex> L(W.Mu);
+      if (!W.Deque.empty()) {
+        Task = std::move(W.Deque.front());
+        W.Deque.pop_front();
+        TasksStolen.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (!Task)
+    return false;
+
+  Pending.fetch_sub(1, std::memory_order_acq_rel);
+  Task(); // packaged_task: exceptions land in the future, never here.
+  TasksExecuted.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  CurrentPool = this;
+  CurrentWorkerId = Id;
+  while (true) {
+    if (runOne(Id))
+      continue;
+    std::unique_lock<std::mutex> L(InjectMu);
+    if (Stopping)
+      break;
+    WorkCV.wait(L, [this] {
+      return Stopping || Pending.load(std::memory_order_acquire) != 0;
+    });
+    if (Stopping)
+      break;
+  }
+  // Shutdown drain: finish everything still queued anywhere, so
+  // futures handed out before the destructor always complete.
+  while (runOne(Id))
+    ;
+  CurrentPool = nullptr;
+  CurrentWorkerId = ~0u;
+}
+
+void ThreadPool::parallelFor(std::size_t N,
+                             const std::function<void(std::size_t)> &Fn,
+                             unsigned MaxConcurrency,
+                             SharedBudgetGate *Gate) {
+  if (N == 0)
+    return;
+  unsigned Lanes = concurrency();
+  if (MaxConcurrency && MaxConcurrency < Lanes)
+    Lanes = MaxConcurrency;
+  if (N < Lanes)
+    Lanes = static_cast<unsigned>(N);
+
+  if (Lanes <= 1 || NumWorkers == 0) {
+    // Sequential path: a plain loop on the caller, no tasks, no
+    // synchronization — byte-for-byte the pre-pool behavior.
+    for (std::size_t I = 0; I != N; ++I) {
+      if (Gate && Gate->exhausted())
+        return;
+      Fn(I);
+    }
+    return;
+  }
+
+  struct LoopState {
+    std::atomic<std::size_t> Next{0};
+    std::atomic<bool> Abort{false};
+    std::mutex ErrMu;
+    std::exception_ptr Err;
+  } State;
+
+  auto Lane = [&] {
+    for (std::size_t I;
+         (I = State.Next.fetch_add(1, std::memory_order_relaxed)) < N;) {
+      if (State.Abort.load(std::memory_order_relaxed))
+        return;
+      if (Gate && Gate->exhausted())
+        return;
+      try {
+        Fn(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> L(State.ErrMu);
+        if (!State.Err)
+          State.Err = std::current_exception();
+        State.Abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(Lanes - 1);
+  for (unsigned W = 0; W + 1 < Lanes; ++W)
+    Futures.push_back(submit(Lane));
+  Lane(); // The caller is the last lane.
+
+  // Helping wait: while a lane task is still queued (every worker
+  // busy elsewhere, e.g. a nested parallelFor), the caller executes
+  // queued tasks instead of blocking, so waiting can never deadlock.
+  for (std::future<void> &F : Futures) {
+    while (F.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!runOne(CurrentPool == this ? CurrentWorkerId : ~0u))
+        F.wait_for(std::chrono::microseconds(200));
+    }
+    F.get(); // Lane() traps exceptions itself; this never throws.
+  }
+
+  if (State.Err)
+    std::rethrow_exception(State.Err);
+}

@@ -1,0 +1,164 @@
+//===-- threadpool_test.cpp - Shared work-stealing pool tests ------------------==//
+//
+// The pool contract every parallel analysis stage leans on: tasks run
+// exactly once, imbalance is rebalanced by stealing, exceptions reach
+// the submitter, shutdown drains the queues, and a tripped budget gate
+// cancels the un-started remainder of a parallelFor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace tsl;
+
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.concurrency(), 4u);
+  EXPECT_EQ(Pool.numWorkers(), 3u);
+
+  constexpr unsigned N = 200;
+  std::vector<std::atomic<unsigned>> Ran(N);
+  std::vector<std::future<unsigned>> Futures;
+  for (unsigned I = 0; I != N; ++I)
+    Futures.push_back(Pool.submit([&Ran, I] {
+      Ran[I].fetch_add(1);
+      return I * 2;
+    }));
+  for (unsigned I = 0; I != N; ++I)
+    EXPECT_EQ(Futures[I].get(), I * 2);
+  for (unsigned I = 0; I != N; ++I)
+    EXPECT_EQ(Ran[I].load(), 1u);
+  EXPECT_GE(Pool.tasksExecuted(), static_cast<uint64_t>(N));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool Pool(4);
+  constexpr std::size_t N = 1000;
+  std::vector<std::atomic<unsigned>> Hits(N);
+  Pool.parallelFor(N, [&](std::size_t I) { Hits[I].fetch_add(1); });
+  for (std::size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInlineWithoutWorkers) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numWorkers(), 0u);
+  std::thread::id Caller = std::this_thread::get_id();
+  bool SameThread = false;
+  auto F = Pool.submit([&] { SameThread = std::this_thread::get_id() == Caller; });
+  F.get();
+  EXPECT_TRUE(SameThread);
+  unsigned Count = 0;
+  Pool.parallelFor(17, [&](std::size_t) { ++Count; });
+  EXPECT_EQ(Count, 17u);
+}
+
+// Guaranteed steal: a worker blocks inside its task after stuffing its
+// own deque with subtasks. The blocked owner cannot pop them, external
+// threads have no deque, so the only way the subtasks can complete is
+// the other worker stealing them.
+TEST(ThreadPool, StealsFromAnImbalancedWorkerDeque) {
+  ThreadPool Pool(3); // Two workers: one hoards, one steals.
+  constexpr unsigned N = 64;
+  std::atomic<unsigned> Done{0};
+  auto Outer = Pool.submit([&] {
+    for (unsigned I = 0; I != N; ++I)
+      Pool.submit([&Done] { Done.fetch_add(1); });
+    // Block this worker until every subtask ran elsewhere.
+    auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (Done.load() != N &&
+           std::chrono::steady_clock::now() < Deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  Outer.get();
+  EXPECT_EQ(Done.load(), N);
+  EXPECT_GE(Pool.tasksStolen(), static_cast<uint64_t>(N));
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsToTheFuture) {
+  ThreadPool Pool(3);
+  auto Bad = Pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto Good = Pool.submit([] { return 41 + 1; });
+  EXPECT_THROW(Bad.get(), std::runtime_error);
+  EXPECT_EQ(Good.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTheFirstExceptionOnTheCaller) {
+  ThreadPool Pool(4);
+  std::atomic<unsigned> Ran{0};
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](std::size_t I) {
+                                  if (I == 3)
+                                    throw std::logic_error("index 3");
+                                  Ran.fetch_add(1);
+                                }),
+               std::logic_error);
+  // The throw cancels un-started indices; started ones finished.
+  EXPECT_LT(Ran.load(), 100u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasksBeforeJoining) {
+  constexpr unsigned N = 100;
+  std::atomic<unsigned> Done{0};
+  std::vector<std::future<void>> Futures;
+  {
+    ThreadPool Pool(2);
+    for (unsigned I = 0; I != N; ++I)
+      Futures.push_back(Pool.submit([&Done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        Done.fetch_add(1);
+      }));
+    // Destruction races the queue: whatever is still queued must run,
+    // not be dropped.
+  }
+  EXPECT_EQ(Done.load(), N);
+  for (auto &F : Futures) {
+    ASSERT_EQ(F.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    F.get();
+  }
+}
+
+TEST(ThreadPool, BudgetGateCancelsRemainingParallelForIndices) {
+  ThreadPool Pool(2);
+  SharedBudgetGate Gate(nullptr, "test.pool", /*StepCap=*/10);
+  std::atomic<unsigned> Ran{0};
+  Pool.parallelFor(
+      1000,
+      [&](std::size_t) {
+        Gate.spend();
+        Ran.fetch_add(1);
+      },
+      /*MaxConcurrency=*/0, &Gate);
+  EXPECT_TRUE(Gate.exhausted());
+  // At least the indices that tripped the cap ran; the long tail of
+  // the queue was cancelled.
+  EXPECT_GE(Ran.load(), 10u);
+  EXPECT_LT(Ran.load(), 1000u);
+}
+
+// parallelFor from inside a pool task must not deadlock: the nested
+// caller's lanes land in its own deque, and its helping-wait runs them
+// itself if nobody steals.
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool Pool(3);
+  std::atomic<unsigned> Inner{0};
+  auto F = Pool.submit([&] {
+    Pool.parallelFor(50, [&](std::size_t) { Inner.fetch_add(1); });
+  });
+  F.get();
+  EXPECT_EQ(Inner.load(), 50u);
+}
+
+} // namespace

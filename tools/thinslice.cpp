@@ -11,7 +11,7 @@
 //   thinslice prog.tsj --line 24 --forward        forward thin slice
 //   thinslice prog.tsj --line 3 --chop 24         thin chop 3 -> 24
 //   thinslice prog.tsj --line 24 --context-sensitive
-//   thinslice prog.tsj --seeds seeds.txt --jobs 4    batched slicing
+//   thinslice prog.tsj --seeds seeds.txt --threads 4    batched slicing
 //   thinslice prog.tsj --run --int 1 --in "John Doe"
 //   thinslice prog.tsj --line 24 --dot slice.dot
 //   thinslice prog.tsj --dump-ir / --stats
@@ -75,7 +75,12 @@ struct CliOptions {
   /// Batched slicing: a file of seed line numbers, fanned out over a
   /// worker pool.
   std::string SeedsFile;
-  unsigned Jobs = 0; ///< 0 = hardware_concurrency.
+  /// Analysis concurrency for every parallel stage (PDG construction,
+  /// mod-ref waves, batched slicing): total threads including the
+  /// main one. 0 = hardware_concurrency; 1 = fully sequential, no
+  /// pool. Set by --threads, or by its deprecated alias --jobs.
+  unsigned Threads = 0;
+  bool JobsAliasUsed = false;
   /// Warm-session REPL: answer repeated `slice <line>` queries against
   /// one AnalysisSession.
   bool Interactive = false;
@@ -112,7 +117,7 @@ struct CliOptions {
 void usage() {
   fprintf(stderr,
           "usage: thinslice <file.tsj> [--line N] [--mode thin|trad]\n"
-          "                 [--seeds FILE] [--jobs N] [--interactive]\n"
+          "                 [--seeds FILE] [--threads N] [--interactive]\n"
           "                 [--forward] [--chop N] [--alias-depth K]\n"
           "                 [--expand] [--context-sensitive] [--no-objsens]\n"
           "                 [--run] [--in STR]... [--int N]...\n"
@@ -163,11 +168,12 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       Opts.SeedsFile = V;
     } else if (Arg == "--interactive") {
       Opts.Interactive = true;
-    } else if (Arg == "--jobs") {
+    } else if (Arg == "--threads" || Arg == "--jobs") {
       uint64_t N;
-      if (!parsePositive("--jobs", Next(), N))
+      if (!parsePositive(Arg.c_str(), Next(), N))
         return false;
-      Opts.Jobs = static_cast<unsigned>(N);
+      Opts.Threads = static_cast<unsigned>(N);
+      Opts.JobsAliasUsed = Arg == "--jobs";
     } else if (Arg == "--chop") {
       uint64_t N;
       if (!parsePositive("--chop", Next(), N))
@@ -503,6 +509,10 @@ int main(int argc, char **argv) {
   // --interactive re-queries the same warm session.
   AnalysisSession Session(std::move(Source));
   Session.setBudget(B);
+  if (Opts.JobsAliasUsed)
+    fprintf(stderr,
+            "warning: --jobs is deprecated, use --threads (same meaning)\n");
+  Session.setThreads(Opts.Threads);
   Program *P = Session.program();
   if (!P) {
     // Report user-file positions (the runtime prefix is an
@@ -651,11 +661,11 @@ int main(int argc, char **argv) {
       return 1;
 
     SummaryCache Cache;
-    SliceEngine Engine(*G);
+    SliceEngine Engine(*G, Session.pool());
     BatchOptions BO;
     BO.Mode = Opts.Mode;
     BO.ContextSensitive = Opts.ContextSensitive;
-    BO.Jobs = Opts.Jobs;
+    BO.Jobs = Session.threadsResolved();
     BO.Budget = B;
     BO.Summaries = Opts.ContextSensitive ? &Cache : nullptr;
     std::vector<SliceResult> Results = Engine.sliceBackwardBatch(Seeds, BO);
