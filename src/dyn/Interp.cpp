@@ -677,6 +677,16 @@ Signal Interp::execMethod(const Method *M, const std::vector<Value> &Args,
 }
 
 InterpResult tsl::interpret(const Program &P, const InterpOptions &Options) {
-  Interp I(P, Options);
-  return I.run();
+  // Module boundary: nothing escapes as a C++ exception. An injected
+  // Throw fault (or an internal error) surfaces as a Crashed result
+  // the caller can report and recover from.
+  try {
+    Interp I(P, Options);
+    return I.run();
+  } catch (const std::exception &E) {
+    InterpResult R;
+    R.Crashed = true;
+    R.Error = std::string("interpreter crashed: ") + E.what();
+    return R;
+  }
 }

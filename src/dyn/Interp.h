@@ -99,6 +99,11 @@ struct InterpResult {
   /// A resource limit (steps, call depth, output bytes, or budget)
   /// stopped the run — distinguishes limits from program failures.
   bool HitLimit = false;
+  /// The interpreter itself died (an exception escaped it — e.g. an
+  /// injected Throw fault): no exception crosses the interpret()
+  /// boundary, the crash is reported here with Error set. Output and
+  /// trace of the aborted run are discarded.
+  bool Crashed = false;
   uint64_t Steps = 0;
   /// Present when InterpOptions::TraceDeps was set.
   DynTrace Trace;

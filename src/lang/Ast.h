@@ -70,6 +70,11 @@ struct ExprAst {
 
   ExprKind Kind;
   SourceLoc Loc;
+  /// True for the placeholder the parser substitutes when recovering
+  /// from a malformed expression. Lowering treats it as an
+  /// already-diagnosed error instead of a real 'null', so one parse
+  /// error does not cascade into spurious type diagnostics.
+  bool Recovered = false;
 };
 
 struct IntLitExpr : ExprAst {

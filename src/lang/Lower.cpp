@@ -4,6 +4,7 @@
 
 #include "ir/Instr.h"
 #include "ir/SSA.h"
+#include "ir/Verifier.h"
 #include "lang/Parser.h"
 
 #include <unordered_map>
@@ -698,6 +699,10 @@ ClassDef *BodyLowering::asClassName(const ExprAst *E) const {
 }
 
 RValue BodyLowering::lowerExpr(const ExprAst *E) {
+  // A parser-recovery placeholder was already diagnosed at parse
+  // time; lowering it as a value would only cascade.
+  if (E->Recovered)
+    return errorValue();
   Program &P = program();
   switch (E->kind()) {
   case ExprKind::IntLit: {
@@ -1266,17 +1271,22 @@ RValue BodyLowering::lowerNewObject(const NewObjectExpr *E) {
 //===----------------------------------------------------------------------===//
 
 std::unique_ptr<Program> Lowering::run() {
+  // Gate on errors *this* lowering adds, not on pre-existing ones: a
+  // recovered parse hands us a partial AST with parse errors already
+  // in Diag, and sema must still run so one compile reports every
+  // diagnostic.
+  const unsigned EntryErrors = Diag.errorCount();
   declareClasses();
-  if (Diag.hasErrors())
+  if (Diag.errorCount() != EntryErrors)
     return nullptr;
   declareMembers();
-  if (Diag.hasErrors())
+  if (Diag.errorCount() != EntryErrors)
     return nullptr;
   checkOverrides();
   buildClinit();
   lowerBodies();
   selectMain();
-  if (Diag.hasErrors())
+  if (Diag.errorCount() != EntryErrors)
     return nullptr;
   P->renumberAll();
   if (Options.BuildSSA)
@@ -1508,8 +1518,47 @@ std::unique_ptr<Program> tsl::lowerModule(const AstModule &Module,
 std::unique_ptr<Program> tsl::compileThinJ(std::string_view Source,
                                            DiagnosticEngine &Diag,
                                            const CompileOptions &Options) {
+  Expected<std::unique_ptr<Program>> R =
+      compileThinJChecked(Source, Diag, Options);
+  return R.ok() ? std::move(*R) : nullptr;
+}
+
+Expected<std::unique_ptr<Program>>
+tsl::compileThinJChecked(std::string_view Source, DiagnosticEngine &Diag,
+                         const CompileOptions &Options) {
+  auto summarize = [&Diag](StatusCode Code, unsigned Since) {
+    unsigned N = Diag.errorCount() - Since;
+    std::string Msg = std::to_string(N) + " error(s)";
+    for (const Diagnostic &D : Diag.diagnostics())
+      if (D.Kind == DiagKind::Error) {
+        Msg += "; first: " + D.str();
+        break;
+      }
+    return Status(Code, std::move(Msg));
+  };
+
+  unsigned Entry = Diag.errorCount();
   AstModule Module;
-  if (!parseModule(Source, Module, Diag))
-    return nullptr;
-  return lowerModule(Module, Diag, Options);
+  bool ParseOk = parseModule(Source, Module, Diag);
+  unsigned AfterParse = Diag.errorCount();
+  // Sema runs even over the partial AST of a failed parse, so a file
+  // with both syntax and semantic errors reports all of them at once.
+  std::unique_ptr<Program> P = lowerModule(Module, Diag, Options);
+  if (!ParseOk)
+    return summarize(StatusCode::ParseError, Entry);
+  if (!P)
+    return summarize(StatusCode::SemaError, AfterParse);
+  if (Options.VerifyIR) {
+    // Nothing malformed reaches the analyses: violations are compile
+    // errors, not asserts inside a solver.
+    std::vector<std::string> Violations = verifyProgram(*P);
+    if (!Violations.empty()) {
+      for (const std::string &V : Violations)
+        Diag.error(SourceLoc(), "verifier: " + V);
+      return Status(StatusCode::VerifyError,
+                    std::to_string(Violations.size()) +
+                        " IR verifier violation(s); first: " + Violations[0]);
+    }
+  }
+  return P;
 }

@@ -17,6 +17,7 @@
 #include "ir/Program.h"
 #include "lang/Ast.h"
 #include "support/Diagnostics.h"
+#include "support/Status.h"
 
 #include <memory>
 #include <string_view>
@@ -30,19 +31,37 @@ struct CompileOptions {
   bool BuildSSA = true;
   /// Require a parameterless static entry point named "main".
   bool RequireMain = true;
+  /// Gate the lowered IR through the Verifier before it reaches any
+  /// analysis: violations become diagnostics and compileThinJ returns
+  /// null, so malformed IR can never poison a pipeline.
+  bool VerifyIR = true;
 };
 
 /// Type-checks and lowers \p Module. Returns null after reporting
-/// diagnostics when the module has semantic errors.
+/// diagnostics when the module has semantic errors. Pre-existing
+/// errors in \p Diag (e.g. from a recovered parse) do not stop sema:
+/// only errors this call adds do, so a partial AST still gets checked
+/// and every diagnostic is reported in one compile.
 std::unique_ptr<Program> lowerModule(const AstModule &Module,
                                      DiagnosticEngine &Diag,
                                      const CompileOptions &Options = {});
 
-/// Full pipeline: parse + lower + (optionally) SSA. Returns null and
-/// reports diagnostics on any error.
+/// Full pipeline: parse + lower + (optionally) SSA + Verifier gate.
+/// Returns null and reports diagnostics on any error; a file with both
+/// syntax and semantic errors reports all of them (the recovering
+/// parser hands sema the partial AST).
 std::unique_ptr<Program> compileThinJ(std::string_view Source,
                                       DiagnosticEngine &Diag,
                                       const CompileOptions &Options = {});
+
+/// Status-returning form of compileThinJ: the frontend boundary of
+/// the structured error model. Failure carries the phase that
+/// rejected the source (ParseError / SemaError / VerifyError) and a
+/// one-line summary; the full located diagnostics are in \p Diag
+/// either way.
+Expected<std::unique_ptr<Program>>
+compileThinJChecked(std::string_view Source, DiagnosticEngine &Diag,
+                    const CompileOptions &Options = {});
 
 } // namespace tsl
 

@@ -63,6 +63,58 @@ private:
     accept(K);
   }
 
+  /// True for a token that can begin a statement — the anchors
+  /// statement-boundary recovery stops at.
+  bool atStmtStart() const {
+    switch (tok().Kind) {
+    case TokKind::LBrace:
+    case TokKind::RBrace:
+    case TokKind::KwVar:
+    case TokKind::KwIf:
+    case TokKind::KwWhile:
+    case TokKind::KwFor:
+    case TokKind::KwReturn:
+    case TokKind::KwThrow:
+    case TokKind::KwBreak:
+    case TokKind::KwContinue:
+    case TokKind::KwPrint:
+    case TokKind::KwSuper:
+    case TokKind::KwClass:
+    case TokKind::KwDef:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Statement-boundary synchronization: skips past the next ';' or
+  /// stops before a token that can begin a statement (or '}' / Eof),
+  /// so one malformed statement costs one located diagnostic instead
+  /// of a cascade, and everything after the boundary still parses.
+  void syncToStmtBoundary() {
+    while (!at(TokKind::Eof)) {
+      if (accept(TokKind::Semi))
+        return;
+      if (atStmtStart())
+        return;
+      bump();
+    }
+  }
+
+  /// Consumes the statement-terminating ';' or reports one ranged
+  /// diagnostic covering [StmtLoc, here] and synchronizes. \p Quiet
+  /// suppresses the report when the statement already produced one —
+  /// the boundary sync still runs so recovery is identical.
+  void expectStmtSemi(SourceLoc StmtLoc, const char *Context, bool Quiet) {
+    if (accept(TokKind::Semi))
+      return;
+    if (!Quiet)
+      Diag.error(StmtLoc, tok().Loc,
+                 std::string("expected ';' ") + Context + ", found " +
+                     tokKindName(tok().Kind));
+    syncToStmtBoundary();
+  }
+
   //===------------------------------------------------------------------===//
   // Declarations
   //===------------------------------------------------------------------===//
@@ -107,7 +159,9 @@ private:
   ExprAst *tryParseCast();
 
   ExprAst *errorExpr(SourceLoc Loc) {
-    return Module.createExpr<NullLitExpr>(Loc);
+    ExprAst *E = Module.createExpr<NullLitExpr>(Loc);
+    E->Recovered = true;
+    return E;
   }
 
   std::vector<Token> Toks;
@@ -341,41 +395,45 @@ StmtAst *Parser::parseStmt() {
   case TokKind::KwFor:
     return parseFor();
   case TokKind::KwReturn: {
+    unsigned Errs = Diag.errorCount();
     bump();
     ExprAst *Value = nullptr;
     if (!at(TokKind::Semi))
       Value = parseExpr();
-    expect(TokKind::Semi, "after return statement");
+    expectStmtSemi(Loc, "after return statement", Diag.errorCount() != Errs);
     return Module.createStmt<ReturnStmt>(Value, Loc);
   }
   case TokKind::KwThrow: {
+    unsigned Errs = Diag.errorCount();
     bump();
     ExprAst *Value = parseExpr();
-    expect(TokKind::Semi, "after throw statement");
+    expectStmtSemi(Loc, "after throw statement", Diag.errorCount() != Errs);
     return Module.createStmt<ThrowStmt>(Value, Loc);
   }
   case TokKind::KwBreak:
     bump();
-    expect(TokKind::Semi, "after break");
+    expectStmtSemi(Loc, "after break", /*Quiet=*/false);
     return Module.createStmt<BreakStmt>(Loc);
   case TokKind::KwContinue:
     bump();
-    expect(TokKind::Semi, "after continue");
+    expectStmtSemi(Loc, "after continue", /*Quiet=*/false);
     return Module.createStmt<ContinueStmt>(Loc);
   case TokKind::KwPrint: {
+    unsigned Errs = Diag.errorCount();
     bump();
     expect(TokKind::LParen, "after 'print'");
     ExprAst *Value = parseExpr();
     expect(TokKind::RParen, "after print argument");
-    expect(TokKind::Semi, "after print statement");
+    expectStmtSemi(Loc, "after print statement", Diag.errorCount() != Errs);
     return Module.createStmt<PrintStmt>(Value, Loc);
   }
   case TokKind::KwSuper: {
+    unsigned Errs = Diag.errorCount();
     bump();
     expect(TokKind::LParen, "after 'super'");
     std::vector<ExprAst *> Args;
     parseArgs(Args);
-    expect(TokKind::Semi, "after super call");
+    expectStmtSemi(Loc, "after super call", Diag.errorCount() != Errs);
     return Module.createStmt<SuperCallStmt>(std::move(Args), Loc);
   }
   case TokKind::Semi:
@@ -408,11 +466,12 @@ StmtAst *Parser::parseVarDecl() {
     Type = std::move(*T);
   }
   if (!expect(TokKind::Assign, "(locals require an initializer)")) {
-    recoverTo(TokKind::Semi);
+    syncToStmtBoundary();
     return nullptr;
   }
+  unsigned Errs = Diag.errorCount();
   ExprAst *Init = parseExpr();
-  expect(TokKind::Semi, "after variable declaration");
+  expectStmtSemi(Loc, "after variable declaration", Diag.errorCount() != Errs);
   return Module.createStmt<VarDeclStmt>(std::move(Name), HasType,
                                         std::move(Type), Init, Loc);
 }
@@ -484,22 +543,24 @@ StmtAst *Parser::parseFor() {
 StmtAst *Parser::parseSimpleStmt(bool ExpectSemi) {
   // An expression statement or an assignment.
   SourceLoc Loc = tok().Loc;
+  unsigned Errs = Diag.errorCount();
   ExprAst *E = parseExpr();
   StmtAst *Result;
   if (accept(TokKind::Assign)) {
     ExprAst *RHS = parseExpr();
     if (E->Kind != ExprKind::NameRef && E->Kind != ExprKind::FieldAccess &&
         E->Kind != ExprKind::Index)
-      Diag.error(Loc, "left-hand side of assignment is not assignable");
+      Diag.error(Loc, tok().Loc,
+                 "left-hand side of assignment is not assignable");
     Result = Module.createStmt<AssignStmt>(E, RHS, Loc);
   } else {
     if (E->Kind != ExprKind::Call && E->Kind != ExprKind::NewObject &&
-        E->Kind != ExprKind::Read)
+        E->Kind != ExprKind::Read && Diag.errorCount() == Errs)
       Diag.error(Loc, "expression statement has no effect");
     Result = Module.createStmt<ExprStmt>(E, Loc);
   }
   if (ExpectSemi)
-    expect(TokKind::Semi, "after statement");
+    expectStmtSemi(Loc, "after statement", Diag.errorCount() != Errs);
   return Result;
 }
 
@@ -836,7 +897,12 @@ ExprAst *Parser::parsePrimary() {
   default:
     Diag.error(Loc, std::string("expected expression, found ") +
                         tokKindName(tok().Kind));
-    bump();
+    // Leave statement-boundary tokens for the statement-level
+    // recovery: consuming a ';' here would make the quiet
+    // post-statement sync swallow the NEXT (well-formed) statement,
+    // and consuming a '}' would unbalance the enclosing block.
+    if (!at(TokKind::Semi) && !at(TokKind::RBrace) && !at(TokKind::Eof))
+      bump();
     return errorExpr(Loc);
   }
 }

@@ -2,8 +2,11 @@
 
 #include "pipeline/Session.h"
 
+#include "support/Watchdog.h"
+
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -15,6 +18,51 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        Start)
       .count();
+}
+
+/// Runs one stage computation inside the session's failure-isolation
+/// harness: a Watchdog enforces the budget's wall-clock deadline
+/// preemptively, and an exception escaping the stage (injected Throw
+/// fault, internal error) is caught at this boundary and retried up to
+/// a small bound with backoff — a transient fault disarms when it
+/// fires, so the retry runs clean. Returns nullopt (with \p Err set)
+/// when every attempt failed; \p FaultFired reports whether an armed
+/// fault fired during the *successful* attempt, which is what marks
+/// the produced artifact tainted.
+template <typename Fn>
+auto computeStage(const char *Stage, const AnalysisBudget *B, Status &Err,
+                  uint64_t &Failures, uint64_t &Retries, bool &FaultFired,
+                  Fn &&Compute) -> std::optional<decltype(Compute())> {
+  constexpr int MaxAttempts = 3;
+  for (int Attempt = 1;; ++Attempt) {
+    uint64_t FiredBefore = FaultInjector::instance().firedCount();
+    try {
+      Watchdog WD(B);
+      auto R = Compute();
+      Err = Status::ok();
+      FaultFired =
+          FaultInjector::instance().firedCount() != FiredBefore;
+      return R;
+    } catch (const FaultInjectedError &E) {
+      Err = Status(StatusCode::FaultInjected,
+                   std::string(Stage) + ": " + E.what());
+    } catch (const std::exception &E) {
+      Err = Status(StatusCode::Internal,
+                   std::string(Stage) + ": " + E.what());
+    } catch (...) {
+      Err = Status(StatusCode::Internal,
+                   std::string(Stage) + ": unknown exception");
+    }
+    if (Attempt == MaxAttempts) {
+      ++Failures;
+      FaultFired = true;
+      return std::nullopt;
+    }
+    ++Retries;
+    // Tiny exponential backoff: enough for a transient cause to
+    // clear, short enough to stay interactive.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 << (Attempt - 1)));
+  }
 }
 
 /// FNV-1a over the source text: the cheap, stable identity every
@@ -131,7 +179,92 @@ void AnalysisSession::purgeAnalyses() {
   SdgCache.clear();
   ModRefCache.clear();
   PtaCache.clear();
+  TaintedPta.clear();
+  TaintedModRef.clear();
+  TaintedSdg.clear();
+  TaintedSlices.clear();
 }
+
+//===----------------------------------------------------------------------===//
+// Tainted-artifact eviction (retry-on-next-request)
+//===----------------------------------------------------------------------===//
+
+void AnalysisSession::evictSdgCone(const std::string &Key) {
+  for (auto It = SliceCache.begin(); It != SliceCache.end();) {
+    if (std::get<0>(It->first) == Key) {
+      ++counters(SessionStage::Slice).Invalidated;
+      TaintedSlices.erase(It->first);
+      It = SliceCache.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  counters(SessionStage::Engine).Invalidated += EngineCache.erase(Key);
+  counters(SessionStage::SDGBuild).Invalidated += SdgCache.erase(Key);
+  TaintedSdg.erase(Key);
+  // Summaries are keyed by SDG identity; a recomputed graph may reuse
+  // the evicted one's address, so drop them wholesale. Only runs on
+  // fault-tainted paths — the clean hot path never gets here.
+  Summaries.clear();
+}
+
+void AnalysisSession::evictModRefEntry(const std::string &Key) {
+  // Context-sensitive SDGs hold references into the mod-ref artifact:
+  // every SDG of this PTA cone goes too.
+  for (auto It = SdgCache.begin(); It != SdgCache.end();) {
+    if (It->first.compare(0, Key.size(), Key) == 0) {
+      std::string SdgK = It->first;
+      ++It;
+      evictSdgCone(SdgK);
+    } else {
+      ++It;
+    }
+  }
+  counters(SessionStage::ModRef).Invalidated += ModRefCache.erase(Key);
+  TaintedModRef.erase(Key);
+}
+
+void AnalysisSession::evictPtaCone(const std::string &Key) {
+  evictModRefEntry(Key);
+  counters(SessionStage::PTA).Invalidated += PtaCache.erase(Key);
+  TaintedPta.erase(Key);
+}
+
+void AnalysisSession::healTainted() {
+  // Bottom-up over the cones; each evict erases its own taint mark,
+  // so the loops drain.
+  while (!TaintedPta.empty())
+    evictPtaCone(*TaintedPta.begin());
+  while (!TaintedModRef.empty())
+    evictModRefEntry(*TaintedModRef.begin());
+  while (!TaintedSdg.empty())
+    evictSdgCone(*TaintedSdg.begin());
+  if (!TaintedSlices.empty()) {
+    for (const SliceKey &K : TaintedSlices)
+      if (SliceCache.erase(K))
+        ++counters(SessionStage::Slice).Invalidated;
+    TaintedSlices.clear();
+    // Summaries may embed the same fault: they go too.
+    Summaries.clear();
+  }
+}
+
+/// RAII re-entrancy guard on the public accessors: fault-tainted
+/// artifacts heal exactly once, when the OUTERMOST accessor of a
+/// request enters — before any raw artifact pointer is handed out.
+/// An eviction from a nested call would free memory the outer frames
+/// of the same request still dereference (use-after-free caught by
+/// the ASan chaos run). Artifacts tainted DURING the request stay
+/// served until its end — downstream artifacts hold references into
+/// them — and heal at the next request.
+struct AnalysisSession::RequestScope {
+  explicit RequestScope(AnalysisSession &S) : S(S) {
+    if (S.RequestDepth++ == 0)
+      S.healTainted();
+  }
+  ~RequestScope() { --S.RequestDepth; }
+  AnalysisSession &S;
+};
 
 void AnalysisSession::purgeAll() {
   purgeAnalyses();
@@ -198,26 +331,39 @@ std::string AnalysisSession::sdgKey() const {
 //===----------------------------------------------------------------------===//
 
 Program *AnalysisSession::program() {
+  RequestScope Scope(*this);
   StageCounters &C = counters(SessionStage::Compile);
   if (CompileAttempted) {
     ++C.Hits;
+    if (!Prog && LastErr.isOk())
+      LastErr = Status(StatusCode::ParseError, "source does not compile");
     return Prog.get();
   }
   ++C.Misses;
   auto T0 = std::chrono::steady_clock::now();
   Diag = std::make_unique<DiagnosticEngine>();
-  Prog = compileThinJ(Source, *Diag, CurCompile);
+  Expected<std::unique_ptr<Program>> R =
+      compileThinJChecked(Source, *Diag, CurCompile);
+  if (R.ok()) {
+    Prog = std::move(*R);
+    LastErr = Status::ok();
+  } else {
+    Prog = nullptr;
+    LastErr = R.status();
+  }
   CompileAttempted = true;
   C.Seconds += secondsSince(T0);
   return Prog.get();
 }
 
 PointsToResult *AnalysisSession::pointsTo() {
+  RequestScope Scope(*this);
   Program *P = program();
   if (!P)
     return nullptr;
   StageCounters &C = counters(SessionStage::PTA);
-  auto It = PtaCache.find(ptaKey());
+  std::string Key = ptaKey();
+  auto It = PtaCache.find(Key);
   if (It != PtaCache.end()) {
     ++C.Hits;
     return It->second.get();
@@ -227,34 +373,57 @@ PointsToResult *AnalysisSession::pointsTo() {
   PTAOptions Opts = CurPta;
   Opts.Budget = Budget;
   Opts.Pool = pool();
-  std::unique_ptr<PointsToResult> R = runPointsTo(*P, Opts);
+  bool Tainted = false;
+  auto R = computeStage("pta", Budget, LastErr, StageFailures, StageRetries,
+                        Tainted, [&] { return runPointsTo(*P, Opts); });
   C.Seconds += secondsSince(T0);
-  return PtaCache.emplace(ptaKey(), std::move(R)).first->second.get();
+  if (!R)
+    return nullptr; // Failure recorded in lastError(); nothing cached.
+  PointsToResult *Out =
+      PtaCache.emplace(Key, std::move(*R)).first->second.get();
+  if (Tainted)
+    TaintedPta.insert(Key);
+  return Out;
 }
 
 ModRefResult *AnalysisSession::modRef() {
+  RequestScope Scope(*this);
   PointsToResult *PTA = pointsTo();
   if (!PTA)
     return nullptr;
   StageCounters &C = counters(SessionStage::ModRef);
-  auto It = ModRefCache.find(ptaKey());
+  std::string Key = ptaKey();
+  auto It = ModRefCache.find(Key);
   if (It != ModRefCache.end()) {
     ++C.Hits;
     return It->second.get();
   }
   ++C.Misses;
   auto T0 = std::chrono::steady_clock::now();
-  auto MR = std::make_unique<ModRefResult>(*Prog, *PTA, Budget, pool());
+  bool Tainted = false;
+  auto R = computeStage("modref", Budget, LastErr, StageFailures,
+                        StageRetries, Tainted, [&] {
+                          return std::make_unique<ModRefResult>(
+                              *Prog, *PTA, Budget, pool());
+                        });
   C.Seconds += secondsSince(T0);
-  return ModRefCache.emplace(ptaKey(), std::move(MR)).first->second.get();
+  if (!R)
+    return nullptr;
+  ModRefResult *Out =
+      ModRefCache.emplace(Key, std::move(*R)).first->second.get();
+  if (Tainted)
+    TaintedModRef.insert(Key);
+  return Out;
 }
 
 SDG *AnalysisSession::sdg() {
+  RequestScope Scope(*this);
   PointsToResult *PTA = pointsTo();
   if (!PTA)
     return nullptr;
   StageCounters &C = counters(SessionStage::SDGBuild);
-  auto It = SdgCache.find(sdgKey());
+  std::string Key = sdgKey();
+  auto It = SdgCache.find(Key);
   if (It != SdgCache.end()) {
     ++C.Hits;
     return It->second.get();
@@ -263,17 +432,27 @@ SDG *AnalysisSession::sdg() {
   // through the session keeps it cached for the next CS graph of the
   // same PTA cone.
   ModRefResult *MR = CurSdg.ContextSensitive ? modRef() : nullptr;
+  if (CurSdg.ContextSensitive && !MR)
+    return nullptr; // Mod-ref failed; lastError() explains.
   ++C.Misses;
   auto T0 = std::chrono::steady_clock::now();
   SDGOptions Opts = CurSdg;
   Opts.Budget = Budget;
   Opts.Pool = pool();
-  std::unique_ptr<SDG> G = buildSDG(*Prog, *PTA, MR, Opts);
+  bool Tainted = false;
+  auto R = computeStage("sdg", Budget, LastErr, StageFailures, StageRetries,
+                        Tainted, [&] { return buildSDG(*Prog, *PTA, MR, Opts); });
   C.Seconds += secondsSince(T0);
-  return SdgCache.emplace(sdgKey(), std::move(G)).first->second.get();
+  if (!R)
+    return nullptr;
+  SDG *Out = SdgCache.emplace(Key, std::move(*R)).first->second.get();
+  if (Tainted)
+    TaintedSdg.insert(Key);
+  return Out;
 }
 
 SliceEngine *AnalysisSession::engine() {
+  RequestScope Scope(*this);
   SDG *G = sdg();
   if (!G)
     return nullptr;
@@ -285,15 +464,24 @@ SliceEngine *AnalysisSession::engine() {
   }
   ++C.Misses;
   auto T0 = std::chrono::steady_clock::now();
-  auto E = std::make_unique<SliceEngine>(*G, pool());
+  bool Tainted = false;
+  auto R = computeStage("engine", Budget, LastErr, StageFailures,
+                        StageRetries, Tainted,
+                        [&] { return std::make_unique<SliceEngine>(*G, pool()); });
   C.Seconds += secondsSince(T0);
-  return EngineCache.emplace(sdgKey(), std::move(E)).first->second.get();
+  if (!R)
+    return nullptr;
+  // Engine construction has no fault points — no taint tracking here.
+  return EngineCache.emplace(sdgKey(), std::move(*R)).first->second.get();
 }
 
 const SliceResult *AnalysisSession::sliceBackwardCached(const Instr *Seed,
                                                         SliceMode Mode) {
-  if (!Seed)
+  if (!Seed) {
+    LastErr = Status(StatusCode::InvalidArgument, "null slice seed");
     return nullptr;
+  }
+  RequestScope Scope(*this);
   SliceEngine *E = engine();
   if (!E)
     return nullptr;
@@ -312,9 +500,71 @@ const SliceResult *AnalysisSession::sliceBackwardCached(const Instr *Seed,
   BO.Jobs = threadsResolved();
   BO.Budget = Budget;
   BO.Summaries = CurSdg.ContextSensitive ? &Summaries : nullptr;
-  SliceResult R = E->sliceBackwardBatch({Seed}, BO).front();
+  bool Tainted = false;
+  auto R = computeStage("slice", Budget, LastErr, StageFailures, StageRetries,
+                        Tainted,
+                        [&] { return E->sliceBackwardBatch({Seed}, BO).front(); });
   C.Seconds += secondsSince(T0);
-  return &SliceCache.emplace(Key, std::move(R)).first->second;
+  if (!R)
+    return nullptr;
+  const SliceResult *Out =
+      &SliceCache.emplace(Key, std::move(*R)).first->second;
+  if (Tainted)
+    TaintedSlices.insert(Key);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Status-returning boundary accessors
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Null artifact -> the session's recorded Status (never Ok: fall back
+/// to a generic Internal if a path forgot to record one).
+Status errorOr(const Status &Err, const char *What) {
+  if (!Err.isOk())
+    return Err;
+  return Status(StatusCode::Internal, std::string(What) + " unavailable");
+}
+
+} // namespace
+
+Expected<Program *> AnalysisSession::programChecked() {
+  if (Program *P = program())
+    return P;
+  return errorOr(LastErr, "program");
+}
+
+Expected<PointsToResult *> AnalysisSession::pointsToChecked() {
+  if (PointsToResult *R = pointsTo())
+    return R;
+  return errorOr(LastErr, "points-to");
+}
+
+Expected<ModRefResult *> AnalysisSession::modRefChecked() {
+  if (ModRefResult *R = modRef())
+    return R;
+  return errorOr(LastErr, "mod-ref");
+}
+
+Expected<SDG *> AnalysisSession::sdgChecked() {
+  if (SDG *G = sdg())
+    return G;
+  return errorOr(LastErr, "sdg");
+}
+
+Expected<SliceEngine *> AnalysisSession::engineChecked() {
+  if (SliceEngine *E = engine())
+    return E;
+  return errorOr(LastErr, "engine");
+}
+
+Expected<const SliceResult *>
+AnalysisSession::sliceBackwardChecked(const Instr *Seed, SliceMode Mode) {
+  if (const SliceResult *R = sliceBackwardCached(Seed, Mode))
+    return R;
+  return errorOr(LastErr, "slice");
 }
 
 //===----------------------------------------------------------------------===//
@@ -373,5 +623,12 @@ std::string AnalysisSession::statsString() const {
            static_cast<unsigned long long>(Executed),
            static_cast<unsigned long long>(Stolen));
   Out += Buf;
+  if (StageFailures || StageRetries) {
+    snprintf(Buf, sizeof(Buf),
+             "failure isolation: stage_failures=%llu retries=%llu\n",
+             static_cast<unsigned long long>(StageFailures),
+             static_cast<unsigned long long>(StageRetries));
+    Out += Buf;
+  }
   return Out;
 }

@@ -56,10 +56,12 @@
 #include "slicer/Tabulation.h"
 #include "support/Budget.h"
 #include "support/Diagnostics.h"
+#include "support/Status.h"
 #include "support/ThreadPool.h"
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -156,6 +158,43 @@ public:
   SDG *sdg();
   SliceEngine *engine();
 
+  //===------------------------------------------------------------------===//
+  // Failure isolation. A stage that *crashes* (an exception escaping
+  // it — injected Throw fault or internal error) is caught here at the
+  // boundary: the computation is retried up to a small bound (with
+  // backoff; a transient fault disarms on firing, so the retry runs
+  // clean), and if every attempt fails the session records the Status,
+  // caches NOTHING, and stays fully queryable — the next request for
+  // the artifact retries from scratch. A stage that soundly *degrades*
+  // because a fault tripped its gate produces a valid artifact, which
+  // is served now but marked tainted: the next request evicts it (and
+  // its downstream cone, which holds references into it) and
+  // recomputes, so the session converges back to the fault-free
+  // answer once the fault clears. Every governed compute additionally
+  // runs under a Watchdog enforcing the budget's wall-clock deadline
+  // preemptively (see support/Watchdog.h).
+  //===------------------------------------------------------------------===//
+
+  /// Status of the most recent artifact request: Ok after success
+  /// (including sound degradation — that is a usable result), the
+  /// failure Status after a null return.
+  const Status &lastError() const { return LastErr; }
+
+  /// Status-returning boundary accessors: the artifact, or the Status
+  /// explaining the null. Same memoization as the raw accessors.
+  Expected<Program *> programChecked();
+  Expected<PointsToResult *> pointsToChecked();
+  Expected<ModRefResult *> modRefChecked();
+  Expected<SDG *> sdgChecked();
+  Expected<SliceEngine *> engineChecked();
+  Expected<const SliceResult *> sliceBackwardChecked(const Instr *Seed,
+                                                     SliceMode Mode);
+
+  /// Failure-isolation telemetry: stage computations that exhausted
+  /// their retries, and individual retry attempts performed.
+  uint64_t stageFailures() const { return StageFailures; }
+  uint64_t stageRetries() const { return StageRetries; }
+
   /// Diagnostics of the most recent compile (empty before the first
   /// program() call).
   const DiagnosticEngine &diagnostics() const { return *Diag; }
@@ -219,6 +258,22 @@ private:
   void purgeAnalyses(); ///< Destroys PTA..Slice entries (not the program).
   void purgeAll();      ///< Destroys everything including the program.
 
+  /// Tainted-artifact eviction (retry-on-next-request). Downstream
+  /// artifacts hold references into upstream ones, so eviction always
+  /// cascades down the cone, bottom-up.
+  void evictPtaCone(const std::string &Key);    ///< PTA + everything below.
+  void evictModRefEntry(const std::string &Key);///< ModRef + SDG cone below.
+  void evictSdgCone(const std::string &Key);    ///< SDG/engine/slices.
+
+  /// Evicts every fault-tainted artifact (with its downstream cone)
+  /// so the request about to run recomputes them clean. Runs ONLY at
+  /// the outermost public accessor of a request (see RequestScope):
+  /// a nested stage call (sdg -> modRef -> pointsTo) must never free
+  /// an artifact an outer frame of the same request still references.
+  void healTainted();
+  struct RequestScope;
+  unsigned RequestDepth = 0;
+
   std::string ptaKey() const;
   std::string sdgKey() const;
 
@@ -253,9 +308,21 @@ private:
   std::map<SliceKey, SliceResult> SliceCache;
   SummaryCache Summaries;
 
+  // --- failure isolation. Tainted keys name cached artifacts that
+  // were computed while an injected fault fired: still sound (served
+  // for the request that computed them) but evicted and recomputed on
+  // the next request, so a cleared fault heals the session.
+  std::set<std::string> TaintedPta;
+  std::set<std::string> TaintedModRef;
+  std::set<std::string> TaintedSdg;
+  std::set<SliceKey> TaintedSlices;
+  Status LastErr;
+
   // --- telemetry
   StageCounters Counters[NumSessionStages];
   uint64_t Epochs[NumSessionStages] = {};
+  uint64_t StageFailures = 0;
+  uint64_t StageRetries = 0;
 };
 
 } // namespace tsl

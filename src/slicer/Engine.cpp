@@ -189,16 +189,36 @@ SliceEngine::sliceBackwardBatch(const std::vector<const Instr *> &Seeds,
   // (context-sensitive mode) the summary computation.
   SharedBudgetGate Gate(Opts.Budget, "slice.pop",
                         Opts.Budget ? Opts.Budget->MaxSlicePops : 0);
+  std::vector<std::optional<SliceResult>> UniqueResults(Unique.size());
+
+  // Crash isolation: nothing in this batch throws across the engine
+  // boundary. A query (or the shared summary computation) that dies —
+  // an injected Throw fault, an internal error — comes back as an
+  // *empty degraded* result tagged "exception:<what>", and the shared
+  // gate is cancelled so sibling queries stop burning work for a
+  // batch that already failed.
+  auto FailAll = [&](const std::string &Why) {
+    std::vector<SliceResult> Results;
+    Results.reserve(Seeds.size());
+    for (std::size_t I = 0; I != Seeds.size(); ++I) {
+      Results.emplace_back(&G, BitSet(G.numNodes()));
+      Results.back().markDegraded(Why);
+    }
+    return Results;
+  };
+
   std::optional<TabulationSlicer> Tab;
   std::shared_ptr<const BatchCondensation> Cond;
-  if (Opts.ContextSensitive) {
-    Tab.emplace(G, Opts.Mode, Opts.Budget, Opts.Summaries);
-    Stats.SummariesReused = Tab->summariesFromCache();
-  } else {
-    Cond = condensationFor(sliceEdgeMask(Opts.Mode));
+  try {
+    if (Opts.ContextSensitive) {
+      Tab.emplace(G, Opts.Mode, Opts.Budget, Opts.Summaries);
+      Stats.SummariesReused = Tab->summariesFromCache();
+    } else {
+      Cond = condensationFor(sliceEdgeMask(Opts.Mode));
+    }
+  } catch (const std::exception &E) {
+    return FailAll(std::string("exception:") + E.what());
   }
-
-  std::vector<std::optional<SliceResult>> UniqueResults(Unique.size());
 
   // Work items: unique queries in CS mode, 64-query chunks in CI mode.
   const unsigned NumChunks =
@@ -270,12 +290,33 @@ SliceEngine::sliceBackwardBatch(const std::vector<const Instr *> &Seeds,
     }
   };
 
+  // A failed work item (exception escaping a query) yields empty
+  // degraded results for every lane it covers, so the batch contract
+  // — one SliceResult per seed, throwing never — holds regardless.
+  auto FailItem = [&](unsigned Item, const std::string &Why) {
+    const unsigned C0 = Tab ? Item : Item * LanesPerChunk;
+    const unsigned Lanes =
+        Tab ? 1
+            : std::min(LanesPerChunk,
+                       static_cast<unsigned>(Unique.size()) - C0);
+    for (unsigned L = 0; L != Lanes; ++L) {
+      UniqueResults[C0 + L].emplace(&G, BitSet(G.numNodes()));
+      UniqueResults[C0 + L]->markDegraded(Why);
+    }
+  };
+
   auto RunItem = [&](unsigned Item) {
-    if (Tab)
-      UniqueResults[Item].emplace(Tab->slice(
-          std::vector<const Instr *>{Unique[Item].Seed}, &Gate));
-    else
-      RunChunk(Item);
+    try {
+      if (Tab)
+        UniqueResults[Item].emplace(Tab->slice(
+            std::vector<const Instr *>{Unique[Item].Seed}, &Gate));
+      else
+        RunChunk(Item);
+    } catch (const std::exception &E) {
+      std::string Why = std::string("exception:") + E.what();
+      Gate.cancel(Why); // Sibling queries stop at their next spend.
+      FailItem(Item, Why);
+    }
   };
 
   if (Workers <= 1) {

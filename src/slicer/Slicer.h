@@ -54,10 +54,17 @@ struct SourceLine {
   bool operator==(const SourceLine &RHS) const {
     return M == RHS.M && Line == RHS.Line;
   }
+  // Ordered by the program-wide dense method id, NOT the Method
+  // pointer: pointer order varies with heap layout, and sourceLines()
+  // output must be byte-identical across sessions in one process (the
+  // post-fault heal checks compare renderings against a fresh
+  // session).
   bool operator<(const SourceLine &RHS) const {
-    if (M != RHS.M)
-      return M < RHS.M;
-    return Line < RHS.Line;
+    if (M == RHS.M)
+      return Line < RHS.Line;
+    if (!M || !RHS.M)
+      return !M;
+    return M->id() < RHS.M->id();
   }
 };
 

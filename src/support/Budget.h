@@ -14,10 +14,25 @@
 /// of hanging or exhausting memory. See DESIGN.md section 8 for the
 /// per-stage fallbacks and their soundness arguments.
 ///
+/// On top of the cooperative polling sits *preemptive* cancellation:
+/// AnalysisBudget carries an atomic cancel flag a Watchdog (see
+/// support/Watchdog.h) sets when the wall-clock deadline passes. Every
+/// gate poll and every ThreadPool task boundary observes the flag, so
+/// a stage that miscounts its steps — or stalls without reading the
+/// clock — is still stopped at its next poll or task edge and degrades
+/// through the same sound-fallback path, tagged "watchdog".
+///
 /// A deterministic FaultInjector rides along: named fault points
 /// (one per gated loop) can be armed via TSL_FAULT or `thinslice
-/// --fault` to force each degradation branch in tests, rather than
-/// hoping a workload happens to exhaust a real budget.
+/// --fault` to force each failure branch in tests, rather than
+/// hoping a workload happens to exhaust a real budget. Faults come in
+/// three kinds — Degrade (the gate trips, forcing the stage's sound
+/// fallback), Throw (the gate raises FaultInjectedError, simulating a
+/// stage crash the session must isolate and retry), and Stall (the
+/// gate stops making progress, simulating a stuck stage the watchdog
+/// must rescue) — can be transient (disarm after firing once, so a
+/// retry succeeds), and can be armed wholesale from a seeded
+/// probabilistic schedule ("rand:<seed>") replayed by the chaos suite.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +45,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -51,18 +67,36 @@ struct AnalysisBudget {
   uint64_t MaxExpansionRounds = 0; ///< Thin-expansion fixpoint rounds.
   uint64_t MaxInterpSteps = 0;     ///< Interpreter step cap.
 
+  AnalysisBudget() = default;
+  /// Copies carry the limits and the current cancel state (the flag
+  /// is atomic, which deletes the defaulted copy operations).
+  AnalysisBudget(const AnalysisBudget &O) { *this = O; }
+  AnalysisBudget &operator=(const AnalysisBudget &O);
+
   /// Starts the wall clock. Until this is called the deadline never
-  /// expires; step caps apply regardless.
+  /// expires; step caps apply regardless. Also clears a previous
+  /// watchdog cancellation, so one budget can govern several runs.
   void start() {
     Start = std::chrono::steady_clock::now();
     Started = true;
+    CancelFlag.store(false, std::memory_order_release);
   }
 
   bool deadlineExpired() const;
   double elapsedSeconds() const;
 
+  /// Preemptive cancellation (the watchdog path): sets a flag every
+  /// gate poll and every pool task boundary observes. Safe from any
+  /// thread; const because cancellation is an observer-side signal,
+  /// not a change to the limits.
+  void cancel() const { CancelFlag.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return CancelFlag.load(std::memory_order_relaxed);
+  }
+
   std::chrono::steady_clock::time_point Start{};
   bool Started = false;
+  mutable std::atomic<bool> CancelFlag{false};
 };
 
 /// Outcome of one pipeline stage.
@@ -76,7 +110,8 @@ enum class StageStatus {
 struct StageReport {
   std::string Stage;    ///< "pta", "modref", "sdg", "slice", "interp".
   StageStatus Status = StageStatus::Complete;
-  std::string Reason;   ///< Why it degraded: "deadline", "step-cap", "fault:<p>".
+  std::string Reason;   ///< Why it degraded: "deadline", "step-cap",
+                        ///< "watchdog", "fault:<p>", "exception:<what>".
   std::string Fallback; ///< The sound fallback the stage switched to.
   uint64_t StepsUsed = 0; ///< Work units consumed (stage-specific).
   double Seconds = 0;     ///< Wall time spent in the stage.
@@ -104,12 +139,40 @@ struct PipelineStatus {
   std::string str() const;
 };
 
+/// Raised by a gate whose fault point is armed with FaultKind::Throw:
+/// the deterministic stand-in for "this stage crashed" in the chaos
+/// suite. It must never escape a stage boundary — the AnalysisSession
+/// (and the SliceEngine's per-query isolation) convert it to a Status
+/// / degraded result and keep the process alive.
+class FaultInjectedError : public std::runtime_error {
+public:
+  explicit FaultInjectedError(const std::string &Point)
+      : std::runtime_error("injected fault at " + Point), Pt(Point) {}
+  const std::string &point() const { return Pt; }
+
+private:
+  std::string Pt;
+};
+
+/// How an armed fault manifests when it fires.
+enum class FaultKind : unsigned char {
+  Degrade, ///< Gate trips -> the stage takes its sound-fallback path.
+  Throw,   ///< Gate raises FaultInjectedError -> stage "crashes".
+  Stall,   ///< Gate stops progressing -> the watchdog must rescue.
+};
+
 /// Deterministic fault injection: each BudgetGate names a fault
 /// point; arming a point (via TSL_FAULT or armFromSpec) makes the
 /// gate report exhaustion at a chosen poll, forcing the stage down
 /// its degradation path. A spec is a comma-separated list of points,
-/// each optionally suffixed `:N` to fire at the Nth poll (default 1),
-/// or the word `all`.
+/// each optionally suffixed `:N` (fire at the Nth poll, default 1),
+/// `:throw` / `:stall` (fault kind), and/or `:once` (transient:
+/// disarm after firing, so a retry succeeds); the word `all` arms
+/// every point; `rand:<seed>` arms a seeded probabilistic schedule
+/// over all points (the chaos-suite format — identical seed, identical
+/// schedule, on every platform). All members are guarded by one
+/// mutex: gates are constructed on stage-calling threads while
+/// workers of another stage may be recording fired points.
 class FaultInjector {
 public:
   static FaultInjector &instance();
@@ -118,41 +181,81 @@ public:
   /// one fires at least once across the suite.
   static const std::vector<std::string> &knownPoints();
 
+  /// What query() hands a constructing gate: fire-at poll (0 = not
+  /// armed) plus the armed kind.
+  struct ArmedFault {
+    uint64_t AtPoll = 0;
+    FaultKind Kind = FaultKind::Degrade;
+  };
+
   /// Disarms all points and clears coverage counters.
   void reset();
 
-  /// Arms \p Point to fire at poll number \p AtPoll (1 = first poll).
-  void arm(const std::string &Point, uint64_t AtPoll = 1);
+  /// Arms \p Point to fire at poll number \p AtPoll (1 = first poll)
+  /// with kind \p Kind; \p Transient disarms the point when it fires.
+  void arm(const std::string &Point, uint64_t AtPoll = 1,
+           FaultKind Kind = FaultKind::Degrade, bool Transient = false);
 
-  /// Parses and arms a spec: "slice.pop,pta.solve:100" or "all".
-  /// Returns false (arming nothing further) on an unknown point name.
+  /// Parses and arms a spec: "slice.pop,pta.solve:100",
+  /// "pta.solve:throw:once", "sdg.clones:stall", "all", or
+  /// "rand:<seed>". Returns false (arming nothing further) on an
+  /// unknown point name or malformed suffix.
   bool armFromSpec(const std::string &Spec);
 
-  /// Called once per BudgetGate at construction: records that the
-  /// point was reached and returns the poll number it should fire at
-  /// (0 = not armed).
-  uint64_t query(const std::string &Point);
+  /// Arms a deterministic pseudo-random schedule derived from \p Seed:
+  /// each known point is independently armed with probability ~1/3,
+  /// with pseudo-random fire-at poll, kind, and transience. The chaos
+  /// suite replays thousands of these.
+  void armRandomSchedule(uint64_t Seed);
 
-  /// Called by the gate when an armed point actually fires.
+  /// Stall faults busy-wait (checking the budget's cancel flag) for at
+  /// most this long before giving up and tripping; tests shrink it so
+  /// un-rescued stalls stay fast. Default 100.
+  void setStallCapMs(uint64_t Ms);
+  uint64_t stallCapMs() const;
+
+  /// Called once per BudgetGate at construction: records that the
+  /// point was reached and returns the armed fault (AtPoll 0 = not
+  /// armed).
+  ArmedFault query(const std::string &Point);
+
+  /// Called by the gate when an armed point actually fires. Transient
+  /// faults are disarmed here — the next gate on this point runs
+  /// clean, which is what the session's bounded retry relies on.
   void recordFired(const std::string &Point);
 
-  const std::set<std::string> &reached() const { return Reached; }
-  const std::set<std::string> &fired() const { return Fired; }
-  bool anyArmed() const { return !Armed.empty(); }
+  std::set<std::string> reached() const;
+  std::set<std::string> fired() const;
+  /// Total number of fault firings, monotonically increasing — unlike
+  /// fired(), it grows when the SAME point fires again, which is what
+  /// the session's taint detection samples around each stage compute.
+  uint64_t firedCount() const;
+  bool anyArmed() const;
 
 private:
   FaultInjector(); ///< Arms from the TSL_FAULT environment variable.
 
-  std::map<std::string, uint64_t> Armed; ///< point -> fire-at poll.
+  struct Arming {
+    uint64_t AtPoll = 1;
+    FaultKind Kind = FaultKind::Degrade;
+    bool Transient = false;
+  };
+
+  mutable std::mutex Mu;
+  std::map<std::string, Arming> Armed;
   std::set<std::string> Reached;
   std::set<std::string> Fired;
+  uint64_t FireCount = 0;
+  uint64_t StallCapMs = 100;
 };
 
 /// Poll point of one gated loop. The loop calls spend()/poll() with
 /// its work counter; once the gate trips — step cap exceeded,
-/// deadline expired, or armed fault fired — it stays exhausted and
-/// the stage must stop and degrade. With a null budget and no armed
-/// fault a poll is a few arithmetic instructions.
+/// deadline expired, watchdog cancellation observed, or armed fault
+/// fired — it stays exhausted and the stage must stop and degrade.
+/// With a null budget and no armed fault a poll is a few arithmetic
+/// instructions. A Throw-kind fault makes poll() raise
+/// FaultInjectedError instead of returning.
 class BudgetGate {
 public:
   /// \p StepCap is this stage's cap from the budget (0 = uncapped);
@@ -160,7 +263,7 @@ public:
   BudgetGate(const AnalysisBudget *Budget, const char *Point,
              uint64_t StepCap)
       : B(Budget), Point(Point), StepCap(StepCap),
-        FaultAtPoll(FaultInjector::instance().query(Point)) {}
+        Fault(FaultInjector::instance().query(Point)) {}
 
   /// Polls with the stage's own work counter; returns true once the
   /// stage must stop (sticky).
@@ -169,11 +272,12 @@ public:
       return true;
     Used = StepsUsed;
     ++Polls;
-    if (FaultAtPoll && Polls >= FaultAtPoll) {
-      trip(std::string("fault:") + Point);
-      FaultInjector::instance().recordFired(Point);
+    if (Fault.AtPoll && Polls >= Fault.AtPoll) {
+      fire();
     } else if (StepCap && StepsUsed > StepCap) {
       trip("step-cap");
+    } else if (B && B->cancelled()) {
+      trip("watchdog");
     } else if (B && B->BudgetMs && (Polls & DeadlinePollMask) == 0 &&
                B->deadlineExpired()) {
       trip("deadline");
@@ -190,6 +294,7 @@ public:
   uint64_t used() const { return Used; }
 
 private:
+  void fire(); ///< The armed fault fires: degrade, throw, or stall.
   void trip(std::string Why) {
     Exhausted = true;
     Reason = std::move(Why);
@@ -202,7 +307,7 @@ private:
   const AnalysisBudget *B;
   const char *Point;
   uint64_t StepCap;
-  uint64_t FaultAtPoll;
+  FaultInjector::ArmedFault Fault;
   uint64_t Used = 0;
   uint64_t Polls = 0;
   bool Exhausted = false;
@@ -216,13 +321,15 @@ private:
 /// must happen before workers start; spend() is safe from any thread
 /// (an atomic add plus occasional deadline reads). For an armed fault
 /// the gate fires once the batch-wide step count reaches the
-/// configured poll number.
+/// configured poll number; a Throw-kind fault raises
+/// FaultInjectedError in whichever worker crossed the threshold
+/// (crash isolation in ThreadPool::parallelFor contains it).
 class SharedBudgetGate {
 public:
   SharedBudgetGate(const AnalysisBudget *Budget, const char *Point,
                    uint64_t StepCap)
       : B(Budget), Point(Point), StepCap(StepCap),
-        FaultAtPoll(FaultInjector::instance().query(Point)) {}
+        Fault(FaultInjector::instance().query(Point)) {}
 
   /// Counts \p N steps against the shared pool; returns true once the
   /// batch must stop (sticky).
@@ -230,14 +337,37 @@ public:
     if (Tripped.load(std::memory_order_relaxed))
       return true;
     uint64_t U = Used.fetch_add(N, std::memory_order_relaxed) + N;
-    if (FaultAtPoll && U >= FaultAtPoll)
-      trip(std::string("fault:") + Point, /*RecordFault=*/true);
+    if (Fault.AtPoll && U >= Fault.AtPoll)
+      fire();
     else if (StepCap && U > StepCap)
       trip("step-cap", false);
+    else if (B && B->cancelled())
+      trip("watchdog", false);
     else if (B && B->BudgetMs && (U & DeadlineCheckMask) == 0 &&
              B->deadlineExpired())
       trip("deadline", false);
     return Tripped.load(std::memory_order_relaxed);
+  }
+
+  /// External cancellation: trips the gate with \p Why so every worker
+  /// polling it stops at its next spend. Used by
+  /// ThreadPool::parallelFor when one lane throws (the exception
+  /// cancels the remaining indices) and available to any stage that
+  /// must abandon a batch.
+  void cancel(const std::string &Why) { trip(Why, false); }
+
+  /// Task-boundary check for the pool: true once the batch must stop,
+  /// observing the budget's preemptive cancel flag even when no worker
+  /// has spent since the watchdog set it — this is what stops a batch
+  /// whose tasks never poll.
+  bool stop() {
+    if (Tripped.load(std::memory_order_relaxed))
+      return true;
+    if (B && B->cancelled()) {
+      trip("watchdog", false);
+      return true;
+    }
+    return false;
   }
 
   bool exhausted() const { return Tripped.load(std::memory_order_acquire); }
@@ -248,6 +378,7 @@ public:
   uint64_t used() const { return Used.load(std::memory_order_relaxed); }
 
 private:
+  void fire(); ///< The armed fault fires: degrade, throw, or stall.
   void trip(std::string Why, bool RecordFault);
 
   /// The deadline is read every 64 steps so hot loops do not hit the
@@ -257,7 +388,7 @@ private:
   const AnalysisBudget *B;
   const char *Point;
   uint64_t StepCap;
-  uint64_t FaultAtPoll;
+  FaultInjector::ArmedFault Fault;
   std::atomic<uint64_t> Used{0};
   std::atomic<bool> Tripped{false};
   mutable std::mutex Mu;

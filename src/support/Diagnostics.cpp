@@ -17,7 +17,10 @@ static const char *kindName(DiagKind Kind) {
 }
 
 std::string Diagnostic::str() const {
-  return Loc.str() + ": " + kindName(Kind) + ": " + Message;
+  std::string Pos = Loc.str();
+  if (hasRange())
+    Pos += "-" + End.str();
+  return Pos + ": " + kindName(Kind) + ": " + Message;
 }
 
 std::string DiagnosticEngine::str() const {

@@ -24,14 +24,21 @@ namespace tsl {
 /// Severity of a diagnostic message.
 enum class DiagKind { Error, Warning, Note };
 
-/// One reported diagnostic: severity, position, and rendered message.
+/// One reported diagnostic: severity, position (optionally a range),
+/// and rendered message.
 struct Diagnostic {
   DiagKind Kind;
   SourceLoc Loc;
+  /// End of the offending range (inclusive); invalid when the
+  /// diagnostic points at a single position.
+  SourceLoc End;
   std::string Message;
 
+  bool hasRange() const { return End.isValid() && End != Loc; }
+
   /// Renders "line:col: error: message" in the LLVM style (lowercase
-  /// first word, no trailing period).
+  /// first word, no trailing period); with a range,
+  /// "line:col-line:col: error: message".
   std::string str() const;
 };
 
@@ -43,14 +50,19 @@ struct Diagnostic {
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    Diags.push_back({DiagKind::Error, Loc, SourceLoc(), std::move(Message)});
+    ++NumErrors;
+  }
+  /// Range form: the diagnostic covers [Loc, End].
+  void error(SourceLoc Loc, SourceLoc End, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, End, std::move(Message)});
     ++NumErrors;
   }
   void warning(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+    Diags.push_back({DiagKind::Warning, Loc, SourceLoc(), std::move(Message)});
   }
   void note(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+    Diags.push_back({DiagKind::Note, Loc, SourceLoc(), std::move(Message)});
   }
 
   bool hasErrors() const { return NumErrors != 0; }

@@ -157,7 +157,7 @@ void ThreadPool::parallelFor(std::size_t N,
     // Sequential path: a plain loop on the caller, no tasks, no
     // synchronization — byte-for-byte the pre-pool behavior.
     for (std::size_t I = 0; I != N; ++I) {
-      if (Gate && Gate->exhausted())
+      if (Gate && Gate->stop())
         return;
       Fn(I);
     }
@@ -176,15 +176,27 @@ void ThreadPool::parallelFor(std::size_t N,
          (I = State.Next.fetch_add(1, std::memory_order_relaxed)) < N;) {
       if (State.Abort.load(std::memory_order_relaxed))
         return;
-      if (Gate && Gate->exhausted())
+      // Task-boundary stop check: also observes the watchdog's
+      // preemptive cancel flag, so a batch whose tasks never poll is
+      // still cut off between indices.
+      if (Gate && Gate->stop())
         return;
       try {
         Fn(I);
       } catch (...) {
-        std::lock_guard<std::mutex> L(State.ErrMu);
-        if (!State.Err)
-          State.Err = std::current_exception();
-        State.Abort.store(true, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> L(State.ErrMu);
+          if (!State.Err)
+            State.Err = std::current_exception();
+          State.Abort.store(true, std::memory_order_relaxed);
+        }
+        // Crash isolation: the exception cancels the remaining
+        // indices through the shared gate, so sibling lanes (and any
+        // stage polling the same gate) stop at their next check
+        // instead of burning work for a result that will be
+        // discarded. Captured per-task; rethrown once on the caller.
+        if (Gate)
+          Gate->cancel("exception");
         return;
       }
     }

@@ -91,10 +91,13 @@ public:
   /// when the pool has no workers, N <= 1, or MaxConcurrency <= 1.
   ///
   /// \p MaxConcurrency caps the lanes used (0 = concurrency()).
-  /// \p Gate, when non-null, is polled between indices: once it is
-  /// exhausted no further index starts (indices already running
-  /// finish). The first exception thrown by Fn cancels the remaining
-  /// indices and is rethrown here on the caller.
+  /// \p Gate, when non-null, is checked between indices: once it is
+  /// exhausted — or the budget it wraps was preemptively cancelled by
+  /// the watchdog — no further index starts (indices already running
+  /// finish). The first exception thrown by Fn is captured per-task,
+  /// cancels the remaining indices through \p Gate (reason
+  /// "exception"), and is rethrown here on the caller; the pool's
+  /// workers survive and the pool stays usable.
   void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Fn,
                    unsigned MaxConcurrency = 0,
                    SharedBudgetGate *Gate = nullptr);

@@ -1,0 +1,35 @@
+//===-- Watchdog.cpp - Preemptive wall-clock deadline enforcement ---------===//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Watchdog.h"
+
+using namespace tsl;
+
+Watchdog::Watchdog(const AnalysisBudget *Budget) : B(Budget) {
+  if (!B || !B->BudgetMs || !B->Started)
+    return;
+  auto Deadline = B->Start + std::chrono::milliseconds(B->BudgetMs);
+  Thread = std::thread([this, Deadline] { run(Deadline); });
+}
+
+Watchdog::~Watchdog() {
+  if (!Thread.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Disarmed = true;
+  }
+  Cv.notify_all();
+  Thread.join();
+}
+
+void Watchdog::run(std::chrono::steady_clock::time_point Deadline) {
+  std::unique_lock<std::mutex> L(Mu);
+  // Woken either by disarm (stage finished in time) or the deadline.
+  if (Cv.wait_until(L, Deadline, [this] { return Disarmed; }))
+    return;
+  B->cancel();
+}

@@ -357,3 +357,60 @@ TEST_F(CliTest, InteractiveStatsFlagPrintsTelemetryAtExit) {
   EXPECT_NE(Out.find("session stages (memoization):"), std::string::npos)
       << Out;
 }
+
+//===----------------------------------------------------------------------===//
+// Failure isolation: stage crashes, bounded retry, and exit code 5
+//===----------------------------------------------------------------------===//
+
+TEST_F(CliTest, PersistentStageCrashExitsFive) {
+  // A fault that throws on every attempt exhausts the bounded retry;
+  // the tool reports WHICH stage failed and exits 5 — distinct from a
+  // compile error (1) and from sound degradation (3/4).
+  int Status = 0;
+  std::string Out = run("--line 15 --fault pta.solve:1:throw", &Status);
+  EXPECT_EQ(exitCode(Status), 5) << Out;
+  EXPECT_NE(Out.find("points-to stage failed"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("pta.solve"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, TransientStageCrashIsRetriedInvisibly) {
+  // :once disarms after the first fire; the retry reruns the stage
+  // clean, so the user sees a normal complete run.
+  int Status = 0;
+  std::string Out = run("--line 15 --fault pta.solve:1:throw:once", &Status);
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_NE(Out.find("thin slice from line 15"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, InteractiveSurvivesFailingQueries) {
+  // Both queries fail while the fault stays armed, but neither kills
+  // the REPL: each reports the failure, the loop keeps reading, and
+  // quitting is a clean exit.
+  std::string Out;
+  int Status = runInteractive(Program, "slice 15\\nslice 15\\nquit\\n",
+                              "--interactive --fault pta.solve:1:throw", Out);
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_EQ(countOccurrences(Out, "session remains usable"), 2u) << Out;
+  EXPECT_EQ(Out.find("thin slice from line 15"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, AllCompileErrorsAreReportedWithPositions) {
+  // The recovering parser surfaces every mistake in one run, each at
+  // its user-file position — not just the first.
+  std::ofstream F(Program);
+  F << "def main() {\n"
+       "  var a = 1\n"
+       "  var b = 2\n"
+       "  var c = ;\n"
+       "  a = = 5;\n"
+       "  print(\"x\")\n"
+       "  print(\"y\");\n"
+       "}\n";
+  F.close();
+  int Status = 0;
+  std::string Out = run("--line 7", &Status);
+  EXPECT_EQ(exitCode(Status), 1) << Out;
+  EXPECT_EQ(countOccurrences(Out, ": error: "), 5u) << Out;
+  for (const char *Pos : {":2:", ":3:", ":4:", ":5:", ":6:"})
+    EXPECT_NE(Out.find(Pos), std::string::npos) << Pos << "\n" << Out;
+}

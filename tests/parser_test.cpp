@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace tsl;
 
 namespace {
@@ -264,4 +266,40 @@ TEST(Parser, ReportsMultipleErrors) {
   DiagnosticEngine Diag;
   parseModule("def f() { var = 1; } def g() { if ) } ", M, Diag);
   EXPECT_GE(Diag.errorCount(), 2u);
+}
+
+TEST(Parser, FiveDistinctErrorsYieldFiveLocatedDiagnostics) {
+  // One file, five independent mistakes, each on its own line. The
+  // recovering parser must synchronize at every statement boundary
+  // and report all five with positions — not stop at the first.
+  const char *Source =
+      "def main() {\n"        // line 1
+      "  var a = 1\n"         // line 2: missing ';'
+      "  var b = 2\n"         // line 3: missing ';'
+      "  var c = ;\n"         // line 4: missing initializer expression
+      "  a = = 5;\n"          // line 5: bad assignment RHS
+      "  print(\"x\")\n"      // line 6: missing ';'
+      "  print(\"y\");\n"     // line 7: fine
+      "}\n";
+  AstModule M;
+  DiagnosticEngine Diag;
+  EXPECT_FALSE(parseModule(Source, M, Diag));
+  EXPECT_EQ(Diag.errorCount(), 5u) << Diag.str();
+  std::set<unsigned> Lines;
+  for (const Diagnostic &D : Diag.diagnostics())
+    Lines.insert(D.Loc.Line);
+  EXPECT_EQ(Lines, (std::set<unsigned>{2, 3, 4, 5, 6})) << Diag.str();
+}
+
+TEST(Parser, MissingSemicolonDiagnosticCarriesARange) {
+  AstModule M;
+  DiagnosticEngine Diag;
+  parseModule("def f() {\n  var a = 1\n  print(\"x\");\n}\n", M, Diag);
+  ASSERT_EQ(Diag.errorCount(), 1u) << Diag.str();
+  const Diagnostic &D = Diag.diagnostics().front();
+  // The range spans from the statement start to the token where the
+  // ';' should have been.
+  EXPECT_TRUE(D.hasRange()) << D.str();
+  EXPECT_EQ(D.Loc.Line, 2u);
+  EXPECT_EQ(D.End.Line, 3u);
 }

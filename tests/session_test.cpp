@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -433,4 +434,174 @@ TEST(Session, StatsStringListsEveryStage) {
                          ": hits="),
               std::string::npos)
         << sessionStageName(static_cast<SessionStage>(I));
+}
+
+//===----------------------------------------------------------------------===//
+// Failure isolation: stage crashes, retries, taint, watchdog
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Resets the injector (and restores the stall cap) around a test.
+struct InjectorGuard {
+  InjectorGuard() { clean(); }
+  ~InjectorGuard() { clean(); }
+  static void clean() {
+    FaultInjector::instance().reset();
+    FaultInjector::instance().setStallCapMs(100);
+  }
+};
+
+const Instr *anySeed(const Program &P) {
+  const Instr *Last = nullptr;
+  for (const auto &M : P.methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (I->loc().Line)
+          Last = I.get();
+  return Last;
+}
+
+} // namespace
+
+TEST(Session, TransientStageCrashIsRetriedToSuccess) {
+  InjectorGuard Guard;
+  // The fault fires once and disarms; the session's bounded retry
+  // reruns the stage clean, so the caller never sees the crash.
+  FaultInjector::instance().arm("pta.solve", /*AtPoll=*/1, FaultKind::Throw,
+                                /*Transient=*/true);
+  AnalysisSession S(Source);
+  PointsToResult *PTA = S.pointsTo();
+  ASSERT_NE(PTA, nullptr);
+  EXPECT_TRUE(S.lastError().isOk());
+  EXPECT_GE(S.stageRetries(), 1u);
+  EXPECT_EQ(S.stageFailures(), 0u);
+  // The retried artifact ran clean: it is NOT degraded and NOT
+  // tainted, so a re-request is a pure cache hit.
+  EXPECT_FALSE(PTA->report().degraded());
+  EXPECT_EQ(S.pointsTo(), PTA);
+}
+
+TEST(Session, PersistentStageCrashFailsWithStatusAndCachesNothing) {
+  InjectorGuard Guard;
+  FaultInjector::instance().arm("pta.solve", /*AtPoll=*/1, FaultKind::Throw);
+  AnalysisSession S(Source);
+  EXPECT_EQ(S.pointsTo(), nullptr);
+  EXPECT_FALSE(S.lastError().isOk());
+  EXPECT_EQ(S.lastError().code(), StatusCode::FaultInjected);
+  uint64_t FailuresAfterFirst = S.stageFailures();
+  EXPECT_GE(FailuresAfterFirst, 1u);
+
+  // The failure was NOT memoized: a second request retries the stage
+  // from scratch (and fails again while the fault stays armed).
+  EXPECT_EQ(S.pointsTo(), nullptr);
+  EXPECT_GT(S.stageFailures(), FailuresAfterFirst);
+
+  // Downstream accessors propagate the failure instead of crashing.
+  EXPECT_EQ(S.sdg(), nullptr);
+  Expected<SDG *> G = S.sdgChecked();
+  EXPECT_FALSE(G.ok());
+
+  // Once the fault clears, the SAME session heals with no reset.
+  FaultInjector::instance().reset();
+  PointsToResult *PTA = S.pointsTo();
+  ASSERT_NE(PTA, nullptr);
+  EXPECT_TRUE(S.lastError().isOk());
+  EXPECT_FALSE(PTA->report().degraded());
+  ASSERT_NE(S.sdg(), nullptr);
+}
+
+TEST(Session, TaintedDegradedArtifactIsRecomputedAfterFaultClears) {
+  InjectorGuard Guard;
+  // A Degrade fault produces a valid-but-degraded artifact. It is
+  // served for the request that computed it, but marked tainted: the
+  // next request evicts it (and its downstream cone) and recomputes.
+  FaultInjector::instance().arm("pta.solve", /*AtPoll=*/1,
+                                FaultKind::Degrade);
+  AnalysisSession S(Source);
+  PointsToResult *Faulty = S.pointsTo();
+  ASSERT_NE(Faulty, nullptr);
+  EXPECT_TRUE(Faulty->report().degraded());
+  EXPECT_EQ(Faulty->report().Reason, "fault:pta.solve");
+  const SliceResult *FaultySlice =
+      S.sliceBackwardCached(anySeed(*S.program()), SliceMode::Thin);
+  ASSERT_NE(FaultySlice, nullptr);
+
+  FaultInjector::instance().reset();
+  uint64_t InvalidatedBefore = invalidatedOf(S, SessionStage::PTA);
+  PointsToResult *Healed = S.pointsTo();
+  ASSERT_NE(Healed, nullptr);
+  EXPECT_FALSE(Healed->report().degraded());
+  EXPECT_GT(invalidatedOf(S, SessionStage::PTA), InvalidatedBefore);
+
+  // The healed answer matches a fault-free session byte for byte.
+  const SliceResult *HealedSlice =
+      S.sliceBackwardCached(anySeed(*S.program()), SliceMode::Thin);
+  ASSERT_NE(HealedSlice, nullptr);
+  EXPECT_TRUE(HealedSlice->complete());
+  AnalysisSession Fresh(Source);
+  const SliceResult *Ref =
+      Fresh.sliceBackwardCached(anySeed(*Fresh.program()), SliceMode::Thin);
+  ASSERT_NE(Ref, nullptr);
+  EXPECT_EQ(lineNumbers(*HealedSlice), lineNumbers(*Ref));
+  EXPECT_EQ(HealedSlice->sizeStmts(), Ref->sizeStmts());
+}
+
+TEST(Session, WatchdogRescuesAStalledStage) {
+  InjectorGuard Guard;
+  // The stage stops polling usefully (a Stall fault busy-waits); only
+  // the watchdog's preemptive cancel can stop it before the stall
+  // cap. With a 10 s cap and a 50 ms deadline, finishing quickly
+  // proves the watchdog did the rescue — and the reason says so.
+  FaultInjector::instance().arm("pta.solve", /*AtPoll=*/1, FaultKind::Stall);
+  FaultInjector::instance().setStallCapMs(10'000);
+  AnalysisBudget B;
+  B.BudgetMs = 50;
+  B.start();
+  AnalysisSession S(Source);
+  S.setBudget(&B);
+  auto T0 = std::chrono::steady_clock::now();
+  PointsToResult *PTA = S.pointsTo();
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  ASSERT_NE(PTA, nullptr);
+  EXPECT_TRUE(PTA->report().degraded());
+  EXPECT_EQ(PTA->report().Reason, "watchdog");
+  EXPECT_LT(ElapsedMs, 5000) << "stall was not rescued by the watchdog";
+}
+
+TEST(Session, CheckedAccessorsReportStructuredStatus) {
+  InjectorGuard Guard;
+  AnalysisSession S(Source);
+  // Caller error: a null seed is InvalidArgument, not a crash.
+  Expected<const SliceResult *> Bad =
+      S.sliceBackwardChecked(nullptr, SliceMode::Thin);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.status().code(), StatusCode::InvalidArgument);
+
+  Expected<Program *> P = S.programChecked();
+  ASSERT_TRUE(P.ok());
+  Expected<const SliceResult *> Good =
+      S.sliceBackwardChecked(anySeed(**P), SliceMode::Thin);
+  ASSERT_TRUE(Good.ok()) << Good.status().str();
+  EXPECT_TRUE((*Good)->complete());
+
+  // A compile failure surfaces as a ParseError/SemaError Status.
+  S.setSource("def main() { var x = }");
+  Expected<Program *> BadP = S.programChecked();
+  EXPECT_FALSE(BadP.ok());
+  EXPECT_TRUE(BadP.status().code() == StatusCode::ParseError ||
+              BadP.status().code() == StatusCode::SemaError);
+  EXPECT_FALSE(BadP.status().message().empty());
+}
+
+TEST(Session, StatsStringReportsFailureIsolationTelemetry) {
+  InjectorGuard Guard;
+  FaultInjector::instance().arm("pta.solve", /*AtPoll=*/1, FaultKind::Throw);
+  AnalysisSession S(Source);
+  EXPECT_EQ(S.pointsTo(), nullptr);
+  std::string Stats = S.statsString();
+  EXPECT_NE(Stats.find("failure isolation:"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("stage_failures="), std::string::npos) << Stats;
 }

@@ -161,4 +161,73 @@ TEST(ThreadPool, NestedParallelForCompletes) {
   EXPECT_EQ(Inner.load(), 50u);
 }
 
+// Crash-isolation regression (runs under TSan via the "parallel"
+// label): a task throwing while the caller is in its helping-wait
+// must not terminate a worker or wedge the drain — the first
+// exception is rethrown on the caller, the remaining indices are
+// cancelled through the gate (reason "exception"), and the SAME pool
+// serves subsequent parallelFor batches completely.
+TEST(ThreadPool, ThrowDuringHelpingWaitLeavesPoolUsable) {
+  ThreadPool Pool(4);
+  for (unsigned Round = 0; Round != 20; ++Round) {
+    SharedBudgetGate Gate(nullptr, "test.pool", /*StepCap=*/0);
+    std::atomic<unsigned> Ran{0};
+    EXPECT_THROW(Pool.parallelFor(
+                     64,
+                     [&](std::size_t I) {
+                       if (I == 5)
+                         throw std::runtime_error("boom");
+                       Ran.fetch_add(1);
+                     },
+                     /*MaxConcurrency=*/0, &Gate),
+                 std::runtime_error);
+    EXPECT_TRUE(Gate.exhausted());
+    EXPECT_EQ(Gate.reason(), "exception");
+
+    std::atomic<unsigned> After{0};
+    Pool.parallelFor(100, [&](std::size_t) { After.fetch_add(1); });
+    EXPECT_EQ(After.load(), 100u);
+  }
+}
+
+// Same isolation without a gate: the exception still cancels the rest
+// of the batch and rethrows on the caller, and the pool stays usable.
+TEST(ThreadPool, ThrowWithoutGateStillRethrowsAndPoolSurvives) {
+  ThreadPool Pool(3);
+  EXPECT_THROW(Pool.parallelFor(32,
+                                [&](std::size_t I) {
+                                  if (I == 0)
+                                    throw std::logic_error("first");
+                                }),
+               std::logic_error);
+  std::atomic<unsigned> After{0};
+  Pool.parallelFor(64, [&](std::size_t) { After.fetch_add(1); });
+  EXPECT_EQ(After.load(), 64u);
+}
+
+// The watchdog's preemptive cancel flag must stop a batch whose tasks
+// never poll the gate: once the budget is cancelled, parallelFor hands
+// out no further indices.
+TEST(ThreadPool, CancelledBudgetStopsNonPollingBatch) {
+  ThreadPool Pool(2);
+  AnalysisBudget B;
+  B.BudgetMs = 60'000;
+  B.start();
+  SharedBudgetGate Gate(&B, "test.pool", /*StepCap=*/0);
+  std::atomic<unsigned> Ran{0};
+  Pool.parallelFor(
+      1000,
+      [&](std::size_t I) {
+        // Tasks never call Gate.spend(); only the task boundary can
+        // observe the cancellation.
+        if (I == 0)
+          B.cancel();
+        Ran.fetch_add(1);
+      },
+      /*MaxConcurrency=*/0, &Gate);
+  EXPECT_TRUE(Gate.exhausted());
+  EXPECT_EQ(Gate.reason(), "watchdog");
+  EXPECT_LT(Ran.load(), 1000u);
+}
+
 } // namespace

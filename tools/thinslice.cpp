@@ -26,7 +26,9 @@
 //
 // Exit codes: 0 success (complete result), 1 file/compile/write error,
 // 2 usage error, 3 budget-degraded result, 4 degraded result refused
-// by --strict-budget.
+// by --strict-budget, 5 internal/stage failure (a stage crashed and
+// exhausted its retries — distinct from a compile error and from sound
+// degradation).
 //
 //===----------------------------------------------------------------------===//
 
@@ -127,9 +129,11 @@ void usage() {
           "                 [--pta-worklist fifo|lrf|topo]\n"
           "                 [--budget-ms N] [--max-sdg-nodes N]\n"
           "                 [--max-slice-stmts N] [--strict-budget]\n"
-          "                 [--fault POINT[:N],...|all] [--run-steps N]\n"
+          "                 [--fault POINT[:N][:throw|:stall][:once],...\n"
+          "                          |all|rand:SEED] [--run-steps N]\n"
           "exit codes: 0 complete, 1 file error, 2 usage,\n"
-          "            3 degraded by budget, 4 refused (--strict-budget)\n");
+          "            3 degraded by budget, 4 refused (--strict-budget),\n"
+          "            5 internal/stage failure\n");
 }
 
 /// CLI wrappers over the shared strict parsers (support/ParseInt.h):
@@ -345,100 +349,120 @@ int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
       continue;
     if (Cmd == "quit" || Cmd == "exit")
       break;
-    if (Cmd == "stats") {
-      printf("%s", Session.statsString().c_str());
-      continue;
-    }
-    if (Cmd == "mode") {
-      if (Arg == "thin")
-        Mode = SliceMode::Thin;
-      else if (Arg == "trad" || Arg == "traditional")
-        Mode = SliceMode::Traditional;
-      else
-        fprintf(stderr, "error: mode expects thin|trad\n");
-      continue;
-    }
-    if (Cmd == "cs") {
-      if (Arg == "on" || Arg == "off") {
-        SDGOptions SO = Session.sdgOptions();
-        SO.ContextSensitive = Arg == "on";
-        Session.setSDGOptions(SO);
-      } else {
-        fprintf(stderr, "error: cs expects on|off\n");
-      }
-      continue;
-    }
-    if (Cmd == "reload") {
-      std::ifstream In(Opts.File);
-      if (!In) {
-        fprintf(stderr, "error: cannot open %s\n", Opts.File.c_str());
+    try {
+      if (Cmd == "stats") {
+        printf("%s", Session.statsString().c_str());
         continue;
       }
-      std::stringstream Buf;
-      Buf << In.rdbuf();
-      std::string Src = Opts.NoRuntime ? "" : runtimeLibrarySource();
-      Src += Buf.str();
-      Session.setSource(std::move(Src));
-      if (!Session.program())
-        for (const Diagnostic &D : Session.diagnostics().diagnostics()) {
-          SourceLoc Loc = D.Loc;
-          if (Loc.Line > LineOffset)
-            Loc.Line -= LineOffset;
-          fprintf(stderr, "%s:%s: error: %s\n", Opts.File.c_str(),
-                  Loc.str().c_str(), D.Message.c_str());
+      if (Cmd == "mode") {
+        if (Arg == "thin")
+          Mode = SliceMode::Thin;
+        else if (Arg == "trad" || Arg == "traditional")
+          Mode = SliceMode::Traditional;
+        else
+          fprintf(stderr, "error: mode expects thin|trad\n");
+        continue;
+      }
+      if (Cmd == "cs") {
+        if (Arg == "on" || Arg == "off") {
+          SDGOptions SO = Session.sdgOptions();
+          SO.ContextSensitive = Arg == "on";
+          Session.setSDGOptions(SO);
+        } else {
+          fprintf(stderr, "error: cs expects on|off\n");
         }
-      continue;
+        continue;
+      }
+      if (Cmd == "reload") {
+        std::ifstream In(Opts.File);
+        if (!In) {
+          fprintf(stderr, "error: cannot open %s\n", Opts.File.c_str());
+          continue;
+        }
+        std::stringstream Buf;
+        Buf << In.rdbuf();
+        std::string Src = Opts.NoRuntime ? "" : runtimeLibrarySource();
+        Src += Buf.str();
+        Session.setSource(std::move(Src));
+        if (!Session.program())
+          for (const Diagnostic &D : Session.diagnostics().diagnostics()) {
+            SourceLoc Loc = D.Loc;
+            if (Loc.Line > LineOffset)
+              Loc.Line -= LineOffset;
+            fprintf(stderr, "%s:%s: error: %s\n", Opts.File.c_str(),
+                    Loc.str().c_str(), D.Message.c_str());
+          }
+        continue;
+      }
+      if (Cmd == "slice") {
+        uint64_t N = 0;
+        if (!parsePositiveInt(Arg, N)) {
+          fprintf(stderr,
+                  "error: slice expects a positive line number, got '%s'\n",
+                  Arg.c_str());
+          continue;
+        }
+        Program *P = Session.program();
+        if (!P) {
+          fprintf(stderr, "error: program does not compile (%s) "
+                          "(try reload)\n",
+                  Session.lastError().str().c_str());
+          continue;
+        }
+        unsigned UserLine = static_cast<unsigned>(N);
+        const Instr *Seed = seedAtLine(*P, UserLine + LineOffset);
+        if (!Seed) {
+          reportNoStatement(*P, UserLine, LineOffset);
+          continue;
+        }
+        const SliceResult *Slice = Session.sliceBackwardCached(Seed, Mode);
+        if (!Slice) {
+          // A stage crashed and exhausted its retries (or an upstream
+          // artifact could not be built). The session caches nothing
+          // on this path, so the next request retries from scratch —
+          // keep the REPL alive.
+          fprintf(stderr, "error: query failed (%s); session remains "
+                          "usable, retry the query\n",
+                  Session.lastError().str().c_str());
+          continue;
+        }
+        const char *What =
+            Session.sdgOptions().ContextSensitive
+                ? "context-sensitive slice"
+                : (Mode == SliceMode::Thin ? "thin slice"
+                                           : "traditional slice");
+        printf("%s from line %u: %u statements, %zu source lines\n", What,
+               UserLine, Slice->sizeStmts(), Slice->sourceLines().size());
+        for (const SourceLine &L : Slice->sourceLines()) {
+          unsigned Shown = L.Line > LineOffset ? L.Line - LineOffset : L.Line;
+          const char *Where = L.Line > LineOffset ? "" : " [runtime]";
+          printf("  %s:%u%s\n", L.M->qualifiedName(P->strings()).c_str(),
+                 Shown, Where);
+        }
+        if (!Slice->complete())
+          fprintf(stderr, "warning: slice degraded (%s)\n",
+                  Slice->degradedReason().c_str());
+        continue;
+      }
+      fprintf(stderr,
+              "error: unknown command '%s' (try: slice N, mode thin|trad, "
+              "cs on|off, stats, reload, quit)\n",
+              Cmd.c_str());
+    } catch (const std::exception &E) {
+      // Nothing below the session boundary should throw; if something
+      // does anyway, report it and keep the REPL alive — the session
+      // caches no failed artifact, so the next query starts clean.
+      fprintf(stderr, "error: internal error: %s (session remains usable)\n",
+              E.what());
     }
-    if (Cmd == "slice") {
-      uint64_t N = 0;
-      if (!parsePositiveInt(Arg, N)) {
-        fprintf(stderr,
-                "error: slice expects a positive line number, got '%s'\n",
-                Arg.c_str());
-        continue;
-      }
-      Program *P = Session.program();
-      if (!P) {
-        fprintf(stderr, "error: program does not compile (try reload)\n");
-        continue;
-      }
-      unsigned UserLine = static_cast<unsigned>(N);
-      const Instr *Seed = seedAtLine(*P, UserLine + LineOffset);
-      if (!Seed) {
-        reportNoStatement(*P, UserLine, LineOffset);
-        continue;
-      }
-      const SliceResult *Slice = Session.sliceBackwardCached(Seed, Mode);
-      const char *What = Session.sdgOptions().ContextSensitive
-                             ? "context-sensitive slice"
-                             : (Mode == SliceMode::Thin ? "thin slice"
-                                                        : "traditional slice");
-      printf("%s from line %u: %u statements, %zu source lines\n", What,
-             UserLine, Slice->sizeStmts(), Slice->sourceLines().size());
-      for (const SourceLine &L : Slice->sourceLines()) {
-        unsigned Shown = L.Line > LineOffset ? L.Line - LineOffset : L.Line;
-        const char *Where = L.Line > LineOffset ? "" : " [runtime]";
-        printf("  %s:%u%s\n", L.M->qualifiedName(P->strings()).c_str(), Shown,
-               Where);
-      }
-      if (!Slice->complete())
-        fprintf(stderr, "warning: slice degraded (%s)\n",
-                Slice->degradedReason().c_str());
-      continue;
-    }
-    fprintf(stderr,
-            "error: unknown command '%s' (try: slice N, mode thin|trad, "
-            "cs on|off, stats, reload, quit)\n",
-            Cmd.c_str());
   }
   if (Opts.Stats)
     printf("%s", Session.statsString().c_str());
   return 0;
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
+/// The whole tool, minus the crash barrier main() wraps around it.
+int runTool(int argc, char **argv) {
   CliOptions Opts;
   if (!parseArgs(argc, argv, Opts)) {
     usage();
@@ -542,6 +566,8 @@ int main(int argc, char **argv) {
       printf("%s\n", Line.c_str());
     if (!R.Completed)
       fprintf(stderr, "%s\n", R.Error.c_str());
+    if (R.Crashed)
+      return 5;
     if (R.HitLimit && !Opts.Line && Opts.SeedsFile.empty() &&
         Opts.DotFile.empty() && !Opts.Stats && !Opts.PtaStats)
       return Opts.StrictBudget ? 4 : 3;
@@ -568,13 +594,28 @@ int main(int argc, char **argv) {
   if (Opts.Interactive)
     return runInteractive(Session, Opts, LineOffset);
 
+  // A null artifact here means the stage crashed (injected Throw fault
+  // or internal error) and exhausted its retries — exit 5, distinct
+  // from a compile error (1) and from sound degradation (3/4).
+  auto StageFailed = [&](const char *Stage) {
+    fprintf(stderr, "error: %s stage failed: %s\n", Stage,
+            Session.lastError().str().c_str());
+    return 5;
+  };
+
   PointsToResult *PTA = Session.pointsTo();
+  if (!PTA)
+    return StageFailed("points-to");
 
   if (Opts.PtaStats)
     printf("%s", PTA->stats().str().c_str());
 
   ModRefResult *MR = Opts.ContextSensitive ? Session.modRef() : nullptr;
+  if (Opts.ContextSensitive && !MR)
+    return StageFailed("mod-ref");
   SDG *G = Session.sdg();
+  if (!G)
+    return StageFailed("sdg");
 
   // Governed runs report per-stage status and map degradation onto the
   // exit code; ungoverned runs keep the historical 0/1/2 codes and
@@ -783,4 +824,21 @@ int main(int argc, char **argv) {
     printf("wrote %s\n", Opts.DotFile.c_str());
   }
   return Finish(&Slice);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Crash barrier: no exception may escape as std::terminate. The
+  // library's boundaries are no-throw, so anything landing here is an
+  // internal error — report it and exit 5 (never a crash).
+  try {
+    return runTool(argc, argv);
+  } catch (const std::exception &E) {
+    fprintf(stderr, "error: internal error: %s\n", E.what());
+    return 5;
+  } catch (...) {
+    fprintf(stderr, "error: internal error: unknown exception\n");
+    return 5;
+  }
 }
