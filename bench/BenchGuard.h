@@ -1,0 +1,48 @@
+//===-- BenchGuard.h - Baseline-recording guard for benchmarks ---------------==//
+//
+// The committed BENCH_*.json baselines must come from an optimized
+// build: Debug timings are off by an order of magnitude and then read
+// as regressions (or mask real ones) in every later comparison. The
+// CMake warning at configure time is advisory only — this is the
+// enforcement point. Every bench main() calls guardBenchmarkBaseline()
+// before benchmark::Initialize(); in a Debug build (NDEBUG undefined)
+// any --benchmark_out request is refused at runtime with a hard error,
+// while plain interactive runs stay allowed.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_BENCH_BENCHGUARD_H
+#define THINSLICER_BENCH_BENCHGUARD_H
+
+#include <cstdio>
+#include <cstring>
+
+/// Returns true when this invocation may proceed. False means a JSON
+/// baseline was requested from a Debug binary; the caller must exit
+/// nonzero without running any benchmark (so CI scripts cannot commit
+/// the file a partial run would have produced).
+inline bool guardBenchmarkBaseline(int argc, char **argv) {
+#ifdef NDEBUG
+  (void)argc;
+  (void)argv;
+  return true;
+#else
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    // --benchmark_out=FILE and "--benchmark_out FILE" both request a
+    // baseline; --benchmark_out_format alone does not write anything.
+    if (strncmp(Arg, "--benchmark_out", 15) == 0 &&
+        strncmp(Arg, "--benchmark_out_format", 22) != 0) {
+      fprintf(stderr,
+              "error: refusing to write a benchmark baseline from a Debug "
+              "build.\nDebug timings are not comparable to the committed "
+              "BENCH_*.json numbers; rebuild with -DCMAKE_BUILD_TYPE=Release "
+              "and re-run.\n");
+      return false;
+    }
+  }
+  return true;
+#endif
+}
+
+#endif // THINSLICER_BENCH_BENCHGUARD_H

@@ -16,6 +16,8 @@
 #include "slicer/Expansion.h"
 #include "slicer/Slicer.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -91,6 +93,8 @@ int main(int argc, char **argv) {
          "enumerating levels. Statement cost grows with every level, "
          "the paper's argument for on-demand expansion.)\n\n");
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

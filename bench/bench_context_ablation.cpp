@@ -16,6 +16,8 @@
 #include "eval/Experiments.h"
 #include "slicer/Tabulation.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -39,6 +41,8 @@ int main(int argc, char **argv) {
   printf("%s\n", formatAblation(runContextAblation()).c_str());
   printf("(paper: nanoxml-1 slice 8067 -> 381 statements, BFS 32 -> 26)\n\n");
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,6 +15,8 @@
 
 #include "eval/Experiments.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -73,6 +75,8 @@ int main(int argc, char **argv) {
          totalsOf(runToughCastExperiment(InspectionStrategy::BFS)),
          totalsOf(runToughCastExperiment(InspectionStrategy::DFS)));
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -28,6 +28,8 @@
 #include "slicer/Engine.h"
 #include "slicer/Slicer.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -74,7 +76,9 @@ void BM_PipelineEndToEnd(benchmark::State &State) {
   const unsigned Threads = static_cast<unsigned>(State.range(0));
   for (auto _ : State)
     benchmark::DoNotOptimize(pipelineMs(Threads));
-  State.counters["threads"] = Threads;
+  // Named req_threads: plain "threads" collides with the harness's
+  // own per-benchmark threads field and yields a duplicate JSON key.
+  State.counters["req_threads"] = Threads;
   State.counters["num_cpus"] =
       static_cast<double>(std::thread::hardware_concurrency());
   State.counters["seeds"] = NUM_SEEDS;
@@ -94,7 +98,7 @@ void BM_SdgBuild(benchmark::State &State) {
     State.ResumeTiming();
     benchmark::DoNotOptimize(S.sdg());
   }
-  State.counters["threads"] = Threads;
+  State.counters["req_threads"] = Threads;
 }
 BENCHMARK(BM_SdgBuild)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
@@ -128,6 +132,8 @@ int main(int argc, char **argv) {
                                "threading cannot speed up; see num_cpus)"
                              : "(below 2x target!)");
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

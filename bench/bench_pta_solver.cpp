@@ -31,6 +31,8 @@
 #include "lang/Lower.h"
 #include "pta/PointsTo.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -207,6 +209,8 @@ int main(int argc, char **argv) {
            static_cast<double>(Naive.Propagations) / Opt.Propagations,
            static_cast<double>(Naive.DeltaBitsMoved) / Opt.DeltaBitsMoved);
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

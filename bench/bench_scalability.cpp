@@ -21,6 +21,8 @@
 #include "pipeline/Session.h"
 #include "slicer/Slicer.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -90,6 +92,8 @@ int main(int argc, char **argv) {
            "explodes; CI thin slicing stays negligible)\n\n");
   }
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

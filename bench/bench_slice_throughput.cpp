@@ -31,6 +31,8 @@
 #include "slicer/Slicer.h"
 #include "slicer/Tabulation.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -166,6 +168,8 @@ int main(int argc, char **argv) {
   printf("batch vs sequential legacy: %.2fx queries/sec %s\n\n", Row.Speedup,
          Row.Speedup >= 2.0 ? "(>= 2x target met)" : "(below 2x target!)");
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

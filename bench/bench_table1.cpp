@@ -19,6 +19,8 @@
 #include "pta/PointsTo.h"
 #include "sdg/SDG.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -72,6 +74,8 @@ int main(int argc, char **argv) {
   printf("=== Thin Slicing reproduction: Table 1 ===\n\n");
   printf("%s\n", formatTable1(runTable1()).c_str());
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

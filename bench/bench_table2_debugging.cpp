@@ -18,6 +18,8 @@
 #include "eval/Experiments.h"
 #include "slicer/Inspection.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -43,6 +45,8 @@ int main(int argc, char **argv) {
                                runDebuggingExperiment())
              .c_str());
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,6 +15,8 @@
 
 #include "eval/Experiments.h"
 
+#include "BenchGuard.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -41,6 +43,8 @@ int main(int argc, char **argv) {
              runToughCastExperiment())
              .c_str());
 
+  if (!guardBenchmarkBaseline(argc, argv))
+    return 2;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

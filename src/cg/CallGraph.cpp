@@ -91,3 +91,45 @@ const std::vector<unsigned> &CallGraph::nodesOf(const Method *M) const {
   auto It = MethodNodes.find(M);
   return It == MethodNodes.end() ? Empty : It->second;
 }
+
+void CallGraph::removeEdgesAtSites(
+    const std::unordered_set<const Instr *> &DeadSites) {
+  std::vector<CallEdge> Kept;
+  Kept.reserve(Edges.size());
+  for (const CallEdge &E : Edges)
+    if (!DeadSites.count(E.Site))
+      Kept.push_back(E);
+  if (Kept.size() == Edges.size())
+    return;
+  Edges = std::move(Kept);
+  SiteEdges.clear();
+  EdgeDedup.clear();
+  for (unsigned I = 0, N = static_cast<unsigned>(Edges.size()); I != N; ++I) {
+    const CallEdge &E = Edges[I];
+    SiteEdges[E.Site].push_back(I);
+    EdgeDedup.insert({E.CallerNode, E.Site, E.CalleeNode});
+  }
+}
+
+bool CallGraph::allReachableFrom(unsigned EntryNode) const {
+  if (EntryNode >= Nodes.size())
+    return Nodes.empty();
+  std::vector<std::vector<unsigned>> Succ(Nodes.size());
+  for (const CallEdge &E : Edges)
+    Succ[E.CallerNode].push_back(E.CalleeNode);
+  std::vector<bool> Seen(Nodes.size(), false);
+  std::vector<unsigned> Stack = {EntryNode};
+  Seen[EntryNode] = true;
+  size_t Count = 1;
+  while (!Stack.empty()) {
+    unsigned N = Stack.back();
+    Stack.pop_back();
+    for (unsigned S : Succ[N])
+      if (!Seen[S]) {
+        Seen[S] = true;
+        ++Count;
+        Stack.push_back(S);
+      }
+  }
+  return Count == Nodes.size();
+}

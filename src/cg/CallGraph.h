@@ -22,6 +22,7 @@
 #include <set>
 #include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace tsl {
@@ -78,6 +79,16 @@ public:
 
   /// Nodes of one method across contexts.
   const std::vector<unsigned> &nodesOf(const Method *M) const;
+
+  /// Incremental retraction: drops every edge whose call site is in
+  /// \p DeadSites (instructions of retired method bodies), compacting
+  /// Edges in stable order and rebuilding the site and dedup indices.
+  /// Nodes are never removed — a node left unreachable is caught by
+  /// allReachableFrom() and triggers the caller's cold fallback.
+  void removeEdgesAtSites(const std::unordered_set<const Instr *> &DeadSites);
+
+  /// True when every node is reachable from \p EntryNode over Edges.
+  bool allReachableFrom(unsigned EntryNode) const;
 
 private:
   std::vector<MethodCtx> Nodes;

@@ -38,6 +38,32 @@ Local *Method::addLocal(Symbol BaseName, const Type *Ty, bool IsTemp,
   return Locals.back().get();
 }
 
+Method::DetachedBody Method::takeBody() {
+  DetachedBody B;
+  B.Entry = Entry;
+  B.Blocks = std::move(Blocks);
+  B.Locals = std::move(Locals);
+  B.AllInstrs = std::move(AllInstrs);
+  B.NumInstrs = NumInstrs;
+  B.SSAForm = SSAForm;
+  Entry = nullptr;
+  Blocks.clear();
+  Locals.clear();
+  AllInstrs.clear();
+  NumInstrs = 0;
+  SSAForm = false;
+  return B;
+}
+
+void Method::resetBody(DetachedBody Body) {
+  Entry = Body.Entry;
+  Blocks = std::move(Body.Blocks);
+  Locals = std::move(Body.Locals);
+  AllInstrs = std::move(Body.AllInstrs);
+  NumInstrs = Body.NumInstrs;
+  SSAForm = Body.SSAForm;
+}
+
 void Method::renumber() {
   unsigned NextId = 0;
   AllInstrs.clear();

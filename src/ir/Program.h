@@ -152,6 +152,31 @@ public:
   bool isSSA() const { return SSAForm; }
   void setSSA(bool V) { SSAForm = V; }
 
+  /// A method body detached by takeBody(): the full CFG, locals and
+  /// instruction storage of one compiled version of the method. The
+  /// incremental recompiler swaps bodies while keeping the Method
+  /// object (and thus its program-wide id and every Method* in
+  /// analysis artifacts) stable. Holding a DetachedBody keeps the old
+  /// Instr* / Local* addresses alive, so stale hash-map keys in
+  /// retained analysis state can still be erased (or safely compared)
+  /// without ever dereferencing freed memory.
+  struct DetachedBody {
+    BasicBlock *Entry = nullptr;
+    std::vector<std::unique_ptr<BasicBlock>> Blocks;
+    std::vector<std::unique_ptr<Local>> Locals;
+    std::vector<Instr *> AllInstrs;
+    unsigned NumInstrs = 0;
+    bool SSAForm = false;
+  };
+
+  /// Detaches the current body, leaving the method empty (no entry, no
+  /// blocks, no locals) and ready for re-lowering.
+  DetachedBody takeBody();
+
+  /// Restores a body previously detached with takeBody(), discarding
+  /// whatever the method currently holds.
+  void resetBody(DetachedBody Body);
+
 private:
   Symbol Name;
   ClassDef *Owner;

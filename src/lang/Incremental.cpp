@@ -1,0 +1,434 @@
+//===-- Incremental.cpp - Function-granular source diffing ----------------==//
+
+#include "lang/Incremental.h"
+
+#include "lang/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace tsl;
+
+namespace {
+
+/// A maximal run of tokens that is either one function body (the brace
+/// block of a `def`, including both braces) or the skeleton text
+/// between two bodies.
+struct Region {
+  bool IsBody = false;
+  size_t Begin = 0, End = 0; ///< Token index range [Begin, End).
+  // Body regions only:
+  size_t DefIdx = 0;     ///< Index of the `def` token.
+  std::string Name;      ///< Function name.
+  std::string ClassName; ///< Enclosing class, empty for top-level.
+};
+
+struct ScanResult {
+  bool Ok = false;
+  std::string Reason;
+  std::vector<Token> Toks;
+  std::vector<Region> Regions;
+};
+
+/// Tokenizes \p Src into \p Toks (Eof included). Returns false on lex
+/// errors.
+bool lexAll(std::string_view Src, std::vector<Token> &Toks) {
+  DiagnosticEngine Diag;
+  Lexer Lex(Src, Diag);
+  for (;;) {
+    Token T = Lex.next();
+    bool AtEof = T.is(TokKind::Eof);
+    Toks.push_back(std::move(T));
+    if (AtEof)
+      break;
+  }
+  return !Diag.hasErrors();
+}
+
+/// Splits an already-lexed stream into skeleton and body regions.
+/// Tracks the enclosing class of each `def` so the caller can name
+/// dirty methods. Bodies are skipped wholesale (statement braces never
+/// open a new declaration scope in ThinJ). Sets R.Ok.
+void buildRegions(ScanResult &R) {
+  const std::vector<Token> &Toks = R.Toks;
+  size_t N = Toks.size();
+  std::string PendingClass, CurrentClass, PendingFn;
+  int Depth = 0, ClassDepth = -1;
+  bool ExpectBody = false;
+  size_t DefIdx = 0, SkelBegin = 0;
+  for (size_t I = 0; I < N; ++I) {
+    const Token &T = Toks[I];
+    switch (T.Kind) {
+    case TokKind::KwClass:
+      if (I + 1 < N && Toks[I + 1].is(TokKind::Ident))
+        PendingClass = Toks[I + 1].Text;
+      break;
+    case TokKind::KwDef:
+      if (ExpectBody) {
+        R.Reason = "malformed declaration";
+        return;
+      }
+      ExpectBody = true;
+      DefIdx = I;
+      PendingFn = I + 1 < N && Toks[I + 1].is(TokKind::Ident)
+                      ? Toks[I + 1].Text
+                      : std::string();
+      break;
+    case TokKind::LBrace: {
+      if (!ExpectBody) {
+        ++Depth;
+        if (!PendingClass.empty()) {
+          CurrentClass = std::move(PendingClass);
+          PendingClass.clear();
+          ClassDepth = Depth;
+        }
+        break;
+      }
+      // Body block: find the matching close brace.
+      int D = 0;
+      size_t J = I;
+      for (; J < N; ++J) {
+        if (Toks[J].is(TokKind::LBrace))
+          ++D;
+        else if (Toks[J].is(TokKind::RBrace) && --D == 0)
+          break;
+        else if (Toks[J].is(TokKind::Eof))
+          break;
+      }
+      if (J >= N || !Toks[J].is(TokKind::RBrace)) {
+        R.Reason = "unbalanced braces";
+        return;
+      }
+      if (SkelBegin < I)
+        R.Regions.push_back({false, SkelBegin, I, 0, {}, {}});
+      Region Body;
+      Body.IsBody = true;
+      Body.Begin = I;
+      Body.End = J + 1;
+      Body.DefIdx = DefIdx;
+      Body.Name = PendingFn;
+      Body.ClassName = CurrentClass;
+      R.Regions.push_back(std::move(Body));
+      I = J;
+      SkelBegin = J + 1;
+      ExpectBody = false;
+      break;
+    }
+    case TokKind::RBrace:
+      if (Depth == ClassDepth) {
+        CurrentClass.clear();
+        ClassDepth = -1;
+      }
+      --Depth;
+      break;
+    default:
+      break;
+    }
+  }
+  if (SkelBegin < N)
+    R.Regions.push_back({false, SkelBegin, N, 0, {}, {}});
+  R.Ok = true;
+}
+
+/// Full scan: lex everything, then split into regions.
+ScanResult scanUnit(std::string_view Src) {
+  ScanResult R;
+  if (!lexAll(Src, R.Toks)) {
+    R.Reason = "lex error";
+    return R;
+  }
+  buildRegions(R);
+  return R;
+}
+
+/// Views of each source line, excluding the trailing newline. A final
+/// line without '\n' is included; a trailing '\n' does not create an
+/// empty extra line.
+std::vector<std::string_view> splitLines(std::string_view Src) {
+  std::vector<std::string_view> Lines;
+  size_t Begin = 0;
+  for (size_t I = 0; I < Src.size(); ++I)
+    if (Src[I] == '\n') {
+      Lines.push_back(Src.substr(Begin, I - Begin));
+      Begin = I + 1;
+    }
+  if (Begin < Src.size())
+    Lines.push_back(Src.substr(Begin));
+  return Lines;
+}
+
+/// Incremental scan of \p NewSrc against an already-scanned \p OldSrc.
+/// ThinJ lexing is line-independent — no token or comment spans a
+/// newline — so a token stream can be assembled per line: lines in the
+/// common prefix and common suffix of the two sources reuse the old
+/// tokens (suffix tokens shifted by the net line delta) and only the
+/// middle window is actually lexed. The result is bit-identical to a
+/// full scanUnit(NewSrc) (verified in debug builds).
+ScanResult scanStitched(std::string_view NewSrc, std::string_view OldSrc,
+                        const ScanResult &OldScan) {
+  std::vector<std::string_view> OldLines = splitLines(OldSrc);
+  std::vector<std::string_view> NewLines = splitLines(NewSrc);
+  const size_t MinLines = std::min(OldLines.size(), NewLines.size());
+  size_t LP = 0;
+  while (LP < MinLines && OldLines[LP] == NewLines[LP])
+    ++LP;
+  size_t LS = 0;
+  while (LS < MinLines - LP &&
+         OldLines[OldLines.size() - 1 - LS] == NewLines[NewLines.size() - 1 - LS])
+    ++LS;
+  const long Delta =
+      static_cast<long>(NewLines.size()) - static_cast<long>(OldLines.size());
+
+  ScanResult R;
+  R.Toks.reserve(OldScan.Toks.size() + 16);
+
+  // Prefix: lines 1..LP are byte-identical, so their old tokens are the
+  // new tokens.
+  const std::vector<Token> &OT = OldScan.Toks;
+  size_t I = 0;
+  for (; I < OT.size() && !OT[I].is(TokKind::Eof) && OT[I].Loc.Line <= LP; ++I)
+    R.Toks.push_back(OT[I]);
+
+  // Middle: the only window that needs a real lex. Lines are 1-based in
+  // the standalone buffer, so shift by LP afterwards.
+  size_t MidBegin = 0;
+  for (size_t L = 0; L < LP; ++L)
+    MidBegin += NewLines[L].size() + 1;
+  size_t MidEnd = NewSrc.size();
+  if (LS) {
+    MidEnd = 0;
+    for (size_t L = 0; L < NewLines.size() - LS; ++L)
+      MidEnd += NewLines[L].size() + 1;
+  }
+  if (MidEnd > MidBegin) {
+    DiagnosticEngine Diag;
+    Lexer Lex(NewSrc.substr(MidBegin, MidEnd - MidBegin), Diag);
+    for (;;) {
+      Token T = Lex.next();
+      if (T.is(TokKind::Eof))
+        break;
+      T.Loc.Line += static_cast<uint32_t>(LP);
+      R.Toks.push_back(std::move(T));
+    }
+    if (Diag.hasErrors()) {
+      R.Reason = "lex error";
+      return R;
+    }
+  }
+
+  // Suffix: bottom-aligned identical lines; same tokens at a uniform
+  // line shift.
+  const size_t OldSuffixFirst = OldLines.size() - LS + 1;
+  for (size_t K = I; K < OT.size() && !OT[K].is(TokKind::Eof); ++K) {
+    if (OT[K].Loc.Line < OldSuffixFirst)
+      continue;
+    Token T = OT[K];
+    T.Loc.Line = static_cast<uint32_t>(static_cast<long>(T.Loc.Line) + Delta);
+    R.Toks.push_back(std::move(T));
+  }
+
+  // Eof carries the end-of-buffer location: line = newline count + 1,
+  // column = bytes after the last newline + 1 (see Lexer::advance).
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  size_t LastNl = NewSrc.rfind('\n');
+  uint32_t NlCount = 0;
+  for (char C : NewSrc)
+    NlCount += C == '\n';
+  Eof.Loc.Line = NlCount + 1;
+  Eof.Loc.Col = static_cast<uint32_t>(
+      (LastNl == std::string_view::npos ? NewSrc.size()
+                                        : NewSrc.size() - LastNl - 1) +
+      1);
+  R.Toks.push_back(std::move(Eof));
+
+#ifndef NDEBUG
+  // The stitch must be indistinguishable from a full lex.
+  {
+    std::vector<Token> Full;
+    bool Ok = lexAll(NewSrc, Full);
+    assert(Ok && "stitched lex succeeded where full lex fails");
+    assert(Full.size() == R.Toks.size() && "stitched lex token count differs");
+    for (size_t T = 0; T < Full.size(); ++T) {
+      const Token &A = Full[T], &B = R.Toks[T];
+      assert(A.Kind == B.Kind && A.Text == B.Text &&
+             A.IntValue == B.IntValue && A.Loc.Line == B.Loc.Line &&
+             A.Loc.Col == B.Loc.Col && "stitched lex token differs");
+    }
+    (void)Ok;
+  }
+#endif
+
+  buildRegions(R);
+  return R;
+}
+
+/// Token equality modulo a uniform line shift: same kind, same payload,
+/// same column, and the new line exceeds the old by exactly \p Delta.
+bool tokenMatches(const Token &Old, const Token &New, long Delta) {
+  return Old.Kind == New.Kind && Old.Text == New.Text &&
+         Old.IntValue == New.IntValue && Old.Loc.Col == New.Loc.Col &&
+         static_cast<long>(New.Loc.Line) - static_cast<long>(Old.Loc.Line) ==
+             Delta;
+}
+
+/// Byte offsets of the first character of each line.
+std::vector<size_t> lineStarts(std::string_view Src) {
+  std::vector<size_t> Starts = {0};
+  for (size_t I = 0; I < Src.size(); ++I)
+    if (Src[I] == '\n')
+      Starts.push_back(I + 1);
+  return Starts;
+}
+
+size_t byteOffset(const std::vector<size_t> &Starts, SourceLoc Loc) {
+  if (Loc.Line == 0 || Loc.Line > Starts.size())
+    return 0;
+  return Starts[Loc.Line - 1] + (Loc.Col > 0 ? Loc.Col - 1 : 0);
+}
+
+} // namespace
+
+/// Memo of the last scanned unit: the source bytes and their scan.
+/// Guarded by content equality, so a stale cache can only cost time,
+/// never correctness.
+struct ScanCache::Impl {
+  bool Valid = false;
+  std::string Src;
+  ScanResult Scan;
+};
+
+ScanCache::ScanCache() : P(std::make_unique<Impl>()) {}
+ScanCache::~ScanCache() = default;
+
+long SourceDiff::shiftForOldLine(unsigned OldLine) const {
+  if (OldLine == 0)
+    return 0;
+  long Delta = 0;
+  for (const auto &[Threshold, Cum] : Steps) {
+    if (OldLine <= Threshold)
+      break;
+    Delta = Cum;
+  }
+  return Delta;
+}
+
+SourceDiff tsl::diffThinJSource(std::string_view OldSrc,
+                                std::string_view NewSrc, ScanCache *Cache) {
+  SourceDiff D;
+  auto Fail = [&](const char *Why) {
+    D.Eligible = false;
+    D.Reason = Why;
+    return D;
+  };
+  // Column→byte-offset mapping assumes one byte per column.
+  if (OldSrc.find('\t') != std::string_view::npos ||
+      NewSrc.find('\t') != std::string_view::npos)
+    return Fail("tab characters in source");
+
+  // Old side: reuse the cached scan when it is for these exact bytes.
+  ScanResult OldLocal;
+  const bool OldCached =
+      Cache && Cache->P->Valid && Cache->P->Src == OldSrc;
+  if (!OldCached) {
+    OldLocal = scanUnit(OldSrc);
+    if (!OldLocal.Ok)
+      return Fail(OldLocal.Reason.c_str());
+  }
+  const ScanResult &Old = OldCached ? Cache->P->Scan : OldLocal;
+  // New side: stitch around the changed lines instead of re-lexing the
+  // whole unit.
+  ScanResult New = scanStitched(NewSrc, OldSrc, Old);
+  if (!New.Ok)
+    return Fail(New.Reason.c_str());
+
+  if (Old.Regions.size() != New.Regions.size())
+    return Fail("declaration structure changed");
+
+  std::vector<size_t> NewStarts = lineStarts(NewSrc);
+  long Cum = 0;
+  for (size_t R = 0; R < Old.Regions.size(); ++R) {
+    const Region &OR = Old.Regions[R];
+    const Region &NR = New.Regions[R];
+    if (OR.IsBody != NR.IsBody)
+      return Fail("declaration structure changed");
+
+    size_t OLen = OR.End - OR.Begin, NLen = NR.End - NR.Begin;
+    if (!OR.IsBody) {
+      // Skeleton: every token must survive the edit verbatim, shifted
+      // by the cumulative line delta of the dirty bodies above it.
+      if (OLen != NLen)
+        return Fail("declaration skeleton changed");
+      for (size_t I = 0; I < OLen; ++I)
+        if (!tokenMatches(Old.Toks[OR.Begin + I], New.Toks[NR.Begin + I], Cum))
+          return Fail("declaration skeleton changed");
+      continue;
+    }
+
+    ++D.TotalFunctions;
+    // Identity is derived from the (already validated) skeleton, so
+    // the k-th old body and the k-th new body name the same function.
+    bool Unchanged = OLen == NLen;
+    for (size_t I = 0; Unchanged && I < OLen; ++I)
+      Unchanged =
+          tokenMatches(Old.Toks[OR.Begin + I], New.Toks[NR.Begin + I], Cum);
+    if (Unchanged)
+      continue;
+
+    const Token &OldClose = Old.Toks[OR.End - 1];
+    const Token &NewClose = New.Toks[NR.End - 1];
+    long NewCum = static_cast<long>(NewClose.Loc.Line) -
+                  static_cast<long>(OldClose.Loc.Line);
+    if (NewCum != Cum) {
+      // The edit changed the body's line count. Retained-location
+      // patching is per-line, so refuse layouts where another token
+      // shares the closing brace's line (one-decl-per-line is the
+      // overwhelmingly common case; falling back is sound).
+      if (OR.End < Old.Toks.size() &&
+          Old.Toks[OR.End].Loc.Line == OldClose.Loc.Line)
+        return Fail("same-line declaration after edited body");
+      if (NR.End < New.Toks.size() &&
+          New.Toks[NR.End].Loc.Line == NewClose.Loc.Line)
+        return Fail("same-line declaration after edited body");
+    }
+
+    SourceDiff::DirtyFn Fn;
+    Fn.Name = NR.Name;
+    Fn.ClassName = NR.ClassName;
+    const Token &Def = New.Toks[NR.DefIdx];
+    Fn.DeclLine = Def.Loc.Line;
+    Fn.DeclCol = Def.Loc.Col;
+    Fn.OldBeginLine = Old.Toks[OR.DefIdx].Loc.Line;
+    Fn.OldEndLine = OldClose.Loc.Line;
+    // Fragment: the decl header and body exactly as they appear in the
+    // new source, padded so a standalone parse reproduces the cold
+    // parse's source locations byte for byte.
+    size_t From = byteOffset(NewStarts, Def.Loc);
+    size_t To = byteOffset(NewStarts, NewClose.Loc) + 1;
+    Fn.Fragment.assign(Fn.DeclLine > 0 ? Fn.DeclLine - 1 : 0, '\n');
+    Fn.Fragment.append(Fn.DeclCol > 0 ? Fn.DeclCol - 1 : 0, ' ');
+    Fn.Fragment.append(NewSrc.substr(From, To - From));
+    D.Dirty.push_back(std::move(Fn));
+
+    Cum = NewCum;
+    D.Steps.emplace_back(OldClose.Loc.Line, Cum);
+  }
+
+  // Memoize the new scan: the next edit in this stream will diff
+  // against exactly these bytes. (Ineligible diffs fall back to a cold
+  // rebuild, after which the session's source no longer matches the
+  // cache — the guard above catches that and rescans.)
+  if (Cache) {
+    Cache->P->Src.assign(NewSrc.data(), NewSrc.size());
+    Cache->P->Scan = std::move(New);
+    Cache->P->Valid = true;
+  }
+
+  D.Eligible = true;
+  return D;
+}

@@ -8,6 +8,7 @@
 #include "lang/Parser.h"
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 using namespace tsl;
@@ -161,10 +162,32 @@ public:
       : Module(Module), Diag(Diag), Options(Options),
         P(std::make_unique<Program>()) {}
 
+  /// Adopt mode, for incremental relowering: operates on an existing
+  /// program instead of building a fresh one. run() must not be called
+  /// on an adopted Lowering; use relowerBody().
+  Lowering(Program &Existing, const AstModule &Module, DiagnosticEngine &Diag,
+           const CompileOptions &Options)
+      : Module(Module), Diag(Diag), Options(Options), Adopted(&Existing) {}
+
   std::unique_ptr<Program> run();
+
+  /// Lowers one method body against the adopted program. The caller
+  /// has already detached the method's previous body.
+  void relowerBody(Method &M, const MethodDeclAst &Decl) {
+    Program &PP = prog();
+    if (TopLevel.empty())
+      for (const auto &MP : PP.methods())
+        if (!MP->owner() && PP.strings().str(MP->name()) != "$clinit")
+          TopLevel[PP.strings().str(MP->name())] = MP.get();
+    BodyLowering BL(*this, &M, M.owner());
+    BL.run(&Decl);
+  }
 
 private:
   friend class BodyLowering;
+
+  /// The program being built (cold) or patched (adopt mode).
+  Program &prog() const { return Adopted ? *Adopted : *P; }
 
   void declareClasses();
   void declareMembers();
@@ -177,6 +200,7 @@ private:
   DiagnosticEngine &Diag;
   const CompileOptions &Options;
   std::unique_ptr<Program> P;
+  Program *Adopted = nullptr;
 
   // AST back-pointers for body lowering.
   std::unordered_map<const MethodDeclAst *, Method *> MethodOf;
@@ -196,7 +220,7 @@ void BodyLowering::error(SourceLoc Loc, const std::string &Msg) {
   Outer.Diag.error(Loc, Msg);
 }
 
-Program &BodyLowering::program() { return *Outer.P; }
+Program &BodyLowering::program() { return Outer.prog(); }
 
 const Type *BodyLowering::typeOf(const TypeExprAst &T, bool AllowVoid) {
   Program &P = program();
@@ -237,7 +261,7 @@ bool BodyLowering::isAssignable(const Type *To, const Type *From) const {
     return true;
   if (From->isNull() && To->isReference())
     return true;
-  if (To->isClass() && To->classDef() == Outer.P->objectClass() &&
+  if (To->isClass() && To->classDef() == Outer.prog().objectClass() &&
       From->isReference())
     return true;
   if (To->isClass() && From->isClass() &&
@@ -248,7 +272,7 @@ bool BodyLowering::isAssignable(const Type *To, const Type *From) const {
 
 std::string BodyLowering::typeName(const Type *Ty) const {
   if (Ty->isClass())
-    return Outer.P->strings().str(Ty->classDef()->name());
+    return Outer.prog().strings().str(Ty->classDef()->name());
   if (Ty->isArray())
     return typeName(Ty->element()) + "[]";
   return Ty->str();
@@ -687,7 +711,7 @@ ClassDef *BodyLowering::asClassName(const ExprAst *E) const {
   const auto *NR = dyn_cast<NameRefExpr>(E);
   if (!NR)
     return nullptr;
-  Program &P = *Outer.P;
+  Program &P = Outer.prog();
   Symbol Name = P.strings().lookup(NR->Name);
   if (!Name)
     return nullptr;
@@ -1561,4 +1585,139 @@ tsl::compileThinJChecked(std::string_view Source, DiagnosticEngine &Diag,
     }
   }
   return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental recompilation
+//===----------------------------------------------------------------------===//
+
+bool tsl::relowerMethodBody(Program &P, Method &M, const MethodDeclAst &Decl,
+                            DiagnosticEngine &Diag,
+                            const CompileOptions &Options) {
+  const unsigned EntryErrors = Diag.errorCount();
+  AstModule Empty;
+  Lowering L(P, Empty, Diag, Options);
+  L.relowerBody(M, Decl);
+  if (Diag.errorCount() != EntryErrors)
+    return false;
+
+  // Replay of selectMain(): static initialization runs before main's
+  // body, so a relowered main gets the $clinit call re-prepended.
+  if (P.mainMethod() == &M) {
+    Method *Clinit = nullptr;
+    for (const auto &MP : P.methods())
+      if (!MP->owner() && P.strings().str(MP->name()) == "$clinit")
+        Clinit = MP.get();
+    if (Clinit && M.entry()) {
+      auto Call = std::make_unique<CallInstr>(nullptr, Clinit,
+                                              /*IsVirtual=*/false, nullptr,
+                                              std::vector<Local *>{});
+      M.entry()->prepend(std::move(Call));
+    }
+  }
+  // Instruction ids are method-local and dense, so renumbering here
+  // cannot disturb any other method's artifacts.
+  M.renumber();
+  if (Options.BuildSSA)
+    buildSSA(P, M);
+  if (Options.VerifyIR) {
+    std::vector<std::string> Violations = verifyMethod(P, M);
+    for (const std::string &V : Violations)
+      Diag.error(SourceLoc(), "verifier: " + V);
+    if (!Violations.empty())
+      return false;
+  }
+  return true;
+}
+
+IncrementalCompileResult
+tsl::applyIncrementalCompile(Program &P, const SourceDiff &Diff,
+                             const CompileOptions &Options) {
+  IncrementalCompileResult R;
+  if (!Diff.Eligible) {
+    R.Reason = Diff.Reason.empty() ? "ineligible diff" : Diff.Reason;
+    return R;
+  }
+
+  // Resolve every dirty function and parse every fragment up front, so
+  // failures here leave the program untouched.
+  struct Job {
+    Method *M = nullptr;
+    AstModule Ast;
+    const MethodDeclAst *Decl = nullptr;
+  };
+  std::vector<Job> Jobs;
+  for (const SourceDiff::DirtyFn &Fn : Diff.Dirty) {
+    Job J;
+    Symbol Name = P.strings().lookup(Fn.Name);
+    if (!Fn.ClassName.empty()) {
+      ClassDef *C = P.findClass(P.strings().lookup(Fn.ClassName));
+      J.M = C && Name ? C->findOwnMethod(Name) : nullptr;
+    } else if (Name) {
+      for (const auto &MP : P.methods())
+        if (!MP->owner() && MP->name() == Name) {
+          J.M = MP.get();
+          break;
+        }
+    }
+    if (!J.M) {
+      R.Reason = "cannot resolve edited function '" + Fn.Name + "'";
+      return R;
+    }
+    DiagnosticEngine FragDiag;
+    if (!parseModule(Fn.Fragment, J.Ast, FragDiag) || FragDiag.hasErrors()) {
+      R.Reason = "parse error in edited '" + Fn.Name + "'";
+      return R;
+    }
+    Jobs.push_back(std::move(J));
+  }
+  // Decl pointers are taken only once Jobs stops reallocating.
+  for (Job &J : Jobs) {
+    if (!J.Ast.Classes.empty() || J.Ast.Functions.size() != 1) {
+      R.Reason = "unexpected fragment shape";
+      return R;
+    }
+    J.Decl = &J.Ast.Functions[0];
+  }
+
+  // Swap in the new bodies. From here on a failure leaves the program
+  // in a mixed state: the caller must discard it and cold-compile (the
+  // returned RetiredBodies keep the detached storage alive until then).
+  DiagnosticEngine Diag;
+  for (Job &J : Jobs) {
+    R.DirtyMethods.push_back(J.M);
+    R.RetiredBodies.push_back(J.M->takeBody());
+    if (!relowerMethodBody(P, *J.M, *J.Decl, Diag, Options)) {
+      R.Reason = "relower failed";
+      for (const Diagnostic &D : Diag.diagnostics())
+        if (D.Kind == DiagKind::Error) {
+          R.Reason += ": " + D.str();
+          break;
+        }
+      return R;
+    }
+  }
+
+  // Shift retained source locations of unchanged bodies past edits
+  // that grew or shrank a body's line count.
+  if (!Diff.Steps.empty()) {
+    std::unordered_set<const Method *> DirtySet(R.DirtyMethods.begin(),
+                                                R.DirtyMethods.end());
+    for (const auto &MP : P.methods()) {
+      if (DirtySet.count(MP.get()))
+        continue;
+      for (Instr *I : MP->instrs()) {
+        SourceLoc L = I->loc();
+        if (L.Line == 0)
+          continue;
+        long D = Diff.shiftForOldLine(L.Line);
+        if (D)
+          I->setLoc(SourceLoc(static_cast<uint32_t>(
+                                  static_cast<long>(L.Line) + D),
+                              L.Col));
+      }
+    }
+  }
+  R.Applied = true;
+  return R;
 }

@@ -16,11 +16,14 @@
 
 #include "ir/Program.h"
 #include "lang/Ast.h"
+#include "lang/Incremental.h"
 #include "support/Diagnostics.h"
 #include "support/Status.h"
 
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace tsl {
 
@@ -62,6 +65,45 @@ std::unique_ptr<Program> compileThinJ(std::string_view Source,
 Expected<std::unique_ptr<Program>>
 compileThinJChecked(std::string_view Source, DiagnosticEngine &Diag,
                     const CompileOptions &Options = {});
+
+//===----------------------------------------------------------------------===//
+// Incremental recompilation
+//===----------------------------------------------------------------------===//
+
+/// Lowers \p Decl's body into \p M, which must belong to \p P and have
+/// had its previous body detached with takeBody(). Re-runs SSA and the
+/// per-method verifier per \p Options, and re-prepends the $clinit
+/// call when \p M is the entry point. Returns false (with diagnostics
+/// in \p Diag) on any semantic or verifier error; the method body is
+/// then in an unusable state and the caller must fall back to a cold
+/// compile of the whole unit.
+bool relowerMethodBody(Program &P, Method &M, const MethodDeclAst &Decl,
+                       DiagnosticEngine &Diag,
+                       const CompileOptions &Options = {});
+
+/// Outcome of applyIncrementalCompile().
+struct IncrementalCompileResult {
+  /// True when every dirty body was swapped in successfully; the
+  /// program is now byte-equivalent to a cold compile of the new
+  /// source. When false, Reason says why — and if RetiredBodies is
+  /// non-empty the program was already mutated and must be discarded.
+  bool Applied = false;
+  std::string Reason;
+  /// The relowered methods, in diff order.
+  std::vector<Method *> DirtyMethods;
+  /// Detached previous bodies, parallel to DirtyMethods. Keep these
+  /// alive as long as any analysis artifact may hold the old Instr* /
+  /// Local* pointers as (stale) map keys.
+  std::vector<Method::DetachedBody> RetiredBodies;
+};
+
+/// Applies an eligible SourceDiff to \p P: reparses and relowers each
+/// dirty function body in place and shifts retained instruction
+/// source locations across line-count changes, so the program matches
+/// a cold compile of the new source byte for byte.
+IncrementalCompileResult
+applyIncrementalCompile(Program &P, const SourceDiff &Diff,
+                        const CompileOptions &Options = {});
 
 } // namespace tsl
 

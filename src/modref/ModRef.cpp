@@ -135,14 +135,98 @@ ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn,
   // Direct effects, sequential in method order: getPartition interns
   // partition ids in first-seen order, so this scan fixes the id
   // space every downstream consumer (and every serialized artifact)
-  // depends on.
+  // depends on. The per-method copies feed the incremental path.
   std::vector<BitSet> DirectMod(NumM), DirectRef(NumM);
+  for (unsigned I = 0; I != NumM; ++I) {
+    collectDirect(Reachable[I], PTA, DirectMod[I], DirectRef[I]);
+    DirectModM[Reachable[I]] = DirectMod[I];
+    DirectRefM[Reachable[I]] = DirectRef[I];
+  }
+
+  BudgetGate Gate(Budget, "modref.closure",
+                  Budget ? Budget->MaxModRefSteps : 0);
+  closeOverCallGraph(Reachable, DirectMod, DirectRef, Gate, Pool);
+
+  if (Gate.exhausted()) {
+    // Sound fallback: every reachable method may read and write every
+    // partition interned by the direct-effect scan (the closure never
+    // creates new partitions, it only unions existing ones).
+    BitSet AllParts;
+    for (unsigned Id = 0, E = numPartitions(); Id != E; ++Id)
+      AllParts.insert(Id);
+    for (Method *M : Reachable) {
+      Mod[M] = AllParts;
+      Ref[M] = AllParts;
+    }
+    Report.Status = StageStatus::Degraded;
+    Report.Reason = Gate.reason();
+    Report.Fallback = "all-partitions mod/ref";
+  }
+  Report.StepsUsed = Gate.used();
+  Report.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+}
+
+bool ModRefResult::updateIncremental(
+    const std::vector<Method *> &AffectedMethods) {
+  if (Report.Status != StageStatus::Complete)
+    return false;
+  auto T0 = std::chrono::steady_clock::now();
+  const CallGraph &CG = PTA.callGraph();
+  std::vector<Method *> Reachable = CG.reachableMethods();
+  const unsigned NumM = static_cast<unsigned>(Reachable.size());
+  std::unordered_set<const Method *> Dirty(AffectedMethods.begin(),
+                                           AffectedMethods.end());
+
+  // The gate carries no budget (the incremental path is only taken
+  // for unbudgeted sessions) but surfaces "modref.update" faults for
+  // the chaos harness.
+  BudgetGate Gate(nullptr, "modref.update", 0);
+
+  // Re-scan direct effects for affected and newly reachable methods;
+  // everything else reuses its cached set. The scan stays in method
+  // order so newly interned partition ids are deterministic.
+  std::vector<BitSet> DirectMod(NumM), DirectRef(NumM);
+  for (unsigned I = 0; I != NumM; ++I) {
+    Method *M = Reachable[I];
+    auto HaveMod = DirectModM.find(M);
+    if (HaveMod == DirectModM.end() || Dirty.count(M)) {
+      if (Gate.spend())
+        return false; // Injected fault: caller rebuilds cold.
+      BitSet DM, DR;
+      collectDirect(M, PTA, DM, DR);
+      DirectModM[M] = DM;
+      DirectRefM[M] = DR;
+      DirectMod[I] = std::move(DM);
+      DirectRef[I] = std::move(DR);
+    } else {
+      DirectMod[I] = HaveMod->second;
+      DirectRef[I] = DirectRefM[M];
+    }
+  }
+
+  closeOverCallGraph(Reachable, DirectMod, DirectRef, Gate, nullptr);
+  if (Gate.exhausted())
+    return false; // Injected fault: caller rebuilds cold.
+
+  Report.StepsUsed += Gate.used();
+  Report.Seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  return true;
+}
+
+void ModRefResult::closeOverCallGraph(const std::vector<Method *> &Reachable,
+                                      const std::vector<BitSet> &DirectMod,
+                                      const std::vector<BitSet> &DirectRef,
+                                      BudgetGate &Gate, ThreadPool *Pool) {
+  const CallGraph &CG = PTA.callGraph();
+  const unsigned NumM = static_cast<unsigned>(Reachable.size());
   std::unordered_map<const Method *, unsigned> Idx;
   Idx.reserve(NumM);
   for (unsigned I = 0; I != NumM; ++I)
     Idx.emplace(Reachable[I], I);
-  for (unsigned I = 0; I != NumM; ++I)
-    collectDirect(Reachable[I], PTA, DirectMod[I], DirectRef[I]);
 
   // Method-level callee adjacency, deduplicated and sorted so the
   // condensation below is deterministic.
@@ -253,9 +337,6 @@ ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn,
   for (unsigned S = 0; S != NumComps; ++S)
     Waves[Depth[S]].push_back(S);
 
-  BudgetGate Gate(Budget, "modref.closure",
-                  Budget ? Budget->MaxModRefSteps : 0);
-
   // All members of an SCC call each other transitively, so they share
   // one transitive mod/ref set: the union of the members' direct
   // effects and the callee SCCs' sets. This is the same least
@@ -290,31 +371,14 @@ ModRefResult::ModRefResult(const Program &P, const PointsToResult &PTAIn,
         RunScc(I);
   }
 
-  if (!Gate.exhausted())
+  if (!Gate.exhausted()) {
+    Mod.clear();
+    Ref.clear();
     for (unsigned M = 0; M != NumM; ++M) {
       Mod[Reachable[M]] = SccMod[Comp[M]];
       Ref[Reachable[M]] = SccRef[Comp[M]];
     }
-
-  if (Gate.exhausted()) {
-    // Sound fallback: every reachable method may read and write every
-    // partition interned by the direct-effect scan (the closure never
-    // creates new partitions, it only unions existing ones).
-    BitSet AllParts;
-    for (unsigned Id = 0, E = numPartitions(); Id != E; ++Id)
-      AllParts.insert(Id);
-    for (Method *M : Reachable) {
-      Mod[M] = AllParts;
-      Ref[M] = AllParts;
-    }
-    Report.Status = StageStatus::Degraded;
-    Report.Reason = Gate.reason();
-    Report.Fallback = "all-partitions mod/ref";
   }
-  Report.StepsUsed = Gate.used();
-  Report.Seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
-          .count();
 }
 
 const BitSet &ModRefResult::modOf(const Method *M) const {

@@ -81,14 +81,34 @@ public:
   /// all-partitions fallback.
   const StageReport &report() const { return Report; }
 
+  /// Incremental recompute after a points-to update: re-scans direct
+  /// effects only for \p AffectedMethods (and newly reachable
+  /// methods), reuses the cached direct sets of everything else, and
+  /// re-runs the (cheap) transitive closure over the current call
+  /// graph. Partitions first seen here intern at the end of the id
+  /// space, so ids can be permuted relative to a cold run — clients
+  /// compare partition content, never raw ids. Returns false without
+  /// a usable result (previous run degraded, or an injected
+  /// "modref.update" fault fired): the caller must rebuild cold.
+  bool updateIncremental(const std::vector<Method *> &AffectedMethods);
+
 private:
   unsigned getPartition(HeapPartition::Kind K, unsigned Obj, const Field *F);
   void collectDirect(const Method *M, const PointsToResult &PTA,
                      BitSet &Mod, BitSet &Ref);
+  /// SCC-condensation closure over the current call graph: fills
+  /// Mod/Ref from the per-method direct sets unless \p Gate trips.
+  void closeOverCallGraph(const std::vector<Method *> &Reachable,
+                          const std::vector<BitSet> &DirectMod,
+                          const std::vector<BitSet> &DirectRef,
+                          BudgetGate &Gate, ThreadPool *Pool);
 
   std::vector<HeapPartition> Partitions;
   std::unordered_map<uint64_t, unsigned> PartIndex;
   std::unordered_map<const Method *, BitSet> Mod, Ref;
+  /// Per-method direct (non-transitive) effects, kept so the
+  /// incremental path can re-scan only affected methods.
+  std::unordered_map<const Method *, BitSet> DirectModM, DirectRefM;
   const PointsToResult &PTA;
   StageReport Report{"modref", StageStatus::Complete, "", "", 0, 0};
   BitSet EmptySet;

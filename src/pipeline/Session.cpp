@@ -2,8 +2,10 @@
 
 #include "pipeline/Session.h"
 
+#include "lang/Incremental.h"
 #include "support/Watchdog.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -183,6 +185,8 @@ void AnalysisSession::purgeAnalyses() {
   TaintedModRef.clear();
   TaintedSdg.clear();
   TaintedSlices.clear();
+  // No artifact holds retired-body pointers anymore.
+  RetiredBodyStore.clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -275,10 +279,226 @@ void AnalysisSession::purgeAll() {
 }
 
 void AnalysisSession::setSource(std::string NewSource) {
+  if (IncrementalEnabled && trySetSourceIncremental(NewSource))
+    return;
   Source = std::move(NewSource);
   SourceDigest = fnv1a(Source);
   purgeAll();
   bumpFrom(SessionStage::Compile);
+}
+
+bool AnalysisSession::trySetSourceIncremental(const std::string &NewSource) {
+  ++IncStats.Attempts;
+  auto Cold = [&](std::string Why) {
+    ++IncStats.ColdFallbacks;
+    IncStats.LastFallbackReason = std::move(Why);
+    return false;
+  };
+  if (!Prog || !CompileAttempted)
+    return Cold("no compiled program to update");
+  if (Budget)
+    return Cold("budgeted session");
+  if (!CurCompile.BuildSSA)
+    return Cold("incremental path requires SSA compiles");
+
+  SourceDiff D = diffThinJSource(Source, NewSource, &IncScanCache);
+  if (!D.Eligible)
+    return Cold(D.Reason);
+
+  auto T0 = std::chrono::steady_clock::now();
+  StageCounters &CC = counters(SessionStage::Compile);
+  IncrementalCompileResult CR = applyIncrementalCompile(*Prog, D, CurCompile);
+  if (!CR.Applied)
+    // A mid-apply failure (CR.RetiredBodies non-empty) left the
+    // program mutated; the cold path's purge discards it.
+    return Cold(CR.Reason);
+  ++CC.Misses;
+  CC.Seconds += secondsSince(T0);
+  ++IncStats.Applied;
+  IncStats.FunctionsRecompiled += CR.DirtyMethods.size();
+  IncStats.FunctionsReused +=
+      D.TotalFunctions - std::min<std::size_t>(D.TotalFunctions,
+                                               CR.DirtyMethods.size());
+
+  // Keys straddle the digest change: extract under the old, re-insert
+  // under the new.
+  const std::string OldPtaKey = ptaKey();
+  const std::string OldSdgKey = sdgKey();
+  Source = NewSource;
+  SourceDigest = fnv1a(Source);
+  const std::string NewPtaKey = ptaKey();
+  const std::string NewSdgKey = sdgKey();
+
+  // Keep the dead IR alive: retained artifacts still reference the
+  // retired instructions (the PTA object table's allocation sites) as
+  // never-dereferenced keys. Enumerate the dead key sets first.
+  const std::size_t FirstRetired = RetiredBodyStore.size();
+  for (auto &B : CR.RetiredBodies)
+    RetiredBodyStore.push_back(std::move(B));
+  PTAUpdateRequest Req;
+  Req.DirtyMethods = CR.DirtyMethods;
+  for (std::size_t I = FirstRetired; I != RetiredBodyStore.size(); ++I) {
+    const Method::DetachedBody &B = RetiredBodyStore[I];
+    for (const auto &BB : B.Blocks)
+      for (const auto &In : BB->instrs())
+        Req.DeadInstrs.insert(In.get());
+    for (const auto &L : B.Locals)
+      Req.DeadLocals.insert(L.get());
+  }
+
+  // Extract the current-option artifacts (tainted ones stay behind
+  // and die with the purge below — carrying a fault-tainted artifact
+  // through an in-place update would lose the heal-on-next-request
+  // guarantee).
+  std::unique_ptr<PointsToResult> Pta;
+  std::unique_ptr<ModRefResult> MR;
+  std::unique_ptr<SDG> Graph;
+  if (auto It = PtaCache.find(OldPtaKey);
+      It != PtaCache.end() && !TaintedPta.count(OldPtaKey)) {
+    Pta = std::move(It->second);
+    PtaCache.erase(It);
+  }
+  if (auto It = ModRefCache.find(OldPtaKey);
+      It != ModRefCache.end() && !TaintedModRef.count(OldPtaKey)) {
+    MR = std::move(It->second);
+    ModRefCache.erase(It);
+  }
+  if (auto It = SdgCache.find(OldSdgKey);
+      It != SdgCache.end() && !TaintedSdg.count(OldSdgKey)) {
+    Graph = std::move(It->second);
+    SdgCache.erase(It);
+  }
+
+  // Everything else — other option variants, engines, slices,
+  // summaries — is stale against the new source.
+  counters(SessionStage::Slice).Invalidated += SliceCache.size();
+  SliceCache.clear();
+  TaintedSlices.clear();
+  counters(SessionStage::Engine).Invalidated += EngineCache.size();
+  EngineCache.clear();
+  counters(SessionStage::SDGBuild).Invalidated += SdgCache.size();
+  SdgCache.clear();
+  TaintedSdg.clear();
+  counters(SessionStage::ModRef).Invalidated += ModRefCache.size();
+  ModRefCache.clear();
+  TaintedModRef.clear();
+  counters(SessionStage::PTA).Invalidated += PtaCache.size();
+  PtaCache.clear();
+  TaintedPta.clear();
+  Summaries.clear();
+
+  // Stage updates, each with transparent per-stage cold fallback: a
+  // declined/faulted update drops that artifact and its dependents,
+  // and the next accessor recomputes them cold. No-edit reloads
+  // (zero dirty bodies) re-key everything verbatim.
+  const bool NeedUpdates = !CR.DirtyMethods.empty();
+  std::vector<Method *> Affected;
+  PointsToResult *LivePta = nullptr;
+  auto StageFallback = [&](const char *Stage, const std::string &Why,
+                           SessionStage S) {
+    ++IncStats.StageFallbacks;
+    IncStats.LastFallbackReason = std::string(Stage) + ": " + Why;
+    ++counters(S).Invalidated;
+  };
+  if (Pta) {
+    bool Keep = true;
+    if (NeedUpdates) {
+      StageCounters &PC = counters(SessionStage::PTA);
+      auto TP = std::chrono::steady_clock::now();
+      try {
+        PTAUpdateResult U = Pta->applyIncrementalUpdate(Req);
+        PC.Seconds += secondsSince(TP);
+        if (U.Applied) {
+          Affected = std::move(U.AffectedMethods);
+        } else {
+          StageFallback("pta", U.Reason, SessionStage::PTA);
+          Keep = false;
+        }
+      } catch (const std::exception &E) {
+        PC.Seconds += secondsSince(TP);
+        StageFallback("pta", E.what(), SessionStage::PTA);
+        Keep = false;
+      }
+    }
+    if (Keep) {
+      ++IncStats.PtaUpdates;
+      ++counters(SessionStage::PTA).Hits;
+      LivePta = Pta.get();
+      PtaCache.emplace(NewPtaKey, std::move(Pta));
+    } else {
+      Pta.reset();
+    }
+  }
+  if (MR) {
+    bool Keep = LivePta != nullptr; // Mod-ref references the PTA result.
+    if (!Keep) {
+      ++counters(SessionStage::ModRef).Invalidated;
+    } else if (NeedUpdates) {
+      StageCounters &MC = counters(SessionStage::ModRef);
+      auto TM = std::chrono::steady_clock::now();
+      try {
+        if (!MR->updateIncremental(Affected)) {
+          StageFallback("modref", "update declined", SessionStage::ModRef);
+          Keep = false;
+        }
+        MC.Seconds += secondsSince(TM);
+      } catch (const std::exception &E) {
+        MC.Seconds += secondsSince(TM);
+        StageFallback("modref", E.what(), SessionStage::ModRef);
+        Keep = false;
+      }
+    }
+    if (Keep) {
+      ++IncStats.ModRefUpdates;
+      ++counters(SessionStage::ModRef).Hits;
+      ModRefCache.emplace(NewPtaKey, std::move(MR));
+    } else {
+      MR.reset();
+    }
+  }
+  if (Graph) {
+    // A context-sensitive graph references the mod-ref artifact and
+    // the patcher only supports the context-insensitive form; it
+    // rebuilds cold. Same for any dependency that fell back above.
+    bool Keep = LivePta && !CurSdg.ContextSensitive &&
+                (!CurSdg.ContextSensitive || ModRefCache.count(NewPtaKey));
+    if (!Keep) {
+      StageFallback("sdg",
+                    CurSdg.ContextSensitive ? "context-sensitive graph"
+                                            : "points-to fell back cold",
+                    SessionStage::SDGBuild);
+    } else if (NeedUpdates) {
+      StageCounters &SC = counters(SessionStage::SDGBuild);
+      auto TS = std::chrono::steady_clock::now();
+      try {
+        SDGPatchRequest SReq;
+        SReq.AffectedMethods = Affected;
+        SReq.DeadInstrs = Req.DeadInstrs;
+        SDGOptions Opts = CurSdg;
+        Opts.Budget = nullptr;
+        Opts.Pool = nullptr;
+        if (!patchSDGIncremental(*Graph, *LivePta, SReq, Opts)) {
+          StageFallback("sdg", "patch declined", SessionStage::SDGBuild);
+          Keep = false;
+        }
+        SC.Seconds += secondsSince(TS);
+      } catch (const std::exception &E) {
+        SC.Seconds += secondsSince(TS);
+        StageFallback("sdg", E.what(), SessionStage::SDGBuild);
+        Keep = false;
+      }
+    }
+    if (Keep) {
+      ++IncStats.SdgPatches;
+      ++counters(SessionStage::SDGBuild).Hits;
+      SdgCache.emplace(NewSdgKey, std::move(Graph));
+    } else {
+      Graph.reset();
+    }
+  }
+
+  bumpFrom(SessionStage::Compile);
+  return true;
 }
 
 void AnalysisSession::setCompileOptions(const CompileOptions &O) {
@@ -629,6 +849,25 @@ std::string AnalysisSession::statsString() const {
              static_cast<unsigned long long>(StageFailures),
              static_cast<unsigned long long>(StageRetries));
     Out += Buf;
+  }
+  if (IncStats.Attempts) {
+    char IBuf[288];
+    snprintf(IBuf, sizeof(IBuf),
+             "incremental: attempts=%llu applied=%llu fn_reused=%llu "
+             "fn_recompiled=%llu pta_updates=%llu modref_updates=%llu "
+             "sdg_patches=%llu cold_fallbacks=%llu stage_fallbacks=%llu\n",
+             static_cast<unsigned long long>(IncStats.Attempts),
+             static_cast<unsigned long long>(IncStats.Applied),
+             static_cast<unsigned long long>(IncStats.FunctionsReused),
+             static_cast<unsigned long long>(IncStats.FunctionsRecompiled),
+             static_cast<unsigned long long>(IncStats.PtaUpdates),
+             static_cast<unsigned long long>(IncStats.ModRefUpdates),
+             static_cast<unsigned long long>(IncStats.SdgPatches),
+             static_cast<unsigned long long>(IncStats.ColdFallbacks),
+             static_cast<unsigned long long>(IncStats.StageFallbacks));
+    Out += IBuf;
+    if (!IncStats.LastFallbackReason.empty())
+      Out += "  last_fallback: " + IncStats.LastFallbackReason + "\n";
   }
   return Out;
 }

@@ -47,6 +47,7 @@
 #ifndef THINSLICER_PIPELINE_SESSION_H
 #define THINSLICER_PIPELINE_SESSION_H
 
+#include "lang/Incremental.h"
 #include "lang/Lower.h"
 #include "modref/ModRef.h"
 #include "pta/PointsTo.h"
@@ -99,9 +100,38 @@ public:
   // Inputs. Each setter invalidates exactly its downstream cone.
   //===------------------------------------------------------------------===//
 
-  /// Replaces the program source: every cached artifact is destroyed
-  /// and every stage epoch bumps.
+  /// Replaces the program source. By default every cached artifact is
+  /// destroyed and every stage epoch bumps. With setIncremental(true)
+  /// the session first attempts the function-granular fast path: diff
+  /// the sources, relower only changed bodies, retract-and-replay the
+  /// points-to facts, re-scan mod-ref for affected methods, and patch
+  /// the SDG in place — falling back to the cold path (per stage or
+  /// entirely) whenever an update declines. Either way the resulting
+  /// artifacts answer every query as a cold rebuild of the new source
+  /// would (see DESIGN.md section 13).
   void setSource(std::string Source);
+
+  /// Enables/disables the incremental setSource() fast path. Off by
+  /// default. Ignored (transparent cold fallback) for budgeted
+  /// sessions — cached artifacts embed budget outcomes, which
+  /// retraction cannot reproduce.
+  void setIncremental(bool On) { IncrementalEnabled = On; }
+  bool incremental() const { return IncrementalEnabled; }
+
+  /// Telemetry of the incremental fast path, printed by statsString().
+  struct IncrementalStats {
+    uint64_t Attempts = 0; ///< Incremental setSource() attempts.
+    uint64_t Applied = 0;  ///< Attempts where the compile fast path applied.
+    uint64_t FunctionsReused = 0;      ///< Bodies reused verbatim.
+    uint64_t FunctionsRecompiled = 0;  ///< Bodies relowered.
+    uint64_t PtaUpdates = 0;    ///< Points-to artifacts updated in place.
+    uint64_t ModRefUpdates = 0; ///< Mod-ref artifacts updated in place.
+    uint64_t SdgPatches = 0;    ///< SDGs patched in place.
+    uint64_t ColdFallbacks = 0; ///< Attempts that fell back entirely.
+    uint64_t StageFallbacks = 0; ///< Stage updates that declined mid-chain.
+    std::string LastFallbackReason;
+  };
+  const IncrementalStats &incrementalStats() const { return IncStats; }
 
   /// Changes the compile options: same cone as setSource.
   void setCompileOptions(const CompileOptions &O);
@@ -258,6 +288,14 @@ private:
   void purgeAnalyses(); ///< Destroys PTA..Slice entries (not the program).
   void purgeAll();      ///< Destroys everything including the program.
 
+  /// The incremental setSource() fast path. Returns true when the
+  /// edit was absorbed (program patched in place, artifact caches
+  /// re-keyed, stage updates applied or individually dropped); false
+  /// means the caller must run the cold path — including when a
+  /// mid-apply failure left the program mutated, which the cold
+  /// path's purge then discards.
+  bool trySetSourceIncremental(const std::string &NewSource);
+
   /// Tainted-artifact eviction (retry-on-next-request). Downstream
   /// artifacts hold references into upstream ones, so eviction always
   /// cascades down the cone, bottom-up.
@@ -299,6 +337,13 @@ private:
   // members are destroyed bottom-up (reverse declaration order) and
   // the purge helpers clear them in the same bottom-up order.
   std::unique_ptr<DiagnosticEngine> Diag;
+  /// Bodies detached by incremental recompiles. Retained analysis
+  /// artifacts still hold the old Instr*/Local* addresses (e.g. the
+  /// PTA object table's allocation sites), so the storage must outlive
+  /// them: declared above the artifact stores, cleared only when the
+  /// analyses purge. Never dereferenced after retraction — only
+  /// compared as keys.
+  std::vector<Method::DetachedBody> RetiredBodyStore;
   std::unique_ptr<Program> Prog;
   bool CompileAttempted = false;
   std::map<std::string, std::unique_ptr<PointsToResult>> PtaCache;
@@ -323,6 +368,11 @@ private:
   uint64_t Epochs[NumSessionStages] = {};
   uint64_t StageFailures = 0;
   uint64_t StageRetries = 0;
+  bool IncrementalEnabled = false;
+  IncrementalStats IncStats;
+  /// Scan memo for the incremental differ: the previous source's token
+  /// stream, so each edit lexes only its changed lines.
+  ScanCache IncScanCache;
 };
 
 } // namespace tsl

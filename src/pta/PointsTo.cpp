@@ -32,8 +32,11 @@
 #include "support/ThreadPool.h"
 #include "support/Worklist.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <set>
+#include <tuple>
 #include <unordered_set>
 
 using namespace tsl;
@@ -119,6 +122,8 @@ public:
   const SolverStats &stats() const override { return Stats; }
 
   const StageReport &report() const override { return Report; }
+
+  PTAUpdateResult applyIncrementalUpdate(const PTAUpdateRequest &Req) override;
 
 private:
   struct NodeData {
@@ -1133,6 +1138,463 @@ void Solver::applyConstraint(unsigned ConsIdx, const BitSet &Pts) {
     }
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental update (retract and replay)
+//===----------------------------------------------------------------------===//
+//
+// The update removes every fact whose derivation passes through a
+// retired body and replays the new bodies, then re-solves. Soundness
+// of the retraction rests on the reset region R being forward-closed
+// over copy edges: every node downstream of a cleared fact is itself
+// cleared and re-derived, so no node can keep a contribution whose
+// premise was retracted. The two derivations that bypass copy edges —
+// receiver-object injection at virtual calls and constraint-created
+// edges — are covered by, respectively, an explicit re-dispatch
+// replay and a post-solve premise-shrink check that falls back to a
+// cold solve when a constraint's trigger set lost an object (its
+// derived edges could then be stale in a way edge-closure cannot see).
+
+PTAUpdateResult Solver::applyIncrementalUpdate(const PTAUpdateRequest &Req) {
+  PTAUpdateResult Out;
+  auto Fallback = [&](const char *Why) {
+    Out.Applied = false;
+    Out.Reason = Why;
+    return Out;
+  };
+  if (Coarse || Report.Status != StageStatus::Complete)
+    return Fallback("previous solve was degraded");
+  if (Opts.Budget)
+    return Fallback("budgeted session");
+  if (Req.DirtyMethods.empty())
+    return Fallback("no dirty methods");
+
+  // Dirty objects: allocation sites inside retired bodies. A dirty
+  // object that defines a cloning context would invalidate every
+  // context derived through it; decline rather than chase the chain.
+  std::unordered_set<unsigned> DirtyObjs;
+  for (const AbstractObject &O : Objects)
+    if (Req.DeadInstrs.count(O.Site))
+      DirtyObjs.insert(O.Id);
+  for (unsigned Obj : DirtyObjs)
+    if (ObjCtx.count(Obj))
+      return Fallback("edit retracts a context-defining object");
+
+  // Zombies: the per-context nodes of retired locals plus the field
+  // and element partitions of dirty objects. These are deleted
+  // outright; everything they fed is reset and re-derived.
+  std::unordered_set<unsigned> Z;
+  for (const Local *L : Req.DeadLocals) {
+    auto It = LocalNodes.find(L);
+    if (It == LocalNodes.end())
+      continue;
+    for (const auto &[Ctx, N] : It->second) {
+      (void)Ctx;
+      Z.insert(N);
+    }
+  }
+  for (const auto &[Key, N] : FieldNodes)
+    if (DirtyObjs.count(static_cast<unsigned>(Key >> 32)))
+      Z.insert(N);
+  for (const auto &[Obj, N] : ElemNodes)
+    if (DirtyObjs.count(Obj))
+      Z.insert(N);
+
+  // A zombie inside a collapsed cycle cannot be carved back out of
+  // its representative's merged set; decline. After this check every
+  // zombie is a singleton representative.
+  if (!Z.empty())
+    for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size()); N != E;
+         ++N) {
+      unsigned R = findConst(N);
+      if (R != N && (Z.count(N) || Z.count(R)))
+        return Fallback("edit touches a collapsed cycle");
+    }
+
+  // Reset region R: forward closure (over rep-resolved copy edges) of
+  // the zombies, every current holder of a dirty object (receiver
+  // binding injects objects without an edge, so holders are seeds in
+  // their own right), and the return nodes of dirty methods (their
+  // inflow came from retired locals).
+  std::unordered_set<unsigned> RSet;
+  std::vector<unsigned> Stack;
+  auto Seed = [&](unsigned N) {
+    N = find(N);
+    if (RSet.insert(N).second)
+      Stack.push_back(N);
+  };
+  for (unsigned ZN : Z)
+    Seed(ZN);
+  if (!DirtyObjs.empty())
+    for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size()); N != E; ++N) {
+      if (findConst(N) != N)
+        continue;
+      bool Holds = false;
+      Nodes[N].Pts.forEach([&](unsigned Obj) {
+        if (DirtyObjs.count(Obj))
+          Holds = true;
+      });
+      if (Holds)
+        Seed(N);
+    }
+  for (const Method *M : Req.DirtyMethods)
+    for (const auto &[Key, N] : RetNodes)
+      if (static_cast<unsigned>(Key >> 32) == M->id())
+        Seed(N);
+  while (!Stack.empty()) {
+    unsigned N = Stack.back();
+    Stack.pop_back();
+    for (const auto &[Dst, F] : Nodes[N].Succs) {
+      (void)F;
+      Seed(Dst);
+    }
+  }
+  for (unsigned ZN : Z)
+    RSet.erase(ZN); // Zombies are cleared, not reset.
+
+  // Snapshots for the post-solve checks and the affected-method set.
+  // R-members keep their full old set (they are cleared and must be
+  // compared exactly); everything else is monotone under replay, so a
+  // cardinality snapshot detects growth. Downstream consumers read
+  // per-context sets (the context-insensitive SDG aliases clones with
+  // pointsTo(L, Ctx)), so change detection must be per-context, not
+  // merged.
+  std::unordered_map<unsigned, BitSet> OldRPts;
+  std::unordered_set<unsigned> RHadCons;
+  for (unsigned N : RSet) {
+    OldRPts.emplace(N, Nodes[N].Pts);
+    if (!Nodes[N].Cons.empty())
+      RHadCons.insert(N);
+  }
+  // Flat (local, ctx)-keyed snapshot, sorted for binary search in the
+  // affected-method pass. A vector beats the obvious nested map here:
+  // snapshotting every per-context local is the hot part of the
+  // update, and one reserve replaces ~two allocations per entry.
+  struct LocalSnap {
+    const Local *L;
+    unsigned Ctx;
+    unsigned OldRep;
+    unsigned Count;
+    bool WasReset;
+  };
+  std::vector<LocalSnap> OldLocal;
+  {
+    size_t Pairs = 0;
+    for (const auto &KV : LocalNodes)
+      Pairs += KV.second.size();
+    OldLocal.reserve(Pairs);
+  }
+  for (const auto &[L, ByCtx] : LocalNodes)
+    for (const auto &[Ctx, Node] : ByCtx) {
+      unsigned R = find(Node);
+      OldLocal.push_back(
+          {L, Ctx, R, Nodes[R].Pts.count(), RSet.count(R) != 0});
+    }
+  auto SnapLess = [](const LocalSnap &A, const LocalSnap &B) {
+    return A.L != B.L ? A.L < B.L : A.Ctx < B.Ctx;
+  };
+  std::sort(OldLocal.begin(), OldLocal.end(), SnapLess);
+  using CGEdgeKey = std::tuple<unsigned, const CallInstr *, unsigned>;
+  std::vector<CGEdgeKey> OldCGEdges;
+  OldCGEdges.reserve(CG.edges().size());
+  for (const CallEdge &E : CG.edges())
+    OldCGEdges.emplace_back(E.CallerNode, E.Site, E.CalleeNode);
+  std::sort(OldCGEdges.begin(), OldCGEdges.end());
+
+  // Retraction. Edges into zombies are owned by live sources and must
+  // be removed edge-wise; edges out of zombies die with their node.
+  unsigned EdgesRemoved = 0;
+  if (!Z.empty())
+    for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size()); N != E;
+         ++N) {
+      if (find(N) != N || Z.count(N))
+        continue;
+      auto &Succs = Nodes[N].Succs;
+      auto NewEnd = std::remove_if(
+          Succs.begin(), Succs.end(),
+          [&](const std::pair<unsigned, const Type *> &Edge) {
+            return Z.count(find(Edge.first)) != 0;
+          });
+      EdgesRemoved += static_cast<unsigned>(Succs.end() - NewEnd);
+      Succs.erase(NewEnd, Succs.end());
+    }
+  for (unsigned ZN : Z) {
+    EdgesRemoved += static_cast<unsigned>(Nodes[ZN].Succs.size());
+    Nodes[ZN] = NodeData();
+  }
+  NumCopyEdges -= std::min(NumCopyEdges, EdgesRemoved);
+  for (const Local *L : Req.DeadLocals) {
+    LocalNodes.erase(L);
+    Merged.erase(L);
+  }
+  for (auto It = FieldNodes.begin(); It != FieldNodes.end();)
+    It = DirtyObjs.count(static_cast<unsigned>(It->first >> 32))
+             ? FieldNodes.erase(It)
+             : std::next(It);
+  for (auto It = ElemNodes.begin(); It != ElemNodes.end();)
+    It = DirtyObjs.count(It->first) ? ElemNodes.erase(It) : std::next(It);
+  for (const Instr *I : Req.DeadInstrs)
+    ObjIndex.erase(I);
+  for (const Method *M : Req.DirtyMethods)
+    ParamCache.erase(M);
+  CG.removeEdgesAtSites(Req.DeadInstrs);
+
+  // Reset survivors of R: facts cleared, structure (edges and
+  // constraint attachments, all anchored at live instructions) kept.
+  for (unsigned N : RSet) {
+    Nodes[N].Pts.clear();
+    Nodes[N].Delta.clear();
+  }
+
+  // Replay 1: the dirty bodies' constraints, under every context the
+  // method already has a call-graph node for. Copy the node list —
+  // processing can create nodes and invalidate the reference.
+  for (Method *M : Req.DirtyMethods) {
+    const std::vector<unsigned> MCs = CG.nodesOf(M);
+    for (unsigned MC : MCs)
+      if (MC < ProcessedMC.size())
+        ProcessedMC[MC] = false;
+    for (unsigned MC : MCs)
+      processMethodCtx(MC);
+  }
+
+  // Replay 1b: argument re-binding for static calls from clean
+  // callers into dirty methods. The caller is not reprocessed, and
+  // its argument edges targeted the retired formals (zombies), so
+  // the relowered formals would otherwise start — and stay — empty.
+  // wireCall is idempotent; re-wiring every retained static edge
+  // into a dirty method is safe. (Instance calls are re-dispatched
+  // by replay 4; dirty callers re-wire their own call sites in
+  // replay 1.)
+  const std::unordered_set<const Method *> DirtySet(Req.DirtyMethods.begin(),
+                                                    Req.DirtyMethods.end());
+  {
+    const std::vector<CallEdge> EdgeSnapshot = CG.edges();
+    for (const CallEdge &E : EdgeSnapshot) {
+      if (!E.Site->target()->isStatic())
+        continue;
+      const MethodCtx Callee = CG.node(E.CalleeNode);
+      if (!DirtySet.count(Callee.M))
+        continue;
+      wireCall(E.CallerNode, E.Site, CG.node(E.CallerNode).Ctx, Callee.M,
+               Callee.Ctx, /*BindObj=*/~0u, /*BindReceiverObject=*/false);
+    }
+  }
+
+  // Replay 2: allocation seeding for unchanged sites whose
+  // destination node landed in R (its seeded objects were cleared and
+  // nothing else re-creates them). Sorted for deterministic worklist
+  // seeding.
+  if (!RSet.empty()) {
+    std::vector<std::pair<unsigned, unsigned>> Reseeds; // (obj, node)
+    for (const auto &[Site, ByCtx] : ObjIndex) {
+      const Local *Dest = Site->dest();
+      if (!Dest)
+        continue;
+      auto LIt = LocalNodes.find(Dest);
+      if (LIt == LocalNodes.end())
+        continue;
+      for (const auto &[Ctx, Obj] : ByCtx) {
+        auto NIt = LIt->second.find(Ctx);
+        if (NIt == LIt->second.end())
+          continue;
+        if (RSet.count(find(NIt->second)))
+          Reseeds.emplace_back(Obj, NIt->second);
+      }
+    }
+    std::sort(Reseeds.begin(), Reseeds.end());
+    for (const auto &[Obj, Node] : Reseeds)
+      addObject(Node, Obj);
+  }
+
+  // Replay 3: re-deliver the facts flowing from untouched nodes into
+  // the reset region across existing edges.
+  if (!RSet.empty())
+    for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size()); N != E;
+         ++N) {
+      if (find(N) != N || RSet.count(N))
+        continue;
+      for (const auto &[DstRaw, Filter] : Nodes[N].Succs) {
+        unsigned Dst = find(DstRaw);
+        if (RSet.count(Dst))
+          flowInto(Dst, Nodes[N].Pts, Filter);
+      }
+    }
+
+  // Replay 4: receiver re-dispatch for retained instance-call edges.
+  // Receiver-object injection has no copy edge, so formals that
+  // landed in R would otherwise never get their objects back (the
+  // caller-side Call constraint only re-fires on a receiver delta).
+  // applyCall is idempotent, so replaying every retained edge is
+  // safe. When nothing was reset, only edges into dirty methods can
+  // have empty formals (fresh nodes from the relower); every other
+  // callee's bindings are monotone facts that were never cleared.
+  {
+    std::set<std::pair<const CallInstr *, unsigned>> Done;
+    const std::vector<CallEdge> EdgeSnapshot = CG.edges();
+    for (const CallEdge &E : EdgeSnapshot) {
+      if (E.Site->target()->isStatic())
+        continue;
+      if (RSet.empty() && !DirtySet.count(CG.node(E.CalleeNode).M))
+        continue;
+      if (!Done.insert({E.Site, E.CallerNode}).second)
+        continue;
+      unsigned CallerCtx = CG.node(E.CallerNode).Ctx;
+      const Local *Recv = E.Site->receiver();
+      auto LIt = LocalNodes.find(Recv);
+      if (LIt == LocalNodes.end())
+        continue;
+      auto NIt = LIt->second.find(CallerCtx);
+      if (NIt == LIt->second.end())
+        continue;
+      std::vector<unsigned> Objs;
+      Nodes[find(NIt->second)].Pts.forEach(
+          [&](unsigned O) { Objs.push_back(O); });
+      for (unsigned O : Objs)
+        applyCall(E.Site, CallerCtx, O);
+    }
+  }
+
+  // Re-solve to the fixed point. The gate carries no budget — the
+  // incremental path is only taken for unbudgeted sessions — but
+  // still surfaces injected faults ("pta.update") for the chaos
+  // harness: a degrade fault lands in exhausted(), a throw propagates.
+  auto SolveStart = std::chrono::steady_clock::now();
+  BudgetGate Gate(nullptr, "pta.update", 0);
+  solveLoop(Gate);
+  auto SolveEnd = std::chrono::steady_clock::now();
+  if (Gate.exhausted())
+    return Fallback("fault injected during incremental solve");
+
+  // Post-solve check 1: a constraint whose trigger set shrank may
+  // have derived edges that no longer have a premise; edge closure
+  // cannot retract those, so decline.
+  for (const auto &[N, Old] : OldRPts) {
+    if (!RHadCons.count(N))
+      continue;
+    const BitSet &New = Nodes[find(N)].Pts;
+    bool Lost = false;
+    Old.forEach([&](unsigned Obj) {
+      if (!New.test(Obj))
+        Lost = true;
+    });
+    if (Lost)
+      return Fallback("constraint premise shrank under retraction");
+  }
+
+  // Post-solve check 2: a method whose last call edge was retracted
+  // keeps its node and its constraints; a cold solve would never have
+  // analyzed it. Identity requires every node stay reachable.
+  int Entry = CG.findNode(P.mainMethod(), 0);
+  if (Entry < 0 ||
+      !CG.allReachableFrom(static_cast<unsigned>(Entry)))
+    return Fallback("edit left stale unreachable call-graph nodes");
+
+  // Finalize exactly as run() does. Merged entries are zeroed in place
+  // rather than dropped: the keys barely change between updates, so
+  // the buckets and bit buffers recycle.
+  for (unsigned I = 0, E = static_cast<unsigned>(Rep.size()); I != E; ++I)
+    Rep[I] = find(I);
+  for (auto &KV : Merged)
+    KV.second.clear();
+  for (const auto &[L, ByCtx] : LocalNodes)
+    for (const auto &[Ctx, Node] : ByCtx) {
+      (void)Ctx;
+      Merged[L].unionWith(Nodes[find(Node)].Pts);
+    }
+
+  // Affected methods: the dirty ones, the owner of every local whose
+  // points-to set changed in ANY context, and both endpoints of every
+  // added or removed call edge. Downstream stages (mod-ref, SDG)
+  // consume per-context local sets and call-graph structure, so this
+  // set bounds what they must recompute. Reset nodes compare against
+  // their snapshot; everything else is monotone, so cardinality
+  // detects growth exactly (the final set is a superset of the old).
+  std::set<Method *, bool (*)(Method *, Method *)> Affected(
+      +[](Method *A, Method *B) { return A->id() < B->id(); });
+  for (Method *M : Req.DirtyMethods)
+    Affected.insert(M);
+  std::unordered_set<const Local *> ChangedLocals;
+  for (const auto &[L, ByCtx] : LocalNodes) {
+    for (const auto &[Ctx, Node] : ByCtx) {
+      const BitSet &Final = Nodes[find(Node)].Pts;
+      LocalSnap Probe{L, Ctx, 0, 0, false};
+      auto SIt =
+          std::lower_bound(OldLocal.begin(), OldLocal.end(), Probe, SnapLess);
+      const LocalSnap *Snap =
+          SIt != OldLocal.end() && SIt->L == L && SIt->Ctx == Ctx ? &*SIt
+                                                                  : nullptr;
+      bool Changed;
+      if (!Snap)
+        Changed = !Final.empty(); // New local or new context.
+      else if (Snap->WasReset)
+        Changed = Final != OldRPts.at(Snap->OldRep);
+      else
+        Changed = Final.count() != Snap->Count;
+      if (Changed) {
+        ChangedLocals.insert(L);
+        break;
+      }
+    }
+  }
+  // One sweep resolves changed locals to their owning methods; the
+  // per-update Local→Method map this replaces cost more to build than
+  // everything else in this pass combined.
+  if (!ChangedLocals.empty())
+    for (const auto &MP : P.methods()) {
+      if (Affected.count(MP.get()))
+        continue;
+      for (const auto &L : MP->locals())
+        if (ChangedLocals.count(L.get())) {
+          Affected.insert(MP.get());
+          break;
+        }
+    }
+  std::vector<CGEdgeKey> NewCGEdges;
+  NewCGEdges.reserve(CG.edges().size());
+  for (const CallEdge &E : CG.edges())
+    NewCGEdges.emplace_back(E.CallerNode, E.Site, E.CalleeNode);
+  std::sort(NewCGEdges.begin(), NewCGEdges.end());
+  auto MarkEdge = [&](const CGEdgeKey &Key) {
+    Affected.insert(CG.node(std::get<0>(Key)).M);
+    Affected.insert(CG.node(std::get<2>(Key)).M);
+  };
+  // Symmetric difference of the two sorted edge lists.
+  {
+    auto OI = OldCGEdges.begin(), NI = NewCGEdges.begin();
+    while (OI != OldCGEdges.end() || NI != NewCGEdges.end()) {
+      if (OI == OldCGEdges.end())
+        MarkEdge(*NI++);
+      else if (NI == NewCGEdges.end())
+        MarkEdge(*OI++);
+      else if (*OI < *NI)
+        MarkEdge(*OI++);
+      else if (*NI < *OI)
+        MarkEdge(*NI++);
+      else {
+        ++OI;
+        ++NI;
+      }
+    }
+  }
+  Out.AffectedMethods.assign(Affected.begin(), Affected.end());
+
+  // Refresh the public counters; solve-time totals accumulate.
+  Stats.NumNodes = static_cast<unsigned>(Nodes.size());
+  Stats.NumRepNodes = 0;
+  for (unsigned I = 0, E = static_cast<unsigned>(Rep.size()); I != E; ++I)
+    Stats.NumRepNodes += Rep[I] == I;
+  Stats.NumCopyEdges = NumCopyEdges;
+  Stats.NumConstraints = static_cast<unsigned>(Constraints.size());
+  Stats.NumObjects = static_cast<unsigned>(Objects.size());
+  Stats.SolveSeconds +=
+      std::chrono::duration<double>(SolveEnd - SolveStart).count();
+  Report.StepsUsed = Stats.Propagations;
+  Report.Seconds = Stats.SolveSeconds + Stats.FinalizeSeconds;
+
+  Out.Applied = true;
+  return Out;
 }
 
 std::unique_ptr<PointsToResult> tsl::runPointsTo(Program &P,

@@ -35,6 +35,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace tsl {
@@ -148,6 +149,32 @@ struct AbstractObject {
   unsigned Id;
 };
 
+/// Input to applyIncrementalUpdate(): the methods whose bodies were
+/// swapped by applyIncrementalCompile(), plus the instructions and
+/// locals of the retired bodies (which the caller must keep alive —
+/// see IncrementalCompileResult::RetiredBodies — because they are
+/// used here as retraction keys).
+struct PTAUpdateRequest {
+  std::vector<Method *> DirtyMethods;
+  std::unordered_set<const Instr *> DeadInstrs;
+  std::unordered_set<const Local *> DeadLocals;
+};
+
+/// Outcome of applyIncrementalUpdate(). When Applied is false the
+/// update declined or aborted (Reason says why) and the result object
+/// may be in a partially-retracted state: the caller must discard it
+/// and re-run the analysis cold. When true, every query answers as if
+/// the analysis had been re-run from scratch on the patched program
+/// (modulo object/context id assignment, which is visit-order defined
+/// either way), and AffectedMethods lists every method whose
+/// points-to or call-graph facts may differ from the pre-edit run —
+/// downstream stages only need to recompute those.
+struct PTAUpdateResult {
+  bool Applied = false;
+  std::string Reason;
+  std::vector<Method *> AffectedMethods;
+};
+
 /// Results of the analysis: object table, points-to sets, alias and
 /// dispatch queries, and the constructed call graph.
 class PointsToResult {
@@ -211,6 +238,19 @@ public:
   /// Budget status of the run: Complete, or Degraded with the coarse
   /// CHA/all-heap fallback (see PTAOptions::Budget).
   virtual const StageReport &report() const = 0;
+
+  /// Retract-and-replay update after an incremental recompile: removes
+  /// every fact derived from the retired bodies, replays the dirty
+  /// bodies' constraints, and re-solves to the fixed point. The solver
+  /// declines (sound cold-rebuild fallback) whenever retraction cannot
+  /// be proven exact: a retracted node was merged into a collapsed
+  /// cycle, a retracted allocation defines a cloning context, a
+  /// constraint premise shrank (its derived edges may be stale), or an
+  /// edit left stale unreachable call-graph nodes. The default
+  /// implementation never applies.
+  virtual PTAUpdateResult applyIncrementalUpdate(const PTAUpdateRequest &) {
+    return {false, "incremental update not supported by this result", {}};
+  }
 };
 
 /// Runs the analysis from \p P's main method. \p P must be in SSA form.

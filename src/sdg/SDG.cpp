@@ -3,6 +3,7 @@
 #include "sdg/SDG.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace tsl;
 
@@ -32,7 +33,10 @@ unsigned SDG::addStmtNode(const Instr *I, const Method *M, unsigned Ctx) {
   ++Epoch;
   unsigned Id = static_cast<unsigned>(Nodes.size());
   Nodes.push_back({SDGNodeKind::Stmt, I, M, 0, Ctx, Id});
-  StmtIndex[I].push_back(Id);
+  auto [It, NewKey] = StmtIndex.try_emplace(I);
+  It->second.push_back(Id);
+  if (NewKey)
+    AddedStmtKeys.push_back(I);
   ++NumStmts;
   return Id;
 }
@@ -94,6 +98,99 @@ bool SDG::addEdge(unsigned From, unsigned To, SDGEdgeKind K,
   return true;
 }
 
+void SDG::killNode(unsigned Id) {
+  SDGNode &N = Nodes[Id];
+  if (N.Dead)
+    return;
+  unfinalize();
+  ++Epoch;
+  N.Dead = true;
+  ++NumDead;
+  if (N.K == SDGNodeKind::Stmt) {
+    --NumStmts;
+    auto It = StmtIndex.find(N.I);
+    if (It != StmtIndex.end()) {
+      auto &Clones = It->second;
+      Clones.erase(std::remove(Clones.begin(), Clones.end(), Id),
+                   Clones.end());
+      if (Clones.empty()) {
+        RemovedStmtKeys.push_back(N.I);
+        StmtIndex.erase(It);
+      }
+    }
+  } else {
+    if (N.K == SDGNodeKind::ScalarActualIn)
+      --NumStmts;
+    const void *Anchor = N.I ? static_cast<const void *>(N.I)
+                             : static_cast<const void *>(N.M);
+    HeapIndex.erase(std::make_tuple(N.K, Anchor, N.Part, N.Ctx));
+  }
+}
+
+unsigned SDG::removeEdgesIf(const std::function<bool(const SDGEdge &)> &Pred) {
+  unfinalize();
+  std::vector<SDGEdge> Kept;
+  Kept.reserve(Edges.size());
+  unsigned Removed = 0;
+  for (const SDGEdge &E : Edges) {
+    if (Pred(E)) {
+      EdgeDedup.erase({E.From, E.To, E.K, E.Site});
+      ++Removed;
+    } else {
+      Kept.push_back(E);
+    }
+  }
+  if (Removed) {
+    Edges.swap(Kept);
+    ++Epoch;
+  }
+  return Removed;
+}
+
+void SDG::compact() {
+  if (!NumDead)
+    return;
+  unfinalize();
+  ++Epoch;
+  std::vector<unsigned> NewId(Nodes.size(), ~0u);
+  std::vector<SDGNode> Live;
+  Live.reserve(Nodes.size() - NumDead);
+  for (SDGNode &N : Nodes) {
+    if (N.Dead)
+      continue;
+    NewId[N.Id] = static_cast<unsigned>(Live.size());
+    N.Id = NewId[N.Id];
+    Live.push_back(N);
+  }
+  Nodes.swap(Live);
+  NumDead = 0;
+  std::vector<SDGEdge> Kept;
+  Kept.reserve(Edges.size());
+  for (SDGEdge &E : Edges) {
+    if (NewId[E.From] == ~0u || NewId[E.To] == ~0u)
+      continue; // Edge at a tombstone: dropped with its node.
+    E.From = NewId[E.From];
+    E.To = NewId[E.To];
+    Kept.push_back(E);
+  }
+  Edges.swap(Kept);
+  EdgeDedup.clear();
+  for (const SDGEdge &E : Edges)
+    EdgeDedup.insert({E.From, E.To, E.K, E.Site});
+  keyChurnReset(); // Wholesale rebuild: the churn log is meaningless.
+  StmtIndex.clear();
+  HeapIndex.clear();
+  for (const SDGNode &N : Nodes) {
+    if (N.K == SDGNodeKind::Stmt) {
+      StmtIndex[N.I].push_back(N.Id);
+    } else {
+      const void *Anchor = N.I ? static_cast<const void *>(N.I)
+                               : static_cast<const void *>(N.M);
+      HeapIndex[std::make_tuple(N.K, Anchor, N.Part, N.Ctx)] = N.Id;
+    }
+  }
+}
+
 unsigned SDG::numEdgesOfKind(SDGEdgeKind K) const {
   unsigned N = 0;
   for (const SDGEdge &E : Edges)
@@ -124,40 +221,101 @@ void SDG::finalize() {
   InEdgeId.resize(Edges.size());
   OutNbr.resize(Edges.size());
   OutEdgeId.resize(Edges.size());
-  std::vector<unsigned> InCur(InOff.begin(), InOff.end() - 1);
-  std::vector<unsigned> OutCur(OutOff.begin(), OutOff.end() - 1);
+  // Scatter using the offset arrays themselves as cursors (classic
+  // counting-sort trick: after the scatter InOff[s] is the END of
+  // segment s, i.e. the start of s+1, so shifting restores offsets
+  // without a cursor copy).
   for (std::size_t EdgeId = 0; EdgeId != Edges.size(); ++EdgeId) {
     const SDGEdge &E = Edges[EdgeId];
-    unsigned InPos = InCur[std::size_t(E.To) * NK + sdgKindSlot(E.K)]++;
+    unsigned InPos = InOff[std::size_t(E.To) * NK + sdgKindSlot(E.K)]++;
     InNbr[InPos] = E.From;
     InEdgeId[InPos] = static_cast<unsigned>(EdgeId);
-    unsigned OutPos = OutCur[std::size_t(E.From) * NK + sdgKindSlot(E.K)]++;
+    unsigned OutPos = OutOff[std::size_t(E.From) * NK + sdgKindSlot(E.K)]++;
     OutNbr[OutPos] = E.To;
     OutEdgeId[OutPos] = static_cast<unsigned>(EdgeId);
   }
+  for (std::size_t I = Slots; I != 0; --I) {
+    InOff[I] = InOff[I - 1];
+    OutOff[I] = OutOff[I - 1];
+  }
+  InOff[0] = 0;
+  OutOff[0] = 0;
 
-  // Compact the statement index into sorted arrays and release the
-  // construction-time hash map. Clone order within one instruction is
-  // preserved (insertion order = context order; nodeFor() returns the
-  // first clone).
+  // Compact the statement index into sorted arrays. The hash map
+  // stays live alongside them: incremental patches flip the graph
+  // back to construction form, and rebuilding the map there costs
+  // more than the map's footprint is worth. Clone order within one
+  // instruction is preserved (insertion order = context order;
+  // nodeFor() returns the first clone).
+  //
+  // The sorted key view itself is maintained incrementally: a patch
+  // touches a handful of keys, so the previous SortedStmt plus the
+  // churn log replays in one linear merge instead of a full gather
+  // and sort. The mapped clone vectors are referenced by pointer —
+  // stable across unordered_map insert/erase of other keys — so an
+  // entry whose clone list merely changed needs no fixup at all.
+  auto PairLess = [](const auto &A, const auto &B) {
+    return A.first < B.first;
+  };
+  if (SortedStmt.empty()) {
+    SortedStmt.reserve(StmtIndex.size());
+    for (const auto &KV : StmtIndex)
+      SortedStmt.emplace_back(KV.first, &KV.second);
+    std::sort(SortedStmt.begin(), SortedStmt.end(), PairLess);
+  } else if (!AddedStmtKeys.empty() || !RemovedStmtKeys.empty()) {
+    std::sort(AddedStmtKeys.begin(), AddedStmtKeys.end());
+    AddedStmtKeys.erase(
+        std::unique(AddedStmtKeys.begin(), AddedStmtKeys.end()),
+        AddedStmtKeys.end());
+    std::sort(RemovedStmtKeys.begin(), RemovedStmtKeys.end());
+    RemovedStmtKeys.erase(
+        std::unique(RemovedStmtKeys.begin(), RemovedStmtKeys.end()),
+        RemovedStmtKeys.end());
+    // Final membership decides keys that churned both ways: a key
+    // killed and re-created is skipped from the old view (it is in
+    // the removed log) and re-enters through the add list with its
+    // fresh clone-vector address; an added key that died again is
+    // simply dropped here.
+    std::vector<std::pair<const Instr *, const std::vector<unsigned> *>>
+        Adds;
+    Adds.reserve(AddedStmtKeys.size());
+    for (const Instr *K : AddedStmtKeys) {
+      auto It = StmtIndex.find(K);
+      if (It != StmtIndex.end())
+        Adds.emplace_back(K, &It->second);
+    }
+    std::vector<std::pair<const Instr *, const std::vector<unsigned> *>>
+        NewSorted;
+    NewSorted.reserve(SortedStmt.size() + Adds.size());
+    auto AI = Adds.begin();
+    auto RI = RemovedStmtKeys.begin();
+    for (const auto &KV : SortedStmt) {
+      while (AI != Adds.end() && AI->first < KV.first)
+        NewSorted.push_back(*AI++);
+      while (RI != RemovedStmtKeys.end() && *RI < KV.first)
+        ++RI;
+      if (RI != RemovedStmtKeys.end() && *RI == KV.first)
+        continue;
+      NewSorted.push_back(KV);
+    }
+    while (AI != Adds.end())
+      NewSorted.push_back(*AI++);
+    SortedStmt.swap(NewSorted);
+  }
+  AddedStmtKeys.clear();
+  RemovedStmtKeys.clear();
+  assert(SortedStmt.size() == StmtIndex.size() &&
+         "sorted statement view out of sync with the index");
   StmtKeys.clear();
-  StmtKeys.reserve(StmtIndex.size());
-  for (const auto &KV : StmtIndex)
-    StmtKeys.push_back(KV.first);
-  std::sort(StmtKeys.begin(), StmtKeys.end());
-  StmtCloneOff.assign(StmtKeys.size() + 1, 0);
-  std::size_t Total = 0;
-  for (std::size_t I = 0; I != StmtKeys.size(); ++I) {
-    Total += StmtIndex.find(StmtKeys[I])->second.size();
-    StmtCloneOff[I + 1] = static_cast<unsigned>(Total);
-  }
+  StmtKeys.reserve(SortedStmt.size());
+  StmtCloneOff.assign(SortedStmt.size() + 1, 0);
   StmtClones.clear();
-  StmtClones.reserve(Total);
-  for (const Instr *Key : StmtKeys) {
-    const std::vector<unsigned> &Clones = StmtIndex.find(Key)->second;
-    StmtClones.insert(StmtClones.end(), Clones.begin(), Clones.end());
+  for (std::size_t I = 0; I != SortedStmt.size(); ++I) {
+    StmtKeys.push_back(SortedStmt[I].first);
+    StmtClones.insert(StmtClones.end(), SortedStmt[I].second->begin(),
+                      SortedStmt[I].second->end());
+    StmtCloneOff[I + 1] = static_cast<unsigned>(StmtClones.size());
   }
-  std::unordered_map<const Instr *, std::vector<unsigned>>().swap(StmtIndex);
 
   Finalized = true;
 }
@@ -166,18 +324,17 @@ void SDG::unfinalize() {
   if (!Finalized)
     return;
   Finalized = false;
-  // Rebuild the construction-time index: node ids ascend in insertion
-  // order, so iterating Nodes restores the original clone order.
-  for (const SDGNode &N : Nodes)
-    if (N.K == SDGNodeKind::Stmt)
-      StmtIndex[N.I].push_back(N.Id);
-  std::vector<const Instr *>().swap(StmtKeys);
-  std::vector<unsigned>().swap(StmtCloneOff);
-  std::vector<unsigned>().swap(StmtClones);
-  std::vector<unsigned>().swap(InOff);
-  std::vector<unsigned>().swap(OutOff);
-  std::vector<unsigned>().swap(InNbr);
-  std::vector<unsigned>().swap(OutNbr);
-  std::vector<unsigned>().swap(InEdgeId);
-  std::vector<unsigned>().swap(OutEdgeId);
+  // The construction-time statement index stayed live through
+  // finalize(), so nothing needs rebuilding — only the query-form
+  // arrays are dropped. clear() keeps their capacity: a patched graph
+  // refinalizes to (almost) the same sizes, so the buffers recycle.
+  StmtKeys.clear();
+  StmtCloneOff.clear();
+  StmtClones.clear();
+  InOff.clear();
+  OutOff.clear();
+  InNbr.clear();
+  OutNbr.clear();
+  InEdgeId.clear();
+  OutEdgeId.clear();
 }

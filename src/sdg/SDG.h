@@ -46,11 +46,13 @@
 #include "support/Budget.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace tsl {
@@ -157,6 +159,11 @@ struct SDGNode {
   /// Analysis context of the owning method's clone.
   unsigned Ctx;
   unsigned Id;
+  /// Tombstone flag set by SDG::killNode(). A dead node keeps its id
+  /// (ids are embedded in edges and the CSR arrays) but is absent
+  /// from every index, has no incident edges, and is skipped by
+  /// statement lookups. compact() renumbers them away.
+  bool Dead = false;
 
   bool isStmt() const { return K == SDGNodeKind::Stmt; }
 
@@ -227,13 +234,38 @@ public:
                const CallInstr *Site = nullptr);
 
   //===------------------------------------------------------------------===//
+  // Incremental maintenance (used by patchSDGIncremental)
+  //===------------------------------------------------------------------===//
+
+  /// Tombstones a node: the id survives (edges and CSR embed ids) but
+  /// the node leaves every index, so statement seeds and heap-node
+  /// lookups no longer find it, and re-adding the same identity later
+  /// creates a fresh node. The caller must also remove its incident
+  /// edges (removeEdgesIf) — a surviving edge at a dead node would
+  /// corrupt slices.
+  void killNode(unsigned Id);
+
+  /// Removes every edge matching \p Pred, with its dedup entry, so an
+  /// identical edge can be re-added. Returns the number removed.
+  unsigned removeEdgesIf(const std::function<bool(const SDGEdge &)> &Pred);
+
+  /// Tombstoned nodes still occupying id slots.
+  unsigned numDeadNodes() const { return NumDead; }
+
+  /// Renumbers nodes and edges to drop tombstones (the garbage bound
+  /// for long incremental sessions). Every id changes; any remaining
+  /// edge at a dead node is dropped.
+  void compact();
+
+  //===------------------------------------------------------------------===//
   // Finalization (CSR compaction)
   //===------------------------------------------------------------------===//
 
   /// Compacts the graph into the immutable query form: edge-kind-
   /// partitioned CSR in/out adjacency and a sorted-array statement
-  /// index (freeing the construction-time unordered_map). Idempotent;
-  /// buildSDG() calls it before returning.
+  /// index. The construction-time hash index stays live so patches
+  /// can reopen the graph without a rebuild. Idempotent; buildSDG()
+  /// calls it before returning.
   void finalize();
 
   bool finalized() const { return Finalized; }
@@ -344,11 +376,13 @@ public:
                   unsigned Ctx = 0) const;
 
   /// Statement count excluding parameter-passing machinery, matching
-  /// the paper's Table 1 "SDG Statements" metric.
+  /// the paper's Table 1 "SDG Statements" metric. Live nodes only.
   unsigned numStmtNodes() const { return NumStmts; }
 
-  /// Number of heap parameter nodes (the CS blowup statistic).
-  unsigned numHeapParamNodes() const { return numNodes() - NumStmts; }
+  /// Number of live heap parameter nodes (the CS blowup statistic).
+  unsigned numHeapParamNodes() const {
+    return numNodes() - NumDead - NumStmts;
+  }
 
   unsigned numEdgesOfKind(SDGEdgeKind K) const;
 
@@ -358,8 +392,8 @@ public:
   void setReport(StageReport R) { Report = std::move(R); }
 
 private:
-  /// Reopens a finalized graph for mutation: drops the CSR arrays and
-  /// rebuilds the construction-time statement index from Nodes.
+  /// Reopens a finalized graph for mutation: drops the CSR arrays
+  /// (keeping their capacity for the refinalize that follows).
   void unfinalize();
 
   IdRange rowEdges(const std::vector<unsigned> &Off,
@@ -402,8 +436,8 @@ private:
   const Program &P;
   std::vector<SDGNode> Nodes;
   std::vector<SDGEdge> Edges;
-  /// Construction-time statement index; freed by finalize() in favor
-  /// of the sorted arrays below.
+  /// Statement index, maintained in both forms: the query path reads
+  /// the sorted arrays below, mutation reads and updates this map.
   std::unordered_map<const Instr *, std::vector<unsigned>> StmtIndex;
   /// Exact node identity: (kind, anchor, partition/operand, ctx).
   std::map<std::tuple<SDGNodeKind, const void *, unsigned, unsigned>,
@@ -414,6 +448,7 @@ private:
   std::set<std::tuple<unsigned, unsigned, SDGEdgeKind, const CallInstr *>>
       EdgeDedup;
   unsigned NumStmts = 0;
+  unsigned NumDead = 0;
   StageReport Report{"sdg", StageStatus::Complete, "", "", 0, 0};
 
   //===------------------------------------------------------------------===//
@@ -436,6 +471,20 @@ private:
   std::vector<const Instr *> StmtKeys;
   std::vector<unsigned> StmtCloneOff;
   std::vector<unsigned> StmtClones;
+  /// The previous finalize()'s sorted (key, clone-list) view, kept
+  /// across unfinalize() together with the key churn since then
+  /// (AddedStmtKeys/RemovedStmtKeys, filled by addStmtNode/killNode).
+  /// The next finalize() merges the churn into this instead of
+  /// re-sorting all keys; compact() invalidates it (see keyChurnReset).
+  std::vector<std::pair<const Instr *, const std::vector<unsigned> *>>
+      SortedStmt;
+  std::vector<const Instr *> AddedStmtKeys, RemovedStmtKeys;
+
+  void keyChurnReset() {
+    SortedStmt.clear();
+    AddedStmtKeys.clear();
+    RemovedStmtKeys.clear();
+  }
 };
 
 class ThreadPool;
@@ -470,6 +519,35 @@ struct SDGOptions {
 std::unique_ptr<SDG> buildSDG(const Program &P, const PointsToResult &PTA,
                               const ModRefResult *ModRef,
                               const SDGOptions &Options = {});
+
+/// Input to patchSDGIncremental(): the affected-method set reported
+/// by the points-to update (every method whose per-context points-to
+/// facts or call edges may differ from the pre-edit run, dirty
+/// methods included) and the retired bodies' instructions.
+struct SDGPatchRequest {
+  std::vector<Method *> AffectedMethods;
+  std::unordered_set<const Instr *> DeadInstrs;
+};
+
+/// Patches a context-insensitive SDG in place after an incremental
+/// recompile + points-to update, to the graph a cold buildSDG() would
+/// produce on the patched program — identical as a set of logical
+/// nodes and edges; node/edge *ids* may be permuted relative to cold
+/// (clients canonicalize, as they already must across solver modes).
+/// Tombstones every node of an affected method and every node at a
+/// retired instruction, drops their incident edges plus all Summary
+/// edges (the tabulation re-derives them), rebuilds the affected
+/// clones' statements and intraprocedural edges, re-wires call edges
+/// and heap dependences with an affected endpoint, compacts when
+/// tombstones exceed a quarter of the id space, and re-finalizes.
+///
+/// Returns false when the patch declined (context-sensitive graph,
+/// degraded build) or aborted on an injected "sdg.patch" fault; the
+/// graph may then hold a partial patch and must be discarded for a
+/// cold rebuild.
+bool patchSDGIncremental(SDG &G, const PointsToResult &PTA,
+                         const SDGPatchRequest &Req,
+                         const SDGOptions &Options = {});
 
 } // namespace tsl
 

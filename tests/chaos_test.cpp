@@ -185,6 +185,114 @@ TEST(Chaos, SeededSessionSchedulesCompleteOrDegradeAndHeal) {
   EXPECT_GT(Complete, 0u);
 }
 
+// Mid-incremental chaos: seeded schedules armed across the
+// function-granular setSource() fast path (fault points pta.update,
+// modref.update, sdg.patch). Whatever combination of stage updates a
+// schedule knocks out, setSource must not throw, and the post-edit
+// answer on the SAME session — queried after the schedule clears —
+// must be byte-identical to a cold session built from the edited
+// source. A third of the schedules additionally pin a low-poll fault
+// on one of the three update points so each is guaranteed to fire.
+TEST(Chaos, SeededMidIncrementalSchedulesMatchColdRebuild) {
+  InjectorGuard Guard;
+  // The edit rewrites store()'s body through a fresh alias: real
+  // retraction work for every stage update. Same line count, so the
+  // seed line is stable across the edit.
+  std::string Edited = Source;
+  const std::string Old = "  c.v = x;";
+  const std::string New = "  var d = c; d.v = x + 1 - 1;";
+  const std::size_t At = Edited.find(Old);
+  ASSERT_NE(At, std::string::npos);
+  Edited.replace(At, Old.size(), New);
+
+  // Cold fault-free baselines on the edited source, per SDG mode.
+  auto editedBaseline = [&](bool ContextSensitive) {
+    InjectorGuard::clean();
+    AnalysisSession S(Edited);
+    if (ContextSensitive) {
+      SDGOptions SO;
+      SO.ContextSensitive = true;
+      S.setSDGOptions(SO);
+    }
+    Program *P = S.program();
+    EXPECT_NE(P, nullptr);
+    const SliceResult *R =
+        S.sliceBackwardCached(lastSeed(*P), SliceMode::Thin);
+    EXPECT_NE(R, nullptr);
+    EXPECT_TRUE(R->complete());
+    return renderSlice(*R, *P);
+  };
+  const std::string BaselineCI = editedBaseline(false);
+  const std::string BaselineCS = editedBaseline(true);
+
+  FaultInjector &FI = FaultInjector::instance();
+  const char *UpdatePoints[] = {"pta.update", "modref.update", "sdg.patch"};
+  uint64_t UpdateFired[3] = {0, 0, 0};
+  uint64_t Fallbacks = 0, CleanApplies = 0;
+  for (unsigned Threads : {1u, 4u}) {
+    for (uint64_t Schedule = 0; Schedule != 150; ++Schedule) {
+      const bool CS = (Schedule & 1) != 0;
+      // Warm the session fault-free: the chaos targets the update,
+      // not the initial build.
+      InjectorGuard::clean();
+      AnalysisSession S(Source);
+      S.setThreads(Threads);
+      S.setIncremental(true);
+      if (CS) {
+        SDGOptions SO;
+        SO.ContextSensitive = true;
+        S.setSDGOptions(SO);
+      }
+      Program *P = S.program();
+      ASSERT_NE(P, nullptr);
+      ASSERT_NE(S.modRef(), nullptr); // put mod-ref on the update path
+      ASSERT_NE(S.sliceBackwardCached(lastSeed(*P), SliceMode::Thin),
+                nullptr);
+
+      FI.reset();
+      FI.setStallCapMs(2);
+      FI.armRandomSchedule(0x3000 + Schedule * 2 + (Threads == 4 ? 1 : 0));
+      if (Schedule % 3 == 0)
+        FI.arm(UpdatePoints[(Schedule / 3) % 3], /*AtPoll=*/1,
+               Schedule % 2 ? FaultKind::Throw : FaultKind::Degrade);
+
+      S.setSource(Edited); // must not throw, whatever fires inside
+      EXPECT_EQ(S.incrementalStats().Attempts, 1u)
+          << "schedule " << Schedule << " threads " << Threads;
+      for (int I = 0; I != 3; ++I)
+        if (FI.fired().count(UpdatePoints[I]))
+          ++UpdateFired[I];
+      if (S.incrementalStats().StageFallbacks ||
+          S.incrementalStats().ColdFallbacks)
+        ++Fallbacks;
+      else
+        ++CleanApplies;
+
+      // Disarm: the same session must now answer byte-identically to
+      // a cold session on the edited source.
+      FI.reset();
+      Program *P2 = S.program();
+      ASSERT_NE(P2, nullptr);
+      const SliceResult *R =
+          S.sliceBackwardCached(lastSeed(*P2), SliceMode::Thin);
+      ASSERT_NE(R, nullptr)
+          << "schedule " << Schedule << " threads " << Threads << ": "
+          << S.lastError().str();
+      EXPECT_TRUE(R->complete())
+          << "schedule " << Schedule << " threads " << Threads;
+      EXPECT_EQ(renderSlice(*R, *P2), CS ? BaselineCS : BaselineCI)
+          << "schedule " << Schedule << " threads " << Threads;
+    }
+  }
+  // Every update point must have been knocked out at least once, and
+  // some schedules must have let the fast path run to completion.
+  EXPECT_GT(UpdateFired[0], 0u) << "pta.update never fired";
+  EXPECT_GT(UpdateFired[1], 0u) << "modref.update never fired";
+  EXPECT_GT(UpdateFired[2], 0u) << "sdg.patch never fired";
+  EXPECT_GT(Fallbacks, 0u);
+  EXPECT_GT(CleanApplies, 0u);
+}
+
 // The interpreter's fault points (interp.step / interp.output) are
 // not on the session path: chaos them directly. No schedule may
 // escape interpret() as an exception — crashes surface as

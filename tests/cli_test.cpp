@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <algorithm>
+#include <iterator>
 #include <string>
 #include <sys/wait.h>
 
@@ -356,6 +357,101 @@ TEST_F(CliTest, InteractiveStatsFlagPrintsTelemetryAtExit) {
   // block once the input ends.
   EXPECT_NE(Out.find("session stages (memoization):"), std::string::npos)
       << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental sessions: --incremental, edit, reload
+//===----------------------------------------------------------------------===//
+
+TEST_F(CliTest, IncrementalFlagStrictlyParsed) {
+  int Status = 0;
+  std::string Out = run("--line 15 --incremental bogus", &Status);
+  EXPECT_NE(exitCode(Status), 0) << Out;
+  EXPECT_NE(Out.find("error: --incremental expects on|off, got 'bogus'"),
+            std::string::npos)
+      << Out;
+  Out = run("--line 15 --incremental", &Status);
+  EXPECT_NE(exitCode(Status), 0) << Out;
+  EXPECT_NE(Out.find("--incremental expects on|off"), std::string::npos)
+      << Out;
+  Out = run("--line 15 --incremental off", &Status);
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_NE(Out.find("thin slice from line 15"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, InteractiveIncrementalReloadIsAppliedInPlace) {
+  // A no-edit reload through the incremental path: zero dirty bodies,
+  // every function reused, analyses re-keyed verbatim.
+  std::string Out;
+  int Status = runInteractive(Program, "slice 15\\nreload\\nslice 15\\nstats\\n",
+                              "--interactive --incremental on", Out);
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_EQ(countOccurrences(Out, "thin slice from line 15"), 2u) << Out;
+  EXPECT_NE(Out.find("incremental: attempts=1 applied=1"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("fn_recompiled=0"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, InteractiveIncrementalEditMatchesOneShotAnswer) {
+  // `edit FILE2` where FILE2 differs from the running program by one
+  // function body: the session recompiles only that body, updates the
+  // analyses in place, and the post-edit slice is byte-identical to a
+  // one-shot run on FILE2.
+  const std::string Program2 = Program + ".edited.tsj";
+  {
+    std::ifstream In(Program);
+    std::string Src((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+    // Edit main's loop header: a body whose retracted allocation
+    // sites define no contexts, so the update must stay on the fast
+    // path (editing readNames would retract the Vector receiver and
+    // soundly decline to a cold rebuild instead).
+    const std::string Old = "i < names.size(); i = i + 1";
+    const size_t At = Src.find(Old);
+    ASSERT_NE(At, std::string::npos);
+    Src.replace(At, Old.size(), "i < names.size(); i = i + 2 - 1");
+    std::ofstream OutF(Program2);
+    OutF << Src;
+  }
+  std::string OneShot;
+  runCapture(std::string(ToolPath) + " " + Program2 + " --line 15", OneShot);
+  const size_t HeadAt = OneShot.find("thin slice from line 15");
+  ASSERT_NE(HeadAt, std::string::npos) << OneShot;
+  const std::string Head =
+      OneShot.substr(HeadAt, OneShot.find('\n', HeadAt) - HeadAt);
+
+  std::string Out;
+  int Status = runInteractive(
+      Program, "slice 15\\nedit " + Program2 + "\\nslice 15\\nstats\\n",
+      "--interactive --incremental on", Out);
+  remove(Program2.c_str());
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_EQ(countOccurrences(Out, "thin slice from line 15"), 2u) << Out;
+  // The post-edit answer is the one-shot answer for the edited file.
+  EXPECT_NE(Out.find(Head), std::string::npos) << Head << "\n" << Out;
+  // And it was produced by the fast path: one body recompiled,
+  // everything else reused, all three analyses updated in place.
+  EXPECT_NE(Out.find("incremental: attempts=1 applied=1"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("fn_recompiled=1 pta_updates=1"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("sdg_patches=1 cold_fallbacks=0 stage_fallbacks=0"),
+            std::string::npos)
+      << Out;
+}
+
+TEST_F(CliTest, InteractiveEditErrorsKeepTheLoopAlive) {
+  std::string Out;
+  int Status = runInteractive(
+      Program, "edit\\nedit no_such_file.tsj\\nslice 15\\n",
+      "--interactive --incremental on", Out);
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_NE(Out.find("error: edit expects a file path"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("error: cannot open no_such_file.tsj"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("thin slice from line 15"), std::string::npos) << Out;
 }
 
 //===----------------------------------------------------------------------===//

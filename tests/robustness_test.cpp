@@ -196,6 +196,7 @@ TEST(Robustness, UnicodeBytesInStrings) {
 
 #include "eval/Workload.h"
 #include "modref/ModRef.h"
+#include "pipeline/Session.h"
 #include "slicer/Chop.h"
 #include "slicer/Expansion.h"
 #include "slicer/Tabulation.h"
@@ -230,6 +231,48 @@ std::set<const Instr *> stmtSet(const SliceResult &S) {
   auto V = S.statements();
   return std::set<const Instr *>(V.begin(), V.end());
 }
+
+/// Canonical cross-session slice rendering: statement source
+/// positions (instruction pointers are not comparable between two
+/// different compiles of the same source).
+std::set<std::pair<unsigned, unsigned>> stmtPositions(const SliceResult &S) {
+  std::set<std::pair<unsigned, unsigned>> Out;
+  for (const Instr *I : S.statements())
+    Out.insert({I->loc().Line, I->loc().Col});
+  return Out;
+}
+
+/// Warm/edited source pair for the mid-incremental fault cases. The
+/// edit rewrites put()'s body through a fresh alias so the points-to
+/// retraction, mod-ref re-scan, and SDG patch all have real work —
+/// an armed update fault is guaranteed a poll to fire at.
+const char *kIncFaultWarmSrc = R"(
+class Cell {
+  var v: int;
+}
+def put(c: Cell, x: int) {
+  c.v = x;
+}
+def main() {
+  var a = new Cell();
+  put(a, readInt());
+  print(a.v);
+}
+)";
+const char *kIncFaultEditedSrc = R"(
+class Cell {
+  var v: int;
+}
+def put(c: Cell, x: int) {
+  var d = c; d.v = x + 1 - 1;
+}
+def main() {
+  var a = new Cell();
+  put(a, readInt());
+  print(a.v);
+}
+)";
+constexpr unsigned kIncFaultSeedLine = 11; // print(a.v)
 
 } // namespace
 
@@ -439,6 +482,21 @@ TEST(PipelineExhaustion, EveryFaultPointFiresWithSoundDegradation) {
   SliceResult FullExpand =
       ThinExpansion(*G, *PTA).expandToTraditional(Seed);
 
+  // Cold post-edit reference for the mid-incremental fault cases:
+  // whichever stage update a fault knocks out, the incremental
+  // session's answer must match this fault-free cold rebuild.
+  std::set<std::pair<unsigned, unsigned>> IncRef;
+  {
+    FI.reset();
+    AnalysisSession Ref{std::string(kIncFaultEditedSrc)};
+    ASSERT_TRUE(Ref.program());
+    const Instr *RS = instrAtLine(*Ref.program(), kIncFaultSeedLine);
+    ASSERT_TRUE(RS);
+    const SliceResult *R = Ref.sliceBackwardCached(RS, SliceMode::Thin);
+    ASSERT_TRUE(R);
+    IncRef = stmtPositions(*R);
+  }
+
   std::set<std::string> Covered;
   for (const std::string &Point : FaultInjector::knownPoints()) {
     FI.reset();
@@ -481,6 +539,29 @@ TEST(PipelineExhaustion, EveryFaultPointFiresWithSoundDegradation) {
       BitSet Extra = S.nodeSet();
       Extra.subtract(FullExpand.nodeSet());
       EXPECT_EQ(Extra.count(), 0u);
+    } else if (Point == "pta.update" || Point == "modref.update" ||
+               Point == "sdg.patch") {
+      // Mid-incremental faults: the point fires inside the session's
+      // function-granular setSource() update, the stage declines and
+      // is rebuilt cold on the next request, and the post-edit slice
+      // is identical to the fault-free cold reference.
+      AnalysisSession S{std::string(kIncFaultWarmSrc)};
+      S.setIncremental(true);
+      ASSERT_TRUE(S.program());
+      if (Point == "modref.update")
+        ASSERT_TRUE(S.modRef()); // put the artifact on the update path
+      const Instr *WarmSeed = instrAtLine(*S.program(), kIncFaultSeedLine);
+      ASSERT_TRUE(WarmSeed);
+      ASSERT_TRUE(S.sliceBackwardCached(WarmSeed, SliceMode::Thin));
+      S.setSource(kIncFaultEditedSrc); // the armed fault fires in here
+      EXPECT_EQ(S.incrementalStats().Applied, 1u) << Point;
+      EXPECT_GE(S.incrementalStats().StageFallbacks, 1u) << Point;
+      ASSERT_TRUE(S.program());
+      const Instr *EditSeed = instrAtLine(*S.program(), kIncFaultSeedLine);
+      ASSERT_TRUE(EditSeed);
+      const SliceResult *R = S.sliceBackwardCached(EditSeed, SliceMode::Thin);
+      ASSERT_TRUE(R) << Point << ": " << S.lastError().str();
+      EXPECT_EQ(stmtPositions(*R), IncRef) << Point;
     } else if (Point == "interp.step" || Point == "interp.output") {
       InterpOptions IO;
       IO.InputLines = {"John Doe"};

@@ -107,6 +107,10 @@ struct CliOptions {
   uint64_t RunSteps = 0;
   bool StrictBudget = false;
   std::string FaultSpec;
+  /// Function-granular incremental reanalysis for `reload`/`edit` in
+  /// the interactive session (off by default: one-shot runs never
+  /// re-set the source, so the flag only matters with --interactive).
+  bool Incremental = false;
 
   bool governed() const {
     // TSL_FAULT arms the injector without any CLI flag; env-armed runs
@@ -131,6 +135,7 @@ void usage() {
           "                 [--max-slice-stmts N] [--strict-budget]\n"
           "                 [--fault POINT[:N][:throw|:stall][:once],...\n"
           "                          |all|rand:SEED] [--run-steps N]\n"
+          "                 [--incremental on|off]\n"
           "exit codes: 0 complete, 1 file error, 2 usage,\n"
           "            3 degraded by budget, 4 refused (--strict-budget),\n"
           "            5 internal/stage failure\n");
@@ -270,6 +275,17 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.FaultSpec = V;
+    } else if (Arg == "--incremental") {
+      const char *V = Next();
+      if (V && strcmp(V, "on") == 0) {
+        Opts.Incremental = true;
+      } else if (V && strcmp(V, "off") == 0) {
+        Opts.Incremental = false;
+      } else {
+        fprintf(stderr, "error: --incremental expects on|off, got '%s'\n",
+                V ? V : "");
+        return false;
+      }
     } else if (Arg.rfind("--", 0) == 0) {
       fprintf(stderr, "unknown option %s\n", Arg.c_str());
       return false;
@@ -332,14 +348,21 @@ void reportNoStatement(const Program &P, unsigned UserLine,
 ///   slice N         backward slice from user-file line N
 ///   mode thin|trad  switch the slice mode for subsequent queries
 ///   cs on|off       toggle the context-sensitive representation
-///   reload          re-read the source file (resets the session)
+///   reload          re-read the current source file
+///   edit FILE       switch to FILE as the source (reload follows it)
 ///   stats           print per-stage memoization telemetry
 ///   quit            exit (EOF works too)
 ///
-/// With --stats the telemetry block is also printed on exit.
+/// With --incremental on, reload and edit go through the session's
+/// function-granular incremental path: unchanged functions keep their
+/// compiled artifacts and the analyses update in place (falling back
+/// to a cold rebuild whenever that would change any answer). Without
+/// it they reset the session. With --stats the telemetry block is
+/// also printed on exit.
 int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
                    unsigned LineOffset) {
   SliceMode Mode = Opts.Mode;
+  std::string CurFile = Opts.File;
   std::string LineBuf;
   while (std::getline(std::cin, LineBuf)) {
     std::istringstream Words(LineBuf);
@@ -373,14 +396,23 @@ int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
         }
         continue;
       }
-      if (Cmd == "reload") {
-        std::ifstream In(Opts.File);
+      if (Cmd == "reload" || Cmd == "edit") {
+        if (Cmd == "edit") {
+          if (Arg.empty()) {
+            fprintf(stderr, "error: edit expects a file path\n");
+            continue;
+          }
+        } else {
+          Arg = CurFile;
+        }
+        std::ifstream In(Arg);
         if (!In) {
-          fprintf(stderr, "error: cannot open %s\n", Opts.File.c_str());
+          fprintf(stderr, "error: cannot open %s\n", Arg.c_str());
           continue;
         }
         std::stringstream Buf;
         Buf << In.rdbuf();
+        CurFile = Arg;
         std::string Src = Opts.NoRuntime ? "" : runtimeLibrarySource();
         Src += Buf.str();
         Session.setSource(std::move(Src));
@@ -389,7 +421,7 @@ int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
             SourceLoc Loc = D.Loc;
             if (Loc.Line > LineOffset)
               Loc.Line -= LineOffset;
-            fprintf(stderr, "%s:%s: error: %s\n", Opts.File.c_str(),
+            fprintf(stderr, "%s:%s: error: %s\n", CurFile.c_str(),
                     Loc.str().c_str(), D.Message.c_str());
           }
         continue;
@@ -446,7 +478,7 @@ int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
       }
       fprintf(stderr,
               "error: unknown command '%s' (try: slice N, mode thin|trad, "
-              "cs on|off, stats, reload, quit)\n",
+              "cs on|off, stats, reload, edit FILE, quit)\n",
               Cmd.c_str());
     } catch (const std::exception &E) {
       // Nothing below the session boundary should throw; if something
@@ -533,6 +565,7 @@ int runTool(int argc, char **argv) {
   // --interactive re-queries the same warm session.
   AnalysisSession Session(std::move(Source));
   Session.setBudget(B);
+  Session.setIncremental(Opts.Incremental);
   if (Opts.JobsAliasUsed)
     fprintf(stderr,
             "warning: --jobs is deprecated, use --threads (same meaning)\n");
