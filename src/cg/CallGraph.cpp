@@ -18,7 +18,7 @@ unsigned CallGraph::getOrCreateNode(Method *M, unsigned Ctx) {
   unsigned Id = static_cast<unsigned>(Nodes.size());
   Nodes.push_back({M, Ctx, Id});
   NodeIndex.emplace(Key, Id);
-  MethodNodes[M].push_back(Id);
+  MethodNodes[M->id()].push_back(Id);
   return Id;
 }
 
@@ -29,16 +29,18 @@ int CallGraph::findNode(const Method *M, unsigned Ctx) const {
 
 bool CallGraph::addEdge(unsigned CallerNode, const CallInstr *Site,
                         unsigned CalleeNode) {
-  if (!EdgeDedup.insert({CallerNode, Site, CalleeNode}).second)
+  if (!EdgeDedup.insert({CallerNode, denseInstrKey(Site), CalleeNode})
+           .second)
     return false;
   Edges.push_back({CallerNode, Site, CalleeNode});
-  SiteEdges[Site].push_back(static_cast<unsigned>(Edges.size() - 1));
+  SiteEdges[denseInstrKey(Site)].push_back(
+      static_cast<unsigned>(Edges.size() - 1));
   return true;
 }
 
 std::vector<Method *> CallGraph::calleesOf(const CallInstr *Site) const {
   std::vector<Method *> Out;
-  auto It = SiteEdges.find(Site);
+  auto It = SiteEdges.find(denseInstrKey(Site));
   if (It == SiteEdges.end())
     return Out;
   for (unsigned EdgeIdx : It->second) {
@@ -51,7 +53,7 @@ std::vector<Method *> CallGraph::calleesOf(const CallInstr *Site) const {
 
 std::vector<unsigned> CallGraph::calleeNodesOf(const CallInstr *Site) const {
   std::vector<unsigned> Out;
-  auto It = SiteEdges.find(Site);
+  auto It = SiteEdges.find(denseInstrKey(Site));
   if (It == SiteEdges.end())
     return Out;
   for (unsigned EdgeIdx : It->second) {
@@ -77,9 +79,9 @@ CallGraph::callersOf(const Method *M) const {
 
 std::vector<Method *> CallGraph::reachableMethods() const {
   std::vector<Method *> Out;
-  for (const auto &[M, NodeIds] : MethodNodes) {
-    (void)NodeIds;
-    Out.push_back(const_cast<Method *>(M));
+  for (const auto &[MId, NodeIds] : MethodNodes) {
+    (void)MId;
+    Out.push_back(Nodes[NodeIds.front()].M);
   }
   std::sort(Out.begin(), Out.end(),
             [](const Method *A, const Method *B) { return A->id() < B->id(); });
@@ -88,7 +90,7 @@ std::vector<Method *> CallGraph::reachableMethods() const {
 
 const std::vector<unsigned> &CallGraph::nodesOf(const Method *M) const {
   static const std::vector<unsigned> Empty;
-  auto It = MethodNodes.find(M);
+  auto It = MethodNodes.find(M->id());
   return It == MethodNodes.end() ? Empty : It->second;
 }
 
@@ -106,8 +108,8 @@ void CallGraph::removeEdgesAtSites(
   EdgeDedup.clear();
   for (unsigned I = 0, N = static_cast<unsigned>(Edges.size()); I != N; ++I) {
     const CallEdge &E = Edges[I];
-    SiteEdges[E.Site].push_back(I);
-    EdgeDedup.insert({E.CallerNode, E.Site, E.CalleeNode});
+    SiteEdges[denseInstrKey(E.Site)].push_back(I);
+    EdgeDedup.insert({E.CallerNode, denseInstrKey(E.Site), E.CalleeNode});
   }
 }
 

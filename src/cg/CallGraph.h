@@ -74,7 +74,7 @@ public:
   /// Distinct reachable methods (those with a node).
   std::vector<Method *> reachableMethods() const;
   bool isReachable(const Method *M) const {
-    return MethodNodes.count(M) != 0;
+    return MethodNodes.count(M->id()) != 0;
   }
 
   /// Nodes of one method across contexts.
@@ -91,14 +91,18 @@ public:
   bool allReachableFrom(unsigned EntryNode) const;
 
 private:
+  // All indices are dense-id keyed (method ids, denseInstrKey of call
+  // sites) rather than pointer keyed, so a graph decoded from a
+  // snapshot replays into identical index state — see the dense
+  // identity note in ir/Program.h.
   std::vector<MethodCtx> Nodes;
   std::vector<CallEdge> Edges;
-  std::unordered_map<const Method *, std::vector<unsigned>> MethodNodes;
+  std::unordered_map<uint32_t, std::vector<unsigned>> MethodNodes;
   std::unordered_map<uint64_t, unsigned> NodeIndex; ///< (methodId,ctx) key.
-  std::unordered_map<const CallInstr *, std::vector<unsigned>> SiteEdges;
+  std::unordered_map<uint64_t, std::vector<unsigned>> SiteEdges;
   /// Exact edge identity (no hash folding: a dropped edge would be a
   /// soundness bug).
-  std::set<std::tuple<unsigned, const CallInstr *, unsigned>> EdgeDedup;
+  std::set<std::tuple<unsigned, uint64_t, unsigned>> EdgeDedup;
 };
 
 } // namespace tsl

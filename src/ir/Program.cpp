@@ -35,6 +35,7 @@ Local *Method::addLocal(Symbol BaseName, const Type *Ty, bool IsTemp,
                         unsigned Version) {
   Locals.push_back(std::make_unique<Local>(
       BaseName, Ty, static_cast<unsigned>(Locals.size()), Version, IsTemp));
+  Locals.back()->setOwnerMethodId(Id);
   return Locals.back().get();
 }
 

@@ -70,6 +70,12 @@ public:
   unsigned version() const { return Version; }
   bool isTemp() const { return IsTemp; }
 
+  /// Program-wide id of the owning method, set by Method::addLocal.
+  /// Together with id() it forms the dense key serialized analysis
+  /// layers use in place of Local* (see denseLocalKey below).
+  unsigned ownerMethodId() const { return OwnerMethodId; }
+  void setOwnerMethodId(unsigned MId) { OwnerMethodId = MId; }
+
   /// The unique defining instruction once the method is in SSA form.
   Instr *def() const { return Def; }
   void setDef(Instr *I) { Def = I; }
@@ -80,6 +86,7 @@ private:
   unsigned Id;
   unsigned Version;
   bool IsTemp;
+  unsigned OwnerMethodId = ~0u;
   Instr *Def = nullptr;
 };
 
@@ -278,6 +285,23 @@ private:
   ClassDef *ObjectClass = nullptr;
   Method *Main = nullptr;
 };
+
+//===----------------------------------------------------------------------===//
+// Dense identity keys
+//===----------------------------------------------------------------------===//
+//
+// Serialized analysis layers (pta/, modref/, sdg/, cg/) key their maps
+// by these program-derived integers instead of raw pointers, so a
+// decoded artifact can reconstruct identity against a decoded Program
+// (DESIGN.md section 14). Method, class, and field ids are
+// program-wide; instruction and local ids are method-local, so their
+// dense keys pair them with the owning method's id.
+
+/// 64-bit dense key of one local: owner method id in the high word,
+/// method-local id in the low word.
+inline uint64_t denseLocalKey(const Local *L) {
+  return (static_cast<uint64_t>(L->ownerMethodId()) << 32) | L->id();
+}
 
 } // namespace tsl
 

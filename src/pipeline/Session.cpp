@@ -2,12 +2,17 @@
 
 #include "pipeline/Session.h"
 
+#include "ir/ProgramIO.h"
 #include "lang/Incremental.h"
+#include "pta/Snapshot.h"
 #include "support/Watchdog.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -67,12 +72,25 @@ auto computeStage(const char *Stage, const AnalysisBudget *B, Status &Err,
   }
 }
 
-/// FNV-1a over the source text: the cheap, stable identity every
-/// cache key is prefixed with.
+/// 64-bit digest over the source text: the cheap, stable identity
+/// every cache key is prefixed with. FNV-1a mixing applied to
+/// little-endian 8-byte blocks (byte-wise tail) rather than single
+/// bytes: the classic form is one serially-dependent multiply per
+/// byte, which on ~100KB sources was a measurable slice of the
+/// warm-start constructor.
 uint64_t fnv1a(const std::string &S) {
+  const unsigned char *P = reinterpret_cast<const unsigned char *>(S.data());
+  std::size_t N = S.size();
   uint64_t H = 1469598103934665603ull;
-  for (unsigned char C : S) {
-    H ^= C;
+  for (; N >= 8; P += 8, N -= 8) {
+    uint64_t W = 0;
+    for (int I = 0; I != 8; ++I)
+      W |= static_cast<uint64_t>(P[I]) << (8 * I);
+    H ^= W;
+    H *= 1099511628211ull;
+  }
+  for (std::size_t I = 0; I != N; ++I) {
+    H ^= P[I];
     H *= 1099511628211ull;
   }
   return H;
@@ -185,6 +203,9 @@ void AnalysisSession::purgeAnalyses() {
   TaintedModRef.clear();
   TaintedSdg.clear();
   TaintedSlices.clear();
+  PendingPtaBytes.clear();
+  PendingMrBytes.clear();
+  PendingLayerKey.clear();
   // No artifact holds retired-body pointers anymore.
   RetiredBodyStore.clear();
 }
@@ -400,6 +421,23 @@ bool AnalysisSession::trySetSourceIncremental(const std::string &NewSource) {
     IncStats.LastFallbackReason = std::string(Stage) + ": " + Why;
     ++counters(S).Invalidated;
   };
+  // Deferred snapshot payloads carry across a no-edit reload by
+  // re-keying (their facts are unchanged); a real edit cannot patch
+  // serialized bytes, so they drop and the next accessor rebuilds
+  // cold — the same outcome as a decoded snapshot layer declining
+  // its in-place update.
+  if (PendingLayerKey == OldPtaKey &&
+      (!PendingPtaBytes.empty() || !PendingMrBytes.empty())) {
+    if (!NeedUpdates) {
+      PendingLayerKey = NewPtaKey;
+    } else {
+      PendingPtaBytes.clear();
+      PendingMrBytes.clear();
+      PendingLayerKey.clear();
+      StageFallback("pta", "snapshot layer predates the edit",
+                    SessionStage::PTA);
+    }
+  }
   if (Pta) {
     bool Keep = true;
     if (NeedUpdates) {
@@ -546,6 +584,199 @@ std::string AnalysisSession::sdgKey() const {
   return ptaKey() + "|" + digest(CurSdg);
 }
 
+std::string AnalysisSession::snapshotCacheKey() const {
+  const uint64_t OptDigest =
+      fnv1a(digest(CurCompile) + "|" + digest(CurPta) + "|" + digest(CurSdg) +
+            "|v" + std::to_string(TSL_SNAPSHOT_VERSION));
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "%016llx-%016llx.tslsnap",
+           static_cast<unsigned long long>(SourceDigest),
+           static_cast<unsigned long long>(OptDigest));
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent snapshots
+//===----------------------------------------------------------------------===//
+
+Status AnalysisSession::saveSnapshot(const std::string &Path) {
+  if (Budget)
+    return Status(StatusCode::ResourceExhausted,
+                  "snapshot: budgeted sessions are not serializable");
+  Program *P = program();
+  if (!P)
+    return LastErr;
+  PointsToResult *PTA = pointsTo();
+  ModRefResult *MR = PTA ? modRef() : nullptr;
+  SDG *G = MR ? sdg() : nullptr;
+  if (!PTA || !MR || !G)
+    return LastErr;
+  // Degraded facts embed a budget/fault outcome a warm start could
+  // not attribute; decline rather than persist them.
+  for (const StageReport *Rep :
+       {&PTA->report(), &MR->report(), &G->report()})
+    if (Rep->Status != StageStatus::Complete)
+      return Status(StatusCode::ResourceExhausted,
+                    "snapshot: degraded " + Rep->Stage +
+                        " artifact is not serializable");
+
+  ByteWriter W;
+  W.u32(TSL_SNAPSHOT_MAGIC);
+  W.u32(TSL_SNAPSHOT_VERSION);
+  W.beginSection(SnapshotSection::Meta);
+  W.u64(SourceDigest);
+  W.str(digest(CurCompile));
+  W.str(digest(CurPta));
+  W.str(digest(CurSdg));
+  W.endSection();
+  W.beginSection(SnapshotSection::Program);
+  encodeProgram(*P, W);
+  W.endSection();
+  W.beginSection(SnapshotSection::Pta);
+  encodePointsTo(*PTA, *P, W);
+  W.endSection();
+  W.beginSection(SnapshotSection::ModRef);
+  MR->encode(W);
+  W.endSection();
+  W.beginSection(SnapshotSection::Sdg);
+  G->encode(W);
+  W.endSection();
+
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (Out)
+    Out.write(reinterpret_cast<const char *>(W.buffer().data()),
+              static_cast<std::streamsize>(W.size()));
+  if (!Out || !Out.flush())
+    return Status(StatusCode::Internal, "snapshot: cannot write " + Path);
+  ++SnapStats.Saves;
+  return Status::ok();
+}
+
+Status AnalysisSession::loadSnapshot(const std::string &Path) {
+  auto Fallback = [&](StatusCode Code, std::string Why) {
+    ++SnapStats.Fallbacks;
+    SnapStats.LastFallbackReason = std::move(Why);
+    return Status(Code, "snapshot: " + SnapStats.LastFallbackReason +
+                            " (cold rebuild)");
+  };
+
+  // One bulk read sized by the file, not an istreambuf byte pump:
+  // warm-start latency is the product being sold here.
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  if (!In)
+    return Fallback(StatusCode::NotFound, "cannot read " + Path);
+  const std::streamoff Size = In.tellg();
+  if (Size < 0)
+    return Fallback(StatusCode::NotFound, "cannot read " + Path);
+  std::vector<uint8_t> Bytes(static_cast<std::size_t>(Size));
+  In.seekg(0);
+  if (Size && !In.read(reinterpret_cast<char *>(Bytes.data()), Size))
+    return Fallback(StatusCode::NotFound, "cannot read " + Path);
+
+  try {
+    // Chaos fault point: an armed "snapshot.load" degrades (decline)
+    // or throws (caught below) — either way the session stays intact
+    // and the caller rebuilds cold.
+    BudgetGate Gate(nullptr, "snapshot.load", 0);
+    if (Gate.spend())
+      return Fallback(StatusCode::FaultInjected,
+                      "injected fault at snapshot.load");
+
+    ByteReader R(Bytes);
+    if (R.u32() != TSL_SNAPSHOT_MAGIC)
+      return Fallback(StatusCode::InvalidArgument, "not a snapshot file");
+    const uint32_t Version = R.u32();
+    if (Version != TSL_SNAPSHOT_VERSION)
+      return Fallback(StatusCode::InvalidArgument,
+                      "format version " + std::to_string(Version) +
+                          " != " + std::to_string(TSL_SNAPSHOT_VERSION));
+
+    ByteReader Meta = R.section(SnapshotSection::Meta);
+    if (Meta.u64() != SourceDigest)
+      return Fallback(StatusCode::InvalidArgument, "source digest mismatch");
+    if (Meta.str() != digest(CurCompile) || Meta.str() != digest(CurPta) ||
+        Meta.str() != digest(CurSdg))
+      return Fallback(StatusCode::InvalidArgument, "option digest mismatch");
+
+    // Decode the program and SDG into temporaries; the session is
+    // only touched after they validated. The points-to and mod-ref
+    // sections are framed and CRC-checked here too, but their
+    // payloads are stashed undecoded: the first slice query after a
+    // warm start runs on the SDG alone, so deferring the other two
+    // layers takes their decode off the load-to-slice path.
+    // pointsTo()/modRef() materialize them on demand and rebuild
+    // cold if a payload is structurally malformed.
+    ByteReader ProgR = R.section(SnapshotSection::Program);
+    std::unique_ptr<Program> NewProg = decodeProgram(ProgR);
+    ByteReader PtaR = R.section(SnapshotSection::Pta);
+    std::vector<uint8_t> PtaBytes = PtaR.take();
+    ByteReader MrR = R.section(SnapshotSection::ModRef);
+    std::vector<uint8_t> MrBytes = MrR.take();
+    ByteReader SdgR = R.section(SnapshotSection::Sdg);
+    std::unique_ptr<SDG> NewSdg = SDG::decode(SdgR, *NewProg);
+    if (!R.atEnd())
+      throw SerializeError("trailing bytes after last section");
+
+    purgeAll();
+    Diag = std::make_unique<DiagnosticEngine>();
+    Prog = std::move(NewProg);
+    CompileAttempted = true;
+    SdgCache.emplace(sdgKey(), std::move(NewSdg));
+    PendingPtaBytes = std::move(PtaBytes);
+    PendingMrBytes = std::move(MrBytes);
+    PendingLayerKey = ptaKey();
+    bumpFrom(SessionStage::Compile);
+    ++SnapStats.Loads;
+    LastErr = Status::ok();
+    return Status::ok();
+  } catch (const FaultInjectedError &E) {
+    return Fallback(StatusCode::FaultInjected, E.what());
+  } catch (const std::exception &E) {
+    return Fallback(StatusCode::InvalidArgument, E.what());
+  }
+}
+
+bool AnalysisSession::tryLoadFromCacheDir() {
+  if (CacheDir.empty())
+    return false;
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  const fs::path File = fs::path(CacheDir) / snapshotCacheKey();
+  if (!fs::exists(File, EC) || EC) {
+    ++SnapStats.CacheMisses;
+    return false;
+  }
+  ++SnapStats.CacheHits;
+  return loadSnapshot(File.string()).isOk();
+}
+
+Status AnalysisSession::saveToCacheDir() {
+  if (CacheDir.empty())
+    return Status::ok();
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::create_directories(CacheDir, EC);
+  Status S = saveSnapshot((fs::path(CacheDir) / snapshotCacheKey()).string());
+  if (!S.isOk())
+    return S;
+  // LRU retention: keep the newest MaxCacheDirEntries snapshots.
+  std::vector<std::pair<fs::file_time_type, fs::path>> Entries;
+  for (const auto &E : fs::directory_iterator(CacheDir, EC)) {
+    if (E.path().extension() != ".tslsnap")
+      continue;
+    std::error_code TimeEC;
+    auto T = fs::last_write_time(E.path(), TimeEC);
+    if (!TimeEC)
+      Entries.emplace_back(T, E.path());
+  }
+  std::sort(Entries.begin(), Entries.end());
+  for (std::size_t I = 0;
+       I + MaxCacheDirEntries < Entries.size(); ++I)
+    if (fs::remove(Entries[I].second, EC))
+      ++SnapStats.CacheEvictions;
+  return Status::ok();
+}
+
 //===----------------------------------------------------------------------===//
 // Artifacts
 //===----------------------------------------------------------------------===//
@@ -588,6 +819,25 @@ PointsToResult *AnalysisSession::pointsTo() {
     ++C.Hits;
     return It->second.get();
   }
+  // Deferred snapshot layer: CRC-verified at load, decoded only now
+  // that a query needs points-to facts. Counted as a hit — the warm
+  // start provided the artifact; this is just when it materializes.
+  if (!PendingPtaBytes.empty() && PendingLayerKey == Key) {
+    std::vector<uint8_t> Bytes = std::move(PendingPtaBytes);
+    PendingPtaBytes.clear();
+    try {
+      ByteReader Rd(Bytes);
+      std::unique_ptr<PointsToResult> Dec = decodePointsTo(Rd, *P);
+      if (!Rd.atEnd())
+        throw SerializeError("trailing bytes in points-to section");
+      ++C.Hits;
+      return PtaCache.emplace(Key, std::move(Dec)).first->second.get();
+    } catch (const std::exception &E) {
+      ++SnapStats.Fallbacks;
+      SnapStats.LastFallbackReason =
+          std::string("deferred points-to decode: ") + E.what();
+    }
+  }
   ++C.Misses;
   auto T0 = std::chrono::steady_clock::now();
   PTAOptions Opts = CurPta;
@@ -618,6 +868,24 @@ ModRefResult *AnalysisSession::modRef() {
     ++C.Hits;
     return It->second.get();
   }
+  // Deferred snapshot layer, same contract as the points-to one.
+  if (!PendingMrBytes.empty() && PendingLayerKey == Key) {
+    std::vector<uint8_t> Bytes = std::move(PendingMrBytes);
+    PendingMrBytes.clear();
+    try {
+      ByteReader Rd(Bytes);
+      std::unique_ptr<ModRefResult> Dec =
+          ModRefResult::decode(Rd, *Prog, *PTA);
+      if (!Rd.atEnd())
+        throw SerializeError("trailing bytes in mod-ref section");
+      ++C.Hits;
+      return ModRefCache.emplace(Key, std::move(Dec)).first->second.get();
+    } catch (const std::exception &E) {
+      ++SnapStats.Fallbacks;
+      SnapStats.LastFallbackReason =
+          std::string("deferred mod-ref decode: ") + E.what();
+    }
+  }
   ++C.Misses;
   auto T0 = std::chrono::steady_clock::now();
   bool Tainted = false;
@@ -638,8 +906,10 @@ ModRefResult *AnalysisSession::modRef() {
 
 SDG *AnalysisSession::sdg() {
   RequestScope Scope(*this);
-  PointsToResult *PTA = pointsTo();
-  if (!PTA)
+  // Cache first, upstream second: a cached graph (in particular a
+  // warm-started one) answers without forcing the points-to layer
+  // to materialize.
+  if (!program())
     return nullptr;
   StageCounters &C = counters(SessionStage::SDGBuild);
   std::string Key = sdgKey();
@@ -648,6 +918,9 @@ SDG *AnalysisSession::sdg() {
     ++C.Hits;
     return It->second.get();
   }
+  PointsToResult *PTA = pointsTo();
+  if (!PTA)
+    return nullptr;
   // The context-sensitive representation needs mod-ref; computing it
   // through the session keeps it cached for the next CS graph of the
   // same PTA cone.
@@ -819,7 +1092,61 @@ std::vector<StageReport> AnalysisSession::stageReports() const {
   return Out;
 }
 
+uint64_t AnalysisSession::statsFingerprint() const {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+    H ^= H >> 29;
+  };
+  auto MixD = [&](double D) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &D, sizeof(Bits));
+    Mix(Bits);
+  };
+  for (unsigned I = 0; I != NumSessionStages; ++I) {
+    Mix(Counters[I].Hits);
+    Mix(Counters[I].Misses);
+    Mix(Counters[I].Invalidated);
+    MixD(Counters[I].Seconds);
+    Mix(Epochs[I]);
+  }
+  Mix(threadsResolved());
+  Mix(Pools.size());
+  for (const auto &P : Pools) {
+    Mix(P->tasksExecuted());
+    Mix(P->tasksStolen());
+  }
+  Mix(StageFailures);
+  Mix(StageRetries);
+  Mix(IncStats.Attempts);
+  Mix(IncStats.Applied);
+  Mix(IncStats.FunctionsReused);
+  Mix(IncStats.FunctionsRecompiled);
+  Mix(IncStats.PtaUpdates);
+  Mix(IncStats.ModRefUpdates);
+  Mix(IncStats.SdgPatches);
+  Mix(IncStats.ColdFallbacks);
+  Mix(IncStats.StageFallbacks);
+  Mix(fnv1a(IncStats.LastFallbackReason));
+  Mix(SnapStats.Saves);
+  Mix(SnapStats.Loads);
+  Mix(SnapStats.Fallbacks);
+  Mix(SnapStats.CacheHits);
+  Mix(SnapStats.CacheMisses);
+  Mix(SnapStats.CacheEvictions);
+  Mix(fnv1a(SnapStats.LastFallbackReason));
+  return H;
+}
+
 std::string AnalysisSession::statsString() const {
+  // Every counter the rendering reads feeds the fingerprint, so the
+  // memo can never serve a stale string; the common case — tooling
+  // polling stats between queries — skips all the formatting.
+  const uint64_t Fp = statsFingerprint();
+  if (StatsMemoValid && Fp == StatsMemoFp)
+    return StatsMemo;
+
   std::string Out = "session stages (memoization):\n";
   char Buf[160];
   for (const StageReport &R : stageReports()) {
@@ -869,5 +1196,21 @@ std::string AnalysisSession::statsString() const {
     if (!IncStats.LastFallbackReason.empty())
       Out += "  last_fallback: " + IncStats.LastFallbackReason + "\n";
   }
+  snprintf(Buf, sizeof(Buf),
+           "snapshot: saves=%llu loads=%llu fallbacks=%llu cache_hits=%llu "
+           "cache_misses=%llu cache_evictions=%llu\n",
+           static_cast<unsigned long long>(SnapStats.Saves),
+           static_cast<unsigned long long>(SnapStats.Loads),
+           static_cast<unsigned long long>(SnapStats.Fallbacks),
+           static_cast<unsigned long long>(SnapStats.CacheHits),
+           static_cast<unsigned long long>(SnapStats.CacheMisses),
+           static_cast<unsigned long long>(SnapStats.CacheEvictions));
+  Out += Buf;
+  if (!SnapStats.LastFallbackReason.empty())
+    Out += "  last_fallback: " + SnapStats.LastFallbackReason + "\n";
+
+  StatsMemo = Out;
+  StatsMemoFp = Fp;
+  StatsMemoValid = true;
   return Out;
 }

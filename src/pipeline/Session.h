@@ -57,6 +57,7 @@
 #include "slicer/Tabulation.h"
 #include "support/Budget.h"
 #include "support/Diagnostics.h"
+#include "support/Serialize.h"
 #include "support/Status.h"
 #include "support/ThreadPool.h"
 
@@ -244,6 +245,73 @@ public:
   const SliceResult *sliceBackwardCached(const Instr *Seed, SliceMode Mode);
 
   //===------------------------------------------------------------------===//
+  // Persistent snapshots (DESIGN.md section 14). A snapshot is the
+  // pointer-free serialization of the whole warm pipeline — program,
+  // points-to, mod-ref, SDG — keyed by (source digest, option
+  // digests, format version). loadSnapshot() is byte-identical to a
+  // cold rebuild for every query, and composes with everything the
+  // session supports: an incremental edit after a warm start answers
+  // exactly like cold-then-edit (stages whose in-place update
+  // declines rebuild cold, which is always sound).
+  //===------------------------------------------------------------------===//
+
+  /// Snapshot/cache-dir telemetry, rendered as the `snapshot:` line
+  /// of statsString().
+  struct SnapshotStats {
+    uint64_t Saves = 0;     ///< Snapshots written.
+    uint64_t Loads = 0;     ///< Successful warm starts.
+    uint64_t Fallbacks = 0; ///< Load attempts declined to cold rebuild.
+    uint64_t CacheHits = 0;   ///< Cache-dir lookups that found a file.
+    uint64_t CacheMisses = 0; ///< Cache-dir lookups that did not.
+    uint64_t CacheEvictions = 0; ///< Cache-dir files evicted by LRU.
+    std::string LastFallbackReason;
+  };
+  const SnapshotStats &snapshotStats() const { return SnapStats; }
+
+  /// Serializes the current pipeline to \p Path. Computes any missing
+  /// artifact first (program, points-to, mod-ref, SDG). Declines —
+  /// returning the reason, writing nothing — for budgeted sessions
+  /// and degraded artifacts: their facts embed a budget outcome a
+  /// warm start could not reproduce.
+  Status saveSnapshot(const std::string &Path);
+
+  /// Warm-starts the session from \p Path: verifies magic, format
+  /// version, per-section CRCs, and that the snapshot's source and
+  /// option digests match the session's current inputs, then decodes
+  /// the program and the SDG into temporaries and installs them only
+  /// on full success. The points-to and mod-ref payloads — already
+  /// CRC-verified — are kept undecoded and materialize on the first
+  /// query that needs them, so the common warm-start query (a slice,
+  /// which runs on the SDG alone) skips their decode cost entirely.
+  /// ANY failure — unreadable file, version mismatch, stale digest,
+  /// corruption, an injected "snapshot.load" fault — leaves the
+  /// session untouched and still fully functional (the next accessor
+  /// computes cold), records the fallback reason in snapshotStats(),
+  /// and returns a non-ok Status; a CRC-valid but structurally
+  /// malformed deferred payload does the same at first access.
+  /// Never throws.
+  Status loadSnapshot(const std::string &Path);
+
+  /// Enables content-addressed snapshot caching under \p Dir (empty
+  /// disables). The directory is created on first save.
+  void setCacheDir(std::string Dir) { CacheDir = std::move(Dir); }
+  const std::string &cacheDir() const { return CacheDir; }
+
+  /// Cache-dir lookup for the current (source, options, version) key:
+  /// true when a cached snapshot existed AND loaded. A miss, or a hit
+  /// that fails to load, returns false with the session untouched.
+  /// No-op (false) when no cache dir is set.
+  bool tryLoadFromCacheDir();
+
+  /// Saves the current pipeline into the cache dir under its content
+  /// key, then evicts the oldest entries beyond the retention cap.
+  /// No-op when no cache dir is set.
+  Status saveToCacheDir();
+
+  /// Cache-dir retention cap (entries kept after a save).
+  static constexpr std::size_t MaxCacheDirEntries = 32;
+
+  //===------------------------------------------------------------------===//
   // Epochs, governance, telemetry
   //===------------------------------------------------------------------===//
 
@@ -263,8 +331,12 @@ public:
   /// computing misses. One report per SessionStage, in stage order.
   std::vector<StageReport> stageReports() const;
 
-  /// Human-readable rendering of stageReports(), the block `thinslice
-  /// --stats` and the interactive `stats` command print.
+  /// Human-readable rendering of stageReports() plus the parallelism,
+  /// incremental, and snapshot telemetry lines — the block `thinslice
+  /// --stats` and the interactive `stats` command print. Memoized on a
+  /// fingerprint of every counter it renders: repeated calls with no
+  /// intervening activity return the cached string without
+  /// re-formatting.
   std::string statsString() const;
 
 private:
@@ -315,6 +387,14 @@ private:
   std::string ptaKey() const;
   std::string sdgKey() const;
 
+  /// Content-addressed cache file name: source digest + a hash of the
+  /// option digests and the snapshot format version.
+  std::string snapshotCacheKey() const;
+
+  /// Fold of every counter statsString() renders; cheap enough to
+  /// compute per call, so the memo invalidates itself.
+  uint64_t statsFingerprint() const;
+
   // --- inputs
   std::string Source;
   uint64_t SourceDigest = 0;
@@ -353,6 +433,18 @@ private:
   std::map<SliceKey, SliceResult> SliceCache;
   SummaryCache Summaries;
 
+  // --- deferred snapshot layers. A warm start installs the decoded
+  // program and SDG eagerly (the first slice query needs them) but
+  // stashes the CRC-verified points-to and mod-ref section payloads
+  // here undecoded; pointsTo()/modRef() decode on first demand and
+  // fall back to the cold computation if a payload is structurally
+  // malformed. PendingLayerKey pins the bytes to the ptaKey() at
+  // load time, so any source or option change strands them and the
+  // purge helpers discard them.
+  std::vector<uint8_t> PendingPtaBytes;
+  std::vector<uint8_t> PendingMrBytes;
+  std::string PendingLayerKey;
+
   // --- failure isolation. Tainted keys name cached artifacts that
   // were computed while an injected fault fired: still sound (served
   // for the request that computed them) but evicted and recomputed on
@@ -370,6 +462,12 @@ private:
   uint64_t StageRetries = 0;
   bool IncrementalEnabled = false;
   IncrementalStats IncStats;
+  std::string CacheDir;
+  SnapshotStats SnapStats;
+  /// statsString() memo (see statsFingerprint()).
+  mutable std::string StatsMemo;
+  mutable uint64_t StatsMemoFp = 0;
+  mutable bool StatsMemoValid = false;
   /// Scan memo for the incremental differ: the previous source's token
   /// stream, so each edit lexes only its changed lines.
   ScanCache IncScanCache;

@@ -1,0 +1,45 @@
+//===-- Snapshot.h - Serialized points-to artifact --------------*- C++ -*-==//
+//
+// Part of ThinSlicer, a reproduction of "Thin Slicing" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary encode/decode of a PointsToResult for the artifact
+/// snapshots (DESIGN.md section 14). The encoder enumerates any
+/// result through the public PointsToResult interface — object
+/// table, context chain, merged and per-context points-to rows,
+/// call graph, cast verdicts, stats — with every identity written
+/// as a dense id (denseInstrKey / denseLocalKey / method id), never
+/// a pointer. The decoder materializes a SnapshotPointsToResult
+/// (private to the .cpp) that answers every query identically to
+/// the encoded result; its applyIncrementalUpdate soundly declines,
+/// so an edit after a warm start falls back to a cold points-to
+/// rebuild of the patched program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef THINSLICER_PTA_SNAPSHOT_H
+#define THINSLICER_PTA_SNAPSHOT_H
+
+#include "pta/PointsTo.h"
+#include "support/Serialize.h"
+
+#include <memory>
+
+namespace tsl {
+
+/// Writes the PTA section payload. \p P must be the program \p PTA
+/// was computed over (dense keys are resolved against it on decode).
+void encodePointsTo(const PointsToResult &PTA, const Program &P,
+                    ByteWriter &W);
+
+/// Rebuilds a queryable points-to result from an encodePointsTo()
+/// payload. All dense keys resolve through \p P, which must outlive
+/// the result. Throws SerializeError on malformed input.
+std::unique_ptr<PointsToResult> decodePointsTo(ByteReader &R,
+                                               const Program &P);
+
+} // namespace tsl
+
+#endif // THINSLICER_PTA_SNAPSHOT_H

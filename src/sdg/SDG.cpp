@@ -2,8 +2,12 @@
 
 #include "sdg/SDG.h"
 
+#include "ir/ProgramIO.h"
+#include "support/Casting.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 using namespace tsl;
 
@@ -33,24 +37,26 @@ unsigned SDG::addStmtNode(const Instr *I, const Method *M, unsigned Ctx) {
   ++Epoch;
   unsigned Id = static_cast<unsigned>(Nodes.size());
   Nodes.push_back({SDGNodeKind::Stmt, I, M, 0, Ctx, Id});
-  auto [It, NewKey] = StmtIndex.try_emplace(I);
+  const uint64_t Key = denseInstrKey(I);
+  auto [It, NewKey] = StmtIndex.try_emplace(Key);
   It->second.push_back(Id);
   if (NewKey)
-    AddedStmtKeys.push_back(I);
+    AddedStmtKeys.push_back(Key);
   ++NumStmts;
   return Id;
 }
 
 IdRange SDG::nodesFor(const Instr *I) const {
+  const uint64_t Key = denseInstrKey(I);
   if (!Finalized) {
-    auto It = StmtIndex.find(I);
+    auto It = StmtIndex.find(Key);
     if (It == StmtIndex.end())
       return {};
     const std::vector<unsigned> &Clones = It->second;
     return {Clones.data(), Clones.data() + Clones.size()};
   }
-  auto It = std::lower_bound(StmtKeys.begin(), StmtKeys.end(), I);
-  if (It == StmtKeys.end() || *It != I)
+  auto It = std::lower_bound(StmtKeys.begin(), StmtKeys.end(), Key);
+  if (It == StmtKeys.end() || *It != Key)
     return {};
   std::size_t Idx = static_cast<std::size_t>(It - StmtKeys.begin());
   return {StmtClones.data() + StmtCloneOff[Idx],
@@ -66,9 +72,8 @@ int SDG::nodeFor(const Instr *I, unsigned Ctx) const {
 
 unsigned SDG::addHeapNode(SDGNodeKind K, const Instr *CallOrNull,
                           const Method *M, unsigned Part, unsigned Ctx) {
-  const void *Anchor =
-      CallOrNull ? static_cast<const void *>(CallOrNull)
-                 : static_cast<const void *>(M);
+  ensureIndexes();
+  const uint64_t Anchor = heapAnchorKey(CallOrNull, M);
   auto [It, New] = HeapIndex.emplace(std::make_tuple(K, Anchor, Part, Ctx), 0);
   if (!New)
     return It->second;
@@ -82,15 +87,55 @@ unsigned SDG::addHeapNode(SDGNodeKind K, const Instr *CallOrNull,
   return Id;
 }
 
-int SDG::heapNodeFor(SDGNodeKind K, const void *MethodOrCall, unsigned Part,
+int SDG::heapNodeFor(SDGNodeKind K, const Method *M, unsigned Part,
                      unsigned Ctx) const {
-  auto It = HeapIndex.find(std::make_tuple(K, MethodOrCall, Part, Ctx));
+  ensureIndexes();
+  auto It =
+      HeapIndex.find(std::make_tuple(K, heapAnchorKey(nullptr, M), Part, Ctx));
   return It == HeapIndex.end() ? -1 : static_cast<int>(It->second);
+}
+
+int SDG::heapNodeFor(SDGNodeKind K, const Instr *Call, unsigned Part,
+                     unsigned Ctx) const {
+  ensureIndexes();
+  auto It = HeapIndex.find(
+      std::make_tuple(K, heapAnchorKey(Call, nullptr), Part, Ctx));
+  return It == HeapIndex.end() ? -1 : static_cast<int>(It->second);
+}
+
+void SDG::ensureEdgeDedup() {
+  if (DedupValid)
+    return;
+  EdgeDedup.clear();
+  for (const SDGEdge &E : Edges)
+    EdgeDedup.insert({E.From, E.To, E.K, siteKey(E.Site)});
+  DedupValid = true;
+}
+
+void SDG::ensureIndexes() const {
+  if (IndexesValid)
+    return;
+  // Only decode() invalidates, and a decoded graph has no tombstones,
+  // but skip dead nodes anyway so the rebuild matches compact()'s.
+  auto *Self = const_cast<SDG *>(this);
+  Self->StmtIndex.clear();
+  Self->HeapIndex.clear();
+  for (const SDGNode &N : Nodes) {
+    if (N.Dead)
+      continue;
+    if (N.K == SDGNodeKind::Stmt)
+      Self->StmtIndex[denseInstrKey(N.I)].push_back(N.Id);
+    else
+      Self->HeapIndex[std::make_tuple(N.K, heapAnchorKey(N.I, N.M), N.Part,
+                                      N.Ctx)] = N.Id;
+  }
+  Self->IndexesValid = true;
 }
 
 bool SDG::addEdge(unsigned From, unsigned To, SDGEdgeKind K,
                   const CallInstr *Site) {
-  if (!EdgeDedup.insert({From, To, K, Site}).second)
+  ensureEdgeDedup();
+  if (!EdgeDedup.insert({From, To, K, siteKey(Site)}).second)
     return false;
   unfinalize();
   ++Epoch;
@@ -108,22 +153,22 @@ void SDG::killNode(unsigned Id) {
   ++NumDead;
   if (N.K == SDGNodeKind::Stmt) {
     --NumStmts;
-    auto It = StmtIndex.find(N.I);
+    const uint64_t Key = denseInstrKey(N.I);
+    auto It = StmtIndex.find(Key);
     if (It != StmtIndex.end()) {
       auto &Clones = It->second;
       Clones.erase(std::remove(Clones.begin(), Clones.end(), Id),
                    Clones.end());
       if (Clones.empty()) {
-        RemovedStmtKeys.push_back(N.I);
+        RemovedStmtKeys.push_back(Key);
         StmtIndex.erase(It);
       }
     }
   } else {
     if (N.K == SDGNodeKind::ScalarActualIn)
       --NumStmts;
-    const void *Anchor = N.I ? static_cast<const void *>(N.I)
-                             : static_cast<const void *>(N.M);
-    HeapIndex.erase(std::make_tuple(N.K, Anchor, N.Part, N.Ctx));
+    HeapIndex.erase(
+        std::make_tuple(N.K, heapAnchorKey(N.I, N.M), N.Part, N.Ctx));
   }
 }
 
@@ -134,7 +179,8 @@ unsigned SDG::removeEdgesIf(const std::function<bool(const SDGEdge &)> &Pred) {
   unsigned Removed = 0;
   for (const SDGEdge &E : Edges) {
     if (Pred(E)) {
-      EdgeDedup.erase({E.From, E.To, E.K, E.Site});
+      if (DedupValid)
+        EdgeDedup.erase({E.From, E.To, E.K, siteKey(E.Site)});
       ++Removed;
     } else {
       Kept.push_back(E);
@@ -176,19 +222,20 @@ void SDG::compact() {
   Edges.swap(Kept);
   EdgeDedup.clear();
   for (const SDGEdge &E : Edges)
-    EdgeDedup.insert({E.From, E.To, E.K, E.Site});
+    EdgeDedup.insert({E.From, E.To, E.K, siteKey(E.Site)});
+  DedupValid = true;
   keyChurnReset(); // Wholesale rebuild: the churn log is meaningless.
   StmtIndex.clear();
   HeapIndex.clear();
   for (const SDGNode &N : Nodes) {
     if (N.K == SDGNodeKind::Stmt) {
-      StmtIndex[N.I].push_back(N.Id);
+      StmtIndex[denseInstrKey(N.I)].push_back(N.Id);
     } else {
-      const void *Anchor = N.I ? static_cast<const void *>(N.I)
-                               : static_cast<const void *>(N.M);
-      HeapIndex[std::make_tuple(N.K, Anchor, N.Part, N.Ctx)] = N.Id;
+      HeapIndex[std::make_tuple(N.K, heapAnchorKey(N.I, N.M), N.Part,
+                                N.Ctx)] = N.Id;
     }
   }
+  IndexesValid = true;
 }
 
 unsigned SDG::numEdgesOfKind(SDGEdgeKind K) const {
@@ -198,9 +245,7 @@ unsigned SDG::numEdgesOfKind(SDGEdgeKind K) const {
   return N;
 }
 
-void SDG::finalize() {
-  if (Finalized)
-    return;
+void SDG::buildCSR() {
   const std::size_t NK = NumSDGEdgeKinds;
   const std::size_t Slots = Nodes.size() * NK;
 
@@ -240,6 +285,12 @@ void SDG::finalize() {
   }
   InOff[0] = 0;
   OutOff[0] = 0;
+}
+
+void SDG::finalize() {
+  if (Finalized)
+    return;
+  buildCSR();
 
   // Compact the statement index into sorted arrays. The hash map
   // stays live alongside them: incremental patches flip the graph
@@ -276,16 +327,14 @@ void SDG::finalize() {
     // the removed log) and re-enters through the add list with its
     // fresh clone-vector address; an added key that died again is
     // simply dropped here.
-    std::vector<std::pair<const Instr *, const std::vector<unsigned> *>>
-        Adds;
+    std::vector<std::pair<uint64_t, const std::vector<unsigned> *>> Adds;
     Adds.reserve(AddedStmtKeys.size());
-    for (const Instr *K : AddedStmtKeys) {
+    for (uint64_t K : AddedStmtKeys) {
       auto It = StmtIndex.find(K);
       if (It != StmtIndex.end())
         Adds.emplace_back(K, &It->second);
     }
-    std::vector<std::pair<const Instr *, const std::vector<unsigned> *>>
-        NewSorted;
+    std::vector<std::pair<uint64_t, const std::vector<unsigned> *>> NewSorted;
     NewSorted.reserve(SortedStmt.size() + Adds.size());
     auto AI = Adds.begin();
     auto RI = RemovedStmtKeys.begin();
@@ -323,11 +372,14 @@ void SDG::finalize() {
 void SDG::unfinalize() {
   if (!Finalized)
     return;
+  // Reopening for mutation needs the construction-form indexes,
+  // which a decoded graph defers (see ensureIndexes).
+  ensureIndexes();
   Finalized = false;
   // The construction-time statement index stayed live through
-  // finalize(), so nothing needs rebuilding — only the query-form
-  // arrays are dropped. clear() keeps their capacity: a patched graph
-  // refinalizes to (almost) the same sizes, so the buffers recycle.
+  // finalize(), so only the query-form arrays are dropped. clear()
+  // keeps their capacity: a patched graph refinalizes to (almost)
+  // the same sizes, so the buffers recycle.
   StmtKeys.clear();
   StmtCloneOff.clear();
   StmtClones.clear();
@@ -337,4 +389,159 @@ void SDG::unfinalize() {
   OutNbr.clear();
   InEdgeId.clear();
   OutEdgeId.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot codec
+//===----------------------------------------------------------------------===//
+
+void SDG::encode(ByteWriter &W) const {
+  putReport(W, Report);
+
+  // Live nodes, remapped to sequential ids so a post-patch graph with
+  // tombstones encodes as its compacted equivalent.
+  std::vector<unsigned> NewId(Nodes.size(), ~0u);
+  unsigned NumLive = 0;
+  for (const SDGNode &N : Nodes)
+    if (!N.Dead)
+      NewId[N.Id] = NumLive++;
+  W.vu64(NumLive);
+  for (const SDGNode &N : Nodes) {
+    if (N.Dead)
+      continue;
+    W.u8(static_cast<uint8_t>(N.K));
+    W.vu64(N.I ? denseInstrKey(N.I) + 1 : 0);
+    W.vu32(N.M ? N.M->id() + 1 : 0);
+    W.vu32(N.Part);
+    W.vu32(N.Ctx);
+  }
+
+  // Non-Summary edges with live endpoints. Summary edges are the
+  // tabulation slicer's lazily re-derived cache, absent from a cold
+  // build, so dropping them keeps decode byte-identical to cold.
+  uint64_t NumKept = 0;
+  for (const SDGEdge &E : Edges)
+    if (E.K != SDGEdgeKind::Summary && NewId[E.From] != ~0u &&
+        NewId[E.To] != ~0u)
+      ++NumKept;
+  W.vu64(NumKept);
+  for (const SDGEdge &E : Edges) {
+    if (E.K == SDGEdgeKind::Summary || NewId[E.From] == ~0u ||
+        NewId[E.To] == ~0u)
+      continue;
+    W.vu32(NewId[E.From]);
+    W.vu32(NewId[E.To]);
+    W.u8(static_cast<uint8_t>(E.K));
+    W.vu64(E.Site ? denseInstrKey(E.Site) + 1 : 0);
+  }
+}
+
+std::unique_ptr<SDG> SDG::decode(ByteReader &R, const Program &P) {
+  auto G = std::make_unique<SDG>(P);
+  G->setReport(getReport(R));
+
+  // Direct fill instead of mutation-API replay: the per-call
+  // unfinalize/epoch bookkeeping and the edge-dedup set inserts were
+  // the bulk of warm-start decode time. Ids are assigned sequentially
+  // in encode order, exactly as a replay would, and every check the
+  // mutation path performs (anchor shape, duplicate identity, edge
+  // bounds) is kept.
+  const uint64_t NumNodes = R.vu64();
+  // Each node record is at least 5 bytes, so the payload size bounds
+  // the count; reject before reserving against a hostile header.
+  if (NumNodes > R.remaining())
+    throw SerializeError("SDG node count exceeds payload");
+  G->Nodes.reserve(NumNodes);
+  // Flat (key, id) / identity-tuple collectors instead of the
+  // construction-form maps: the sorted statement arrays build from
+  // one stable sort below, duplicate identities surface as adjacent
+  // equals, and StmtIndex/HeapIndex stay empty until a mutation
+  // calls ensureIndexes().
+  std::vector<std::pair<uint64_t, unsigned>> StmtPairs;
+  std::vector<std::tuple<uint8_t, uint64_t, unsigned, unsigned>> HeapIds;
+  for (uint64_t N = 0; N != NumNodes; ++N) {
+    uint8_t K = R.u8();
+    if (K > static_cast<uint8_t>(SDGNodeKind::HeapHub))
+      throw SerializeError("unknown SDG node kind");
+    uint64_t IKey = R.vu64();
+    uint32_t MId = R.vu32();
+    unsigned Part = R.vu32();
+    unsigned Ctx = R.vu32();
+    const Instr *I = IKey ? instrForKey(P, IKey - 1) : nullptr;
+    const Method *M = MId ? methodForId(P, MId - 1) : nullptr;
+    const unsigned Id = static_cast<unsigned>(N);
+    if (static_cast<SDGNodeKind>(K) == SDGNodeKind::Stmt) {
+      if (!I || !M)
+        throw SerializeError("statement node without anchor");
+      if (Part)
+        throw SerializeError("statement node with partition");
+      StmtPairs.emplace_back(denseInstrKey(I), Id);
+      ++G->NumStmts;
+    } else {
+      HeapIds.emplace_back(K, heapAnchorKey(I, M), Part, Ctx);
+      if (static_cast<SDGNodeKind>(K) == SDGNodeKind::ScalarActualIn)
+        ++G->NumStmts;
+    }
+    G->Nodes.push_back({static_cast<SDGNodeKind>(K), I, M, Part, Ctx, Id});
+  }
+
+  // Batch duplicate-identity checks.
+  std::sort(HeapIds.begin(), HeapIds.end());
+  if (std::adjacent_find(HeapIds.begin(), HeapIds.end()) != HeapIds.end())
+    throw SerializeError("duplicate SDG node identity");
+  // Stable by key: ids within one key keep stream order — the same
+  // clone order the mutation path's insertion-ordered lists produce.
+  std::stable_sort(
+      StmtPairs.begin(), StmtPairs.end(),
+      [](const auto &A, const auto &B) { return A.first < B.first; });
+  G->StmtKeys.reserve(StmtPairs.size());
+  G->StmtClones.reserve(StmtPairs.size());
+  G->StmtCloneOff.push_back(0);
+  for (std::size_t I = 0; I != StmtPairs.size();) {
+    std::size_t J = I;
+    while (J != StmtPairs.size() && StmtPairs[J].first == StmtPairs[I].first)
+      ++J;
+    for (std::size_t A = I; A != J; ++A)
+      for (std::size_t B = A + 1; B != J; ++B)
+        if (G->Nodes[StmtPairs[A].second].Ctx ==
+            G->Nodes[StmtPairs[B].second].Ctx)
+          throw SerializeError("duplicate SDG node identity");
+    G->StmtKeys.push_back(StmtPairs[I].first);
+    for (std::size_t A = I; A != J; ++A)
+      G->StmtClones.push_back(StmtPairs[A].second);
+    G->StmtCloneOff.push_back(static_cast<unsigned>(G->StmtClones.size()));
+    I = J;
+  }
+
+  const uint64_t NumEdges = R.vu64();
+  if (NumEdges > R.remaining())
+    throw SerializeError("SDG edge count exceeds payload");
+  G->Edges.reserve(NumEdges);
+  for (uint64_t E = 0; E != NumEdges; ++E) {
+    unsigned From = R.vu32();
+    unsigned To = R.vu32();
+    uint8_t K = R.u8();
+    uint64_t SKey = R.vu64();
+    if (From >= NumNodes || To >= NumNodes ||
+        K > static_cast<uint8_t>(SDGEdgeKind::Summary))
+      throw SerializeError("malformed SDG edge");
+    const CallInstr *Site = nullptr;
+    if (SKey) {
+      Site = dyn_cast<CallInstr>(instrForKey(P, SKey - 1));
+      if (!Site)
+        throw SerializeError("SDG edge site is not a call");
+    }
+    G->Edges.push_back({From, To, static_cast<SDGEdgeKind>(K), Site});
+  }
+  // The construction-form indexes stay empty until the first
+  // mutation rebuilds them; a warm-started session that only answers
+  // queries never does. The statement arrays above plus the CSR
+  // adjacency ARE the finalized form, so finalize() itself (which
+  // would gather from the empty StmtIndex) must not run.
+  G->DedupValid = false;
+  G->IndexesValid = false;
+  G->Epoch = NumNodes + NumEdges;
+  G->buildCSR();
+  G->Finalized = true;
+  return G;
 }

@@ -44,6 +44,7 @@
 #include "ir/Instr.h"
 #include "ir/Program.h"
 #include "support/Budget.h"
+#include "support/Serialize.h"
 
 #include <cstdint>
 #include <functional>
@@ -371,8 +372,11 @@ public:
   /// The clone of \p I in context \p Ctx, or -1.
   int nodeFor(const Instr *I, unsigned Ctx) const;
 
-  /// Heap parameter node lookup; returns -1 when absent.
-  int heapNodeFor(SDGNodeKind K, const void *MethodOrCall, unsigned Part,
+  /// Heap parameter node lookup; returns -1 when absent. Formal
+  /// nodes anchor at their method, actual nodes at their call site.
+  int heapNodeFor(SDGNodeKind K, const Method *M, unsigned Part,
+                  unsigned Ctx = 0) const;
+  int heapNodeFor(SDGNodeKind K, const Instr *Call, unsigned Part,
                   unsigned Ctx = 0) const;
 
   /// Statement count excluding parameter-passing machinery, matching
@@ -391,10 +395,51 @@ public:
   const StageReport &report() const { return Report; }
   void setReport(StageReport R) { Report = std::move(R); }
 
+  //===------------------------------------------------------------------===//
+  // Snapshot codec (DESIGN.md section 14)
+  //===------------------------------------------------------------------===//
+
+  /// Writes the SDG section payload: live nodes (compacted to
+  /// sequential ids when tombstones exist) and their non-Summary
+  /// edges, everything identified by dense ids. Summary edges are
+  /// deliberately dropped — a cold build has none at build time and
+  /// the tabulation slicer re-derives them — so a decoded graph is
+  /// the cold graph.
+  void encode(ByteWriter &W) const;
+
+  /// Rebuilds a graph from an encode() payload against \p P with the
+  /// validation the mutation API performs (anchor resolution, bounds,
+  /// duplicate node identities) but filling the node/edge tables and
+  /// the CSR query form directly — node and edge ids reproduce
+  /// exactly as a replay would assign them, and the sorted statement
+  /// arrays and adjacency come from the same deterministic sorts a
+  /// cold finalize() uses. The construction-form indexes (EdgeDedup,
+  /// StmtIndex, HeapIndex) are left lazy (see ensureEdgeDedup /
+  /// ensureIndexes): a decoded graph that is only queried never pays
+  /// for them. Throws SerializeError on malformed input.
+  static std::unique_ptr<SDG> decode(ByteReader &R, const Program &P);
+
 private:
   /// Reopens a finalized graph for mutation: drops the CSR arrays
   /// (keeping their capacity for the refinalize that follows).
   void unfinalize();
+
+  /// Rebuilds EdgeDedup from the edge list when a decode left it
+  /// unpopulated. Every mutation-path user of the set (addEdge,
+  /// removeEdgesIf) calls this first; pure query paths never do.
+  void ensureEdgeDedup();
+
+  /// Rebuilds StmtIndex/HeapIndex from the node list when a decode
+  /// left them unpopulated (IndexesValid below). Every construction-
+  /// form user (unfinalize, addHeapNode, heapNodeFor) calls this
+  /// first; the finalized query path never does. Like
+  /// ensureFinalized(), not safe to race from multiple threads —
+  /// mutation and identity lookups are single-threaded by contract.
+  void ensureIndexes() const;
+
+  /// Counting sort of the edge list into the kind-partitioned CSR
+  /// in/out adjacency — the shared half of finalize() and decode().
+  void buildCSR();
 
   IdRange rowEdges(const std::vector<unsigned> &Off,
                    const std::vector<unsigned> &Ids, unsigned Node) const {
@@ -433,20 +478,45 @@ private:
     }
   }
 
+  /// Dense anchor of one heap node identity: the call site's
+  /// denseInstrKey, or a method sentinel key for formal nodes (the
+  /// low word 0xFFFFFFFF is never a renumbered instruction id), or 0
+  /// for the anchorless global HeapHub. Per node kind exactly one of
+  /// the three shapes occurs, so the encodings cannot collide within
+  /// a HeapIndex key.
+  static uint64_t heapAnchorKey(const Instr *I, const Method *M) {
+    if (I)
+      return denseInstrKey(I);
+    if (M)
+      return (static_cast<uint64_t>(M->id()) << 32) | 0xFFFFFFFFull;
+    return 0;
+  }
+  /// Dense key of a ParamIn/ParamOut/Summary edge's call site (0 when
+  /// the edge has none).
+  static uint64_t siteKey(const CallInstr *Site) {
+    return Site ? denseInstrKey(Site) : 0;
+  }
+
   const Program &P;
   std::vector<SDGNode> Nodes;
   std::vector<SDGEdge> Edges;
-  /// Statement index, maintained in both forms: the query path reads
-  /// the sorted arrays below, mutation reads and updates this map.
-  std::unordered_map<const Instr *, std::vector<unsigned>> StmtIndex;
-  /// Exact node identity: (kind, anchor, partition/operand, ctx).
-  std::map<std::tuple<SDGNodeKind, const void *, unsigned, unsigned>,
-           unsigned>
+  /// Statement index keyed by denseInstrKey, maintained in both
+  /// forms: the query path reads the sorted arrays below, mutation
+  /// reads and updates this map. Dense keys (not Instr*) so a decoded
+  /// graph rebuilds identical index state — see ir/Program.h.
+  /// Unpopulated after decode() until a mutation or identity lookup
+  /// needs it (IndexesValid below).
+  std::unordered_map<uint64_t, std::vector<unsigned>> StmtIndex;
+  /// Exact node identity: (kind, dense anchor, partition/operand,
+  /// ctx). Lazy after decode(), like StmtIndex.
+  std::map<std::tuple<SDGNodeKind, uint64_t, unsigned, unsigned>, unsigned>
       HeapIndex;
+  bool IndexesValid = true;
   /// Exact edge identity: a silently merged or dropped edge would
-  /// corrupt slices.
-  std::set<std::tuple<unsigned, unsigned, SDGEdgeKind, const CallInstr *>>
-      EdgeDedup;
+  /// corrupt slices. Unpopulated after decode() until the first
+  /// mutation needs it (DedupValid below).
+  std::set<std::tuple<unsigned, unsigned, SDGEdgeKind, uint64_t>> EdgeDedup;
+  bool DedupValid = true;
   unsigned NumStmts = 0;
   unsigned NumDead = 0;
   StageReport Report{"sdg", StageStatus::Complete, "", "", 0, 0};
@@ -466,9 +536,10 @@ private:
   std::vector<unsigned> InNbr, OutNbr;
   /// Parallel edge ids, for callers that need Site or kind details.
   std::vector<unsigned> InEdgeId, OutEdgeId;
-  /// Sorted statement index: StmtKeys sorted; the clones of
-  /// StmtKeys[i] are StmtClones[StmtCloneOff[i] .. StmtCloneOff[i+1]).
-  std::vector<const Instr *> StmtKeys;
+  /// Sorted statement index: StmtKeys (dense instruction keys)
+  /// sorted; the clones of StmtKeys[i] are
+  /// StmtClones[StmtCloneOff[i] .. StmtCloneOff[i+1]).
+  std::vector<uint64_t> StmtKeys;
   std::vector<unsigned> StmtCloneOff;
   std::vector<unsigned> StmtClones;
   /// The previous finalize()'s sorted (key, clone-list) view, kept
@@ -476,9 +547,8 @@ private:
   /// (AddedStmtKeys/RemovedStmtKeys, filled by addStmtNode/killNode).
   /// The next finalize() merges the churn into this instead of
   /// re-sorting all keys; compact() invalidates it (see keyChurnReset).
-  std::vector<std::pair<const Instr *, const std::vector<unsigned> *>>
-      SortedStmt;
-  std::vector<const Instr *> AddedStmtKeys, RemovedStmtKeys;
+  std::vector<std::pair<uint64_t, const std::vector<unsigned> *>> SortedStmt;
+  std::vector<uint64_t> AddedStmtKeys, RemovedStmtKeys;
 
   void keyChurnReset() {
     SortedStmt.clear();

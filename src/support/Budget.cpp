@@ -98,6 +98,7 @@ const std::vector<std::string> &FaultInjector::knownPoints() {
       "sdg.heap",      "slice.pop",          "tabulation.summary",
       "expand.round",  "interp.step",        "interp.output",
       "pta.update",    "modref.update",      "sdg.patch",
+      "snapshot.load",
   };
   return Points;
 }

@@ -32,6 +32,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 
 using namespace tsl;
@@ -402,6 +403,64 @@ TEST(Chaos, SeededExpansionSchedulesCompleteOrDegrade) {
   SliceResult Healed = HealedExp.expandToTraditional(Seed);
   ASSERT_TRUE(Healed.complete());
   EXPECT_EQ(renderSlice(Healed, *P), BaselineStr);
+}
+
+// 200 seeded schedules against the snapshot warm-start path: a third
+// pin the "snapshot.load" point (alternating Throw/Degrade), the rest
+// roll the dice. loadSnapshot() must never throw; whatever fires, the
+// session either warm-started or recorded a fallback, and its
+// post-disarm answer is byte-identical to a fault-free cold session
+// (never stale, never partial).
+TEST(Chaos, SeededSnapshotLoadSchedulesNeverGoStale) {
+  InjectorGuard Guard;
+  const std::string Snap =
+      (std::filesystem::temp_directory_path() / "tsl_chaos_snapshot.tslsnap")
+          .string();
+  {
+    AnalysisSession Saver{std::string(Source)};
+    ASSERT_TRUE(Saver.saveSnapshot(Snap).isOk()) << Saver.lastError().str();
+  }
+  const std::string Baseline = baselineSlice(false);
+
+  FaultInjector &FI = FaultInjector::instance();
+  uint64_t LoadFired = 0, WarmStarts = 0, Fallbacks = 0;
+  for (uint64_t Schedule = 0; Schedule != 200; ++Schedule) {
+    FI.reset();
+    FI.setStallCapMs(2);
+    FI.armRandomSchedule(0x4000 + Schedule);
+    if (Schedule % 3 == 0)
+      FI.arm("snapshot.load", /*AtPoll=*/1,
+             Schedule % 2 ? FaultKind::Throw : FaultKind::Degrade);
+
+    AnalysisSession S{std::string(Source)};
+    Status L = S.loadSnapshot(Snap); // must not throw, whatever fires
+    EXPECT_EQ(S.snapshotStats().Loads + S.snapshotStats().Fallbacks, 1u)
+        << "schedule " << Schedule;
+    if (S.snapshotStats().Loads)
+      ++WarmStarts;
+    else
+      ++Fallbacks;
+    if (FI.fired().count("snapshot.load")) {
+      ++LoadFired;
+      EXPECT_FALSE(L.isOk()) << "schedule " << Schedule;
+      EXPECT_FALSE(S.snapshotStats().LastFallbackReason.empty());
+    }
+
+    // Disarm: warm-started or fallen back, the session answers
+    // byte-identically to the fault-free baseline.
+    FI.reset();
+    Program *P = S.program();
+    ASSERT_NE(P, nullptr) << "schedule " << Schedule;
+    const SliceResult *R = S.sliceBackwardCached(lastSeed(*P), SliceMode::Thin);
+    ASSERT_NE(R, nullptr)
+        << "schedule " << Schedule << ": " << S.lastError().str();
+    EXPECT_TRUE(R->complete()) << "schedule " << Schedule;
+    EXPECT_EQ(renderSlice(*R, *P), Baseline) << "schedule " << Schedule;
+  }
+  EXPECT_GT(LoadFired, 0u) << "snapshot.load never fired";
+  EXPECT_GT(WarmStarts, 0u);
+  EXPECT_GT(Fallbacks, 0u);
+  std::filesystem::remove(Snap);
 }
 
 // Deterministic replay: the same seed arms the same schedule and

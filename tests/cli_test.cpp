@@ -490,6 +490,99 @@ TEST_F(CliTest, InteractiveSurvivesFailingQueries) {
   EXPECT_EQ(Out.find("thin slice from line 15"), std::string::npos) << Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Persistent snapshots: --save-snapshot / --load-snapshot / --cache-dir
+//===----------------------------------------------------------------------===//
+
+TEST_F(CliTest, SnapshotFlagsRequireAnArgument) {
+  int Status = 0;
+  std::string Out = run("--save-snapshot", &Status);
+  EXPECT_EQ(exitCode(Status), 2) << Out;
+  EXPECT_NE(Out.find("usage:"), std::string::npos) << Out;
+  Out = run("--load-snapshot", &Status);
+  EXPECT_EQ(exitCode(Status), 2) << Out;
+  Out = run("--cache-dir", &Status);
+  EXPECT_EQ(exitCode(Status), 2) << Out;
+}
+
+TEST_F(CliTest, SaveToUnwritablePathExitsFive) {
+  int Status = 0;
+  std::string Out =
+      run("--save-snapshot /nonexistent-dir/s.tslsnap", &Status);
+  EXPECT_EQ(exitCode(Status), 5) << Out;
+  EXPECT_NE(Out.find("cannot write"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, WarmStartSliceIsIdenticalToCold) {
+  const std::string Snap = Program + ".tslsnap";
+  int Status = 0;
+  std::string Cold = run("--line 15 --save-snapshot " + Snap, &Status);
+  EXPECT_EQ(exitCode(Status), 0) << Cold;
+  std::string Warm = run("--line 15 --load-snapshot " + Snap, &Status);
+  EXPECT_EQ(exitCode(Status), 0) << Warm;
+  remove(Snap.c_str());
+  // The warm-started query prints byte-identical slice output.
+  EXPECT_EQ(Cold, Warm);
+  EXPECT_NE(Warm.find("thin slice from line 15"), std::string::npos) << Warm;
+}
+
+TEST_F(CliTest, LoadFromMissingSnapshotFallsBackCold) {
+  int Status = 0;
+  std::string Out =
+      run("--line 15 --load-snapshot no_such_snapshot.tslsnap --stats",
+          &Status);
+  // The fallback is a warning, not a failure: the query still runs
+  // cold and the telemetry records the declined load.
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_NE(Out.find("snapshot: cannot read"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("thin slice from line 15"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("fallbacks=1"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("last_fallback:"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, CacheDirMissThenHit) {
+  const std::string Dir = Program + ".cache";
+  int Status = 0;
+  std::string First = run("--line 15 --cache-dir " + Dir + " --stats",
+                          &Status);
+  EXPECT_EQ(exitCode(Status), 0) << First;
+  EXPECT_NE(First.find("cache_misses=1"), std::string::npos) << First;
+  EXPECT_NE(First.find("saves=1"), std::string::npos) << First;
+  std::string Second = run("--line 15 --cache-dir " + Dir + " --stats",
+                           &Status);
+  EXPECT_EQ(exitCode(Status), 0) << Second;
+  EXPECT_NE(Second.find("cache_hits=1"), std::string::npos) << Second;
+  EXPECT_NE(Second.find("loads=1"), std::string::npos) << Second;
+  // Identical answers either way.
+  const size_t ColdAt = First.find("thin slice from line 15");
+  const size_t WarmAt = Second.find("thin slice from line 15");
+  ASSERT_NE(ColdAt, std::string::npos) << First;
+  ASSERT_NE(WarmAt, std::string::npos) << Second;
+  EXPECT_EQ(First.substr(ColdAt, First.find("session stages", ColdAt) - ColdAt),
+            Second.substr(WarmAt, Second.find("session stages", WarmAt) -
+                                      WarmAt));
+  runCapture("rm -rf " + Dir, First);
+}
+
+TEST_F(CliTest, InteractiveSaveAndLoadCommands) {
+  const std::string Snap = Program + ".repl.tslsnap";
+  std::string Out;
+  int Status = runInteractive(Program,
+                              "slice 15\\nsave " + Snap + "\\nload " + Snap +
+                                  "\\nslice 15\\nsave\\nload bogus.tslsnap\\n",
+                              "--interactive", Out);
+  remove(Snap.c_str());
+  EXPECT_EQ(exitCode(Status), 0) << Out;
+  EXPECT_NE(Out.find("saved snapshot " + Snap), std::string::npos) << Out;
+  EXPECT_NE(Out.find("loaded snapshot " + Snap), std::string::npos) << Out;
+  EXPECT_EQ(countOccurrences(Out, "thin slice from line 15"), 2u) << Out;
+  EXPECT_NE(Out.find("error: save expects a file path"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("snapshot: cannot read bogus.tslsnap"),
+            std::string::npos)
+      << Out;
+}
+
 TEST_F(CliTest, AllCompileErrorsAreReportedWithPositions) {
   // The recovering parser surfaces every mistake in one run, each at
   // its user-file position — not just the first.

@@ -202,6 +202,8 @@ TEST(Robustness, UnicodeBytesInStrings) {
 #include "slicer/Tabulation.h"
 #include "support/Budget.h"
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 namespace {
@@ -562,6 +564,36 @@ TEST(PipelineExhaustion, EveryFaultPointFiresWithSoundDegradation) {
       const SliceResult *R = S.sliceBackwardCached(EditSeed, SliceMode::Thin);
       ASSERT_TRUE(R) << Point << ": " << S.lastError().str();
       EXPECT_EQ(stmtPositions(*R), IncRef) << Point;
+    } else if (Point == "snapshot.load") {
+      // A fault during warm start declines the load soundly: the
+      // session stays untouched, rebuilds cold on the next request,
+      // and answers exactly like a never-warm-started session.
+      namespace fs = std::filesystem;
+      const std::string Snap =
+          (fs::temp_directory_path() / "tsl_faultpoint.tslsnap").string();
+      {
+        AnalysisSession Saver{std::string(kIncFaultWarmSrc)};
+        ASSERT_TRUE(Saver.saveSnapshot(Snap).isOk());
+      }
+      AnalysisSession S{std::string(kIncFaultWarmSrc)};
+      Status L = S.loadSnapshot(Snap); // the armed fault fires in here
+      EXPECT_FALSE(L.isOk());
+      EXPECT_EQ(S.snapshotStats().Loads, 0u);
+      EXPECT_EQ(S.snapshotStats().Fallbacks, 1u);
+      EXPECT_NE(S.snapshotStats().LastFallbackReason.find("fault"),
+                std::string::npos);
+      ASSERT_TRUE(S.program());
+      const Instr *SSeed = instrAtLine(*S.program(), kIncFaultSeedLine);
+      ASSERT_TRUE(SSeed);
+      const SliceResult *R = S.sliceBackwardCached(SSeed, SliceMode::Thin);
+      ASSERT_TRUE(R) << S.lastError().str();
+      AnalysisSession Cold{std::string(kIncFaultWarmSrc)};
+      ASSERT_TRUE(Cold.program());
+      const Instr *CSeed = instrAtLine(*Cold.program(), kIncFaultSeedLine);
+      const SliceResult *CR = Cold.sliceBackwardCached(CSeed, SliceMode::Thin);
+      ASSERT_TRUE(CR);
+      EXPECT_EQ(stmtPositions(*R), stmtPositions(*CR));
+      fs::remove(Snap);
     } else if (Point == "interp.step" || Point == "interp.output") {
       InterpOptions IO;
       IO.InputLines = {"John Doe"};
@@ -646,4 +678,130 @@ TEST(PipelineExhaustion, BudgetedChopIsSubset) {
   EXPECT_EQ(Extra.count(), 0u);
   if (!Budgeted.complete())
     EXPECT_FALSE(Budgeted.degradedReason().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot robustness: malformed snapshot files decline soundly
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Loads \p Bytes as a snapshot into a fresh session and asserts the
+/// sound-decline contract: load fails, the fallback is recorded, and
+/// the session still answers every query exactly like \p Ref (the
+/// cold answer) — never a crash, never a stale artifact.
+void expectSoundDecline(const std::vector<char> &Bytes, const char *Tag,
+                        const std::set<std::pair<unsigned, unsigned>> &Ref) {
+  namespace fs = std::filesystem;
+  const std::string Path =
+      (fs::temp_directory_path() / "tsl_corrupt_case.tslsnap").string();
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+  AnalysisSession S{std::string(kIncFaultWarmSrc)};
+  Status L = S.loadSnapshot(Path);
+  EXPECT_FALSE(L.isOk()) << Tag;
+  EXPECT_EQ(S.snapshotStats().Loads, 0u) << Tag;
+  EXPECT_EQ(S.snapshotStats().Fallbacks, 1u) << Tag;
+  EXPECT_FALSE(S.snapshotStats().LastFallbackReason.empty()) << Tag;
+  EXPECT_NE(S.statsString().find("last_fallback:"), std::string::npos) << Tag;
+  ASSERT_TRUE(S.program()) << Tag;
+  const Instr *Seed = instrAtLine(*S.program(), kIncFaultSeedLine);
+  ASSERT_TRUE(Seed) << Tag;
+  const SliceResult *R = S.sliceBackwardCached(Seed, SliceMode::Thin);
+  ASSERT_TRUE(R) << Tag << ": " << S.lastError().str();
+  EXPECT_EQ(stmtPositions(*R), Ref) << Tag;
+  fs::remove(Path);
+}
+
+} // namespace
+
+TEST(SnapshotRobustness, CorruptSnapshotsDeclineSoundly) {
+  FaultInjector::instance().reset();
+  namespace fs = std::filesystem;
+  const std::string Snap =
+      (fs::temp_directory_path() / "tsl_corrupt.tslsnap").string();
+
+  AnalysisSession Saver{std::string(kIncFaultWarmSrc)};
+  ASSERT_TRUE(Saver.saveSnapshot(Snap).isOk());
+  std::vector<char> Bytes;
+  {
+    std::ifstream In(Snap, std::ios::binary);
+    Bytes.assign(std::istreambuf_iterator<char>(In),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(Bytes.size(), 16u);
+
+  // Cold slice reference the declined sessions must still reproduce.
+  std::set<std::pair<unsigned, unsigned>> Ref;
+  {
+    AnalysisSession Cold{std::string(kIncFaultWarmSrc)};
+    ASSERT_TRUE(Cold.program());
+    const Instr *Seed = instrAtLine(*Cold.program(), kIncFaultSeedLine);
+    ASSERT_TRUE(Seed);
+    const SliceResult *R = Cold.sliceBackwardCached(Seed, SliceMode::Thin);
+    ASSERT_TRUE(R);
+    Ref = stmtPositions(*R);
+  }
+
+  // Truncations, from empty up to one-byte-short.
+  for (std::size_t Len : std::vector<std::size_t>{
+           0, 3, 8, Bytes.size() / 4, Bytes.size() / 2, Bytes.size() - 1})
+    expectSoundDecline(
+        std::vector<char>(Bytes.begin(), Bytes.begin() + Len), "truncated",
+        Ref);
+
+  // Single bit flips spread across the whole file: header, section
+  // frames, and every payload region. Each must trip the magic check,
+  // a bounds check, or a section CRC.
+  const std::size_t Step = Bytes.size() / 16 + 1;
+  for (std::size_t Pos = 0; Pos < Bytes.size(); Pos += Step) {
+    std::vector<char> M = Bytes;
+    M[Pos] = static_cast<char>(M[Pos] ^ 0x20);
+    expectSoundDecline(M, "bit flip", Ref);
+  }
+
+  // Version bump: bytes 4..7 hold the little-endian format version.
+  {
+    std::vector<char> M = Bytes;
+    M[4] = static_cast<char>(M[4] + 1);
+    expectSoundDecline(M, "version bump", Ref);
+  }
+
+  // Wrong source digest: a session holding different source must
+  // refuse the otherwise-valid snapshot.
+  {
+    AnalysisSession Other{std::string(kIncFaultEditedSrc)};
+    Status L = Other.loadSnapshot(Snap);
+    EXPECT_FALSE(L.isOk());
+    EXPECT_NE(Other.snapshotStats().LastFallbackReason.find("digest"),
+              std::string::npos);
+    ASSERT_TRUE(Other.program());
+  }
+
+  // Wrong option digest: same source, different PTA options.
+  {
+    AnalysisSession S{std::string(kIncFaultWarmSrc)};
+    PTAOptions PO;
+    PO.ObjSensContainers = false;
+    S.setPTAOptions(PO);
+    Status L = S.loadSnapshot(Snap);
+    EXPECT_FALSE(L.isOk());
+    EXPECT_NE(S.snapshotStats().LastFallbackReason.find("option digest"),
+              std::string::npos);
+  }
+
+  // The pristine file still loads after all that.
+  {
+    AnalysisSession S{std::string(kIncFaultWarmSrc)};
+    EXPECT_TRUE(S.loadSnapshot(Snap).isOk());
+    EXPECT_EQ(S.snapshotStats().Loads, 1u);
+    const Instr *Seed = instrAtLine(*S.program(), kIncFaultSeedLine);
+    ASSERT_TRUE(Seed);
+    const SliceResult *R = S.sliceBackwardCached(Seed, SliceMode::Thin);
+    ASSERT_TRUE(R);
+    EXPECT_EQ(stmtPositions(*R), Ref);
+  }
+  fs::remove(Snap);
 }

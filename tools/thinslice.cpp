@@ -17,6 +17,9 @@
 //   thinslice prog.tsj --dump-ir / --stats
 //   thinslice prog.tsj --line 24 --budget-ms 50
 //   thinslice prog.tsj --interactive               warm-session REPL
+//   thinslice prog.tsj --line 24 --save-snapshot s.tslsnap
+//   thinslice prog.tsj --line 24 --load-snapshot s.tslsnap
+//   thinslice prog.tsj --line 24 --cache-dir .tsl-cache
 //
 // All analysis artifacts are owned by an AnalysisSession (see
 // pipeline/Session.h): the one-shot paths request them once, and
@@ -111,6 +114,12 @@ struct CliOptions {
   /// the interactive session (off by default: one-shot runs never
   /// re-set the source, so the flag only matters with --interactive).
   bool Incremental = false;
+  /// Persistent snapshots: explicit save/load paths, or a
+  /// content-addressed cache directory that warm-starts transparently
+  /// (and falls back to a cold rebuild on miss/mismatch/corruption).
+  std::string SaveSnapshotFile;
+  std::string LoadSnapshotFile;
+  std::string CacheDir;
 
   bool governed() const {
     // TSL_FAULT arms the injector without any CLI flag; env-armed runs
@@ -136,6 +145,8 @@ void usage() {
           "                 [--fault POINT[:N][:throw|:stall][:once],...\n"
           "                          |all|rand:SEED] [--run-steps N]\n"
           "                 [--incremental on|off]\n"
+          "                 [--save-snapshot FILE] [--load-snapshot FILE]\n"
+          "                 [--cache-dir DIR]\n"
           "exit codes: 0 complete, 1 file error, 2 usage,\n"
           "            3 degraded by budget, 4 refused (--strict-budget),\n"
           "            5 internal/stage failure\n");
@@ -286,6 +297,21 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
                 V ? V : "");
         return false;
       }
+    } else if (Arg == "--save-snapshot") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.SaveSnapshotFile = V;
+    } else if (Arg == "--load-snapshot") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.LoadSnapshotFile = V;
+    } else if (Arg == "--cache-dir") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CacheDir = V;
     } else if (Arg.rfind("--", 0) == 0) {
       fprintf(stderr, "unknown option %s\n", Arg.c_str());
       return false;
@@ -350,6 +376,8 @@ void reportNoStatement(const Program &P, unsigned UserLine,
 ///   cs on|off       toggle the context-sensitive representation
 ///   reload          re-read the current source file
 ///   edit FILE       switch to FILE as the source (reload follows it)
+///   save FILE       write a versioned snapshot of the warm artifacts
+///   load FILE       warm-start from a snapshot (cold fallback on error)
 ///   stats           print per-stage memoization telemetry
 ///   quit            exit (EOF works too)
 ///
@@ -426,6 +454,20 @@ int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
           }
         continue;
       }
+      if (Cmd == "save" || Cmd == "load") {
+        if (Arg.empty()) {
+          fprintf(stderr, "error: %s expects a file path\n", Cmd.c_str());
+          continue;
+        }
+        Status S = Cmd == "save" ? Session.saveSnapshot(Arg)
+                                 : Session.loadSnapshot(Arg);
+        if (!S.isOk())
+          fprintf(stderr, "error: %s\n", S.str().c_str());
+        else
+          printf("%s snapshot %s\n", Cmd == "save" ? "saved" : "loaded",
+                 Arg.c_str());
+        continue;
+      }
       if (Cmd == "slice") {
         uint64_t N = 0;
         if (!parsePositiveInt(Arg, N)) {
@@ -478,7 +520,8 @@ int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
       }
       fprintf(stderr,
               "error: unknown command '%s' (try: slice N, mode thin|trad, "
-              "cs on|off, stats, reload, edit FILE, quit)\n",
+              "cs on|off, stats, reload, edit FILE, save FILE, load FILE, "
+              "quit)\n",
               Cmd.c_str());
     } catch (const std::exception &E) {
       // Nothing below the session boundary should throw; if something
@@ -607,7 +650,8 @@ int runTool(int argc, char **argv) {
   }
 
   if (!Opts.Line && Opts.SeedsFile.empty() && Opts.DotFile.empty() &&
-      !Opts.Stats && !Opts.PtaStats && !Opts.Interactive)
+      !Opts.Stats && !Opts.PtaStats && !Opts.Interactive &&
+      Opts.SaveSnapshotFile.empty() && Opts.CacheDir.empty())
     return 0;
 
   PTAOptions PtaOpts;
@@ -623,6 +667,38 @@ int runTool(int argc, char **argv) {
   SDGOptions SdgOpts;
   SdgOpts.ContextSensitive = Opts.ContextSensitive;
   Session.setSDGOptions(SdgOpts);
+
+  // Warm-start layer: snapshots are only meaningful once the option
+  // digests above are final. Loads fall back to a cold rebuild (the
+  // warning carries the reason); an explicit save that cannot be
+  // written is an internal failure.
+  bool CacheWarm = false;
+  if (!Opts.CacheDir.empty()) {
+    Session.setCacheDir(Opts.CacheDir);
+    CacheWarm = Session.tryLoadFromCacheDir();
+  }
+  if (!Opts.LoadSnapshotFile.empty()) {
+    Status L = Session.loadSnapshot(Opts.LoadSnapshotFile);
+    if (!L.isOk())
+      fprintf(stderr, "warning: %s\n", L.str().c_str());
+  }
+  if (!Opts.SaveSnapshotFile.empty()) {
+    Status S = Session.saveSnapshot(Opts.SaveSnapshotFile);
+    if (!S.isOk()) {
+      fprintf(stderr, "error: %s\n", S.str().c_str());
+      return 5;
+    }
+  }
+  if (!Opts.CacheDir.empty() && !CacheWarm && !B) {
+    // Populate the cache for the next process. Best-effort: a full or
+    // unwritable cache directory must not fail the query itself.
+    Status S = Session.saveToCacheDir();
+    if (!S.isOk())
+      fprintf(stderr, "warning: %s\n", S.str().c_str());
+  }
+  // A successful load installed a decoded Program: the pointer taken
+  // before the warm-start block is stale now.
+  P = Session.program();
 
   if (Opts.Interactive)
     return runInteractive(Session, Opts, LineOffset);
