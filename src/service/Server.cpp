@@ -1,0 +1,440 @@
+//===-- Server.cpp - The thinsliced slice service -------------------------===//
+
+#include "service/Server.h"
+
+#include "slicer/Engine.h"
+#include "slicer/Report.h"
+#include "slicer/Tabulation.h"
+#include "support/Budget.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace tsl;
+
+SliceServer::SliceServer(ServerOptions Opts)
+    : O(std::move(Opts)), Pool(O.Threads),
+      Registry(SessionRegistry::Options{O.MaxSessions, O.AnalysisThreads,
+                                        O.CacheDir}) {}
+
+SliceServer::~SliceServer() {
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  for (int Fd : WakePipe)
+    if (Fd >= 0)
+      ::close(Fd);
+}
+
+Status SliceServer::listen() {
+  sockaddr_un Addr{};
+  if (O.SocketPath.empty() ||
+      O.SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status(StatusCode::InvalidArgument,
+                  "socket path empty or longer than " +
+                      std::to_string(sizeof(Addr.sun_path) - 1) +
+                      " bytes: '" + O.SocketPath + "'");
+  if (::pipe(WakePipe) != 0)
+    return Status(StatusCode::Internal,
+                  std::string("pipe: ") + strerror(errno));
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0)
+    return Status(StatusCode::Internal,
+                  std::string("socket: ") + strerror(errno));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, O.SocketPath.c_str(), O.SocketPath.size() + 1);
+  // A previous daemon's stale socket file would make bind fail
+  // forever; replacing it is the conventional daemon behavior.
+  ::unlink(O.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0)
+    return Status(StatusCode::Internal, "bind " + O.SocketPath + ": " +
+                                            strerror(errno));
+  if (::listen(ListenFd, 128) != 0)
+    return Status(StatusCode::Internal,
+                  std::string("listen: ") + strerror(errno));
+  return Status::ok();
+}
+
+void SliceServer::requestShutdown() {
+  // One byte on the self-pipe; run() observes it at its next poll.
+  // write() is async-signal-safe, so signal handlers can use the same
+  // mechanism directly through wakeFd().
+  char B = 1;
+  if (WakePipe[1] >= 0)
+    (void)!::write(WakePipe[1], &B, 1);
+}
+
+void SliceServer::reapFinishedConnections() {
+  std::lock_guard<std::mutex> L(ConnMu);
+  for (auto It = Conns.begin(); It != Conns.end();) {
+    if ((*It)->Done.load(std::memory_order_acquire)) {
+      (*It)->Thread.join();
+      It = Conns.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+int SliceServer::run() {
+  for (;;) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    int R = ::poll(Fds, 2, -1);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Fds[1].revents) // Drain requested.
+      break;
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    int Client = ::accept4(ListenFd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (Client < 0)
+      continue;
+    Stats.Accepted.fetch_add(1, std::memory_order_relaxed);
+    reapFinishedConnections();
+    auto C = std::make_unique<Conn>();
+    C->Fd = Client;
+    Conn *Raw = C.get();
+    {
+      std::lock_guard<std::mutex> L(ConnMu);
+      Conns.push_back(std::move(C));
+    }
+    Raw->Thread = std::thread([this, Raw] { connectionLoop(*Raw); });
+  }
+
+  // Graceful drain: stop accepting, unblock idle readers, let busy
+  // ones finish their in-flight request and flush its response.
+  Draining.store(true, std::memory_order_release);
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::unlink(O.SocketPath.c_str());
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    for (auto &C : Conns)
+      ::shutdown(C->Fd, SHUT_RD);
+  }
+  for (;;) {
+    std::unique_ptr<Conn> C;
+    {
+      std::lock_guard<std::mutex> L(ConnMu);
+      if (Conns.empty())
+        break;
+      C = std::move(Conns.front());
+      Conns.pop_front();
+    }
+    C->Thread.join();
+  }
+  return 0;
+}
+
+void SliceServer::connectionLoop(Conn &C) {
+  auto Respond = [&C](const ServiceResponse &Resp) {
+    return writeFrame(C.Fd, encodeResponse(Resp)).isOk();
+  };
+
+  for (;;) {
+    FrameRead F = readFrame(C.Fd);
+    if (F.K == FrameRead::Eof)
+      break;
+    if (F.K == FrameRead::Error) {
+      // Truncated frame or mid-request disconnect: the stream is not
+      // at a frame boundary any more, so the only safe move is to
+      // hang up. The daemon itself stays healthy.
+      Stats.BadFrames.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (F.K == FrameRead::TooLarge) {
+      Stats.BadFrames.fetch_add(1, std::memory_order_relaxed);
+      (void)Respond({ServiceStatus::BadRequest, "",
+                     "frame of " + std::to_string(F.ClaimedLen) +
+                         " bytes exceeds the " +
+                         std::to_string(MaxServiceFrameBytes) +
+                         "-byte cap"});
+      break; // The oversized payload was never read: desynced.
+    }
+
+    ServiceRequest Req;
+    Status D = decodeRequest(F.Payload, Req);
+    if (!D.isOk()) {
+      // The frame boundary itself was intact, so the connection can
+      // keep going after rejecting the bad payload.
+      Stats.BadFrames.fetch_add(1, std::memory_order_relaxed);
+      if (!Respond({ServiceStatus::BadRequest, "", D.message()}))
+        break;
+      continue;
+    }
+
+    Stats.Requests.fetch_add(1, std::memory_order_relaxed);
+
+    if (Req.Type == ServiceMsg::Shutdown) {
+      // Acknowledge first (the client deserves to see the drain
+      // happen), then trigger the same path as SIGTERM.
+      (void)Respond({ServiceStatus::Ok, "draining", ""});
+      requestShutdown();
+      continue;
+    }
+
+    if (Draining.load(std::memory_order_acquire)) {
+      if (!Respond({ServiceStatus::Retry, "", "server is draining"}))
+        break;
+      continue;
+    }
+
+    // Admission control: the bounded "queue" is the in-flight count.
+    // Overflow answers RETRY immediately — no request is ever parked
+    // in an unbounded buffer waiting for capacity.
+    std::size_t Current = InFlight.fetch_add(1, std::memory_order_acq_rel);
+    if (Current >= O.MaxQueue) {
+      InFlight.fetch_sub(1, std::memory_order_acq_rel);
+      Stats.Retries.fetch_add(1, std::memory_order_relaxed);
+      if (!Respond({ServiceStatus::Retry, "",
+                    "server overloaded (" + std::to_string(Current) +
+                        " requests in flight, bound " +
+                        std::to_string(O.MaxQueue) + ")"}))
+        break;
+      continue;
+    }
+
+    ServiceResponse Resp;
+    try {
+      Resp = Pool.submit([this, &Req] { return handle(Req); }).get();
+    } catch (const std::exception &E) {
+      Resp = {ServiceStatus::Internal, "", E.what()};
+    } catch (...) {
+      Resp = {ServiceStatus::Internal, "", "unknown exception"};
+    }
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+
+    if (!Respond(Resp))
+      break; // Client vanished mid-response; nothing left to do.
+  }
+
+  ::close(C.Fd);
+  C.Done.store(true, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Request handlers (run on the shared pool)
+//===----------------------------------------------------------------------===//
+
+ServiceResponse SliceServer::handle(const ServiceRequest &Req) {
+  switch (Req.Type) {
+  case ServiceMsg::LoadSource:
+  case ServiceMsg::LoadSnapshot:
+    return handleLoad(Req);
+  case ServiceMsg::Slice:
+    return handleSlice(Req);
+  case ServiceMsg::BatchSlice:
+    return handleBatchSlice(Req);
+  case ServiceMsg::Edit:
+    return handleEdit(Req);
+  case ServiceMsg::Stats:
+    return handleStats(Req);
+  case ServiceMsg::Ping:
+    if (Req.DelayMs)
+      std::this_thread::sleep_for(std::chrono::milliseconds(Req.DelayMs));
+    return {ServiceStatus::Ok, "pong", ""};
+  case ServiceMsg::Shutdown:
+    break; // Handled on the connection thread.
+  }
+  return {ServiceStatus::BadRequest, "", "unhandled message type"};
+}
+
+ServiceResponse SliceServer::handleLoad(const ServiceRequest &Req) {
+  if (Req.Source.empty())
+    return {ServiceStatus::BadRequest, "", "empty source"};
+  std::string Note;
+  auto E = Registry.acquire(Req.Source, Req.ContextSensitive,
+                            Req.LineOffset, Req.Incremental,
+                            Req.Type == ServiceMsg::LoadSnapshot ? Req.Path
+                                                                 : "",
+                            Note);
+  std::shared_lock<std::shared_mutex> L(E->Mu);
+  if (!E->Prog)
+    return {ServiceStatus::Error, E->Id, E->CompileErrors};
+  if (!E->Graph)
+    return {ServiceStatus::Internal, E->Id, E->StageError};
+  return {ServiceStatus::Ok, E->Id, Note};
+}
+
+namespace {
+
+/// Per-request governance: a budget armed from the daemon option, or
+/// null for ungoverned requests (the zero-overhead default).
+struct RequestBudget {
+  explicit RequestBudget(uint64_t Ms) {
+    if (Ms) {
+      Budget.BudgetMs = Ms;
+      Budget.start();
+      B = &Budget;
+    }
+  }
+  AnalysisBudget Budget;
+  const AnalysisBudget *B = nullptr;
+};
+
+/// Shared entry validation: null when usable, a response otherwise.
+/// Caller must hold the entry's lock (shared suffices).
+bool entryUsable(const WarmSession &E, ServiceResponse &Resp) {
+  if (!E.Prog) {
+    Resp = {ServiceStatus::Error, "",
+            E.CompileErrors.empty() ? "program does not compile"
+                                    : E.CompileErrors};
+    return false;
+  }
+  if (!E.Graph) {
+    Resp = {ServiceStatus::Internal, "", E.StageError};
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+ServiceResponse SliceServer::handleSlice(const ServiceRequest &Req) {
+  auto E = Registry.find(Req.SessionId);
+  if (!E)
+    return {ServiceStatus::BadRequest, "",
+            "unknown session '" + Req.SessionId + "' (load-source first)"};
+
+  // Readers share the session: concurrent slices run in parallel over
+  // the immutable finalized SDG while an edit waits for exclusivity.
+  std::shared_lock<std::shared_mutex> L(E->Mu);
+  ServiceResponse Bad;
+  if (!entryUsable(*E, Bad))
+    return Bad;
+
+  unsigned UserLine = Req.Lines.empty() ? 0 : Req.Lines.front();
+  const Instr *Seed = seedAtLine(*E->Prog, UserLine + E->LineOffset);
+  if (!Seed)
+    return {ServiceStatus::BadRequest, "",
+            noStatementMessage(*E->Prog, UserLine, E->LineOffset)};
+
+  RequestBudget RB(O.RequestBudgetMs);
+  SliceResult Slice(nullptr, BitSet());
+  if (E->ContextSensitive) {
+    // The session's SummaryCache is thread-safe, so shared-lock
+    // readers may consult (and populate) it concurrently; summaries
+    // depend only on (graph epoch, mode), which the exclusive edit
+    // path bumps.
+    TabulationSlicer Tab(*E->Graph, Req.Mode, RB.B, &E->S->summaries());
+    Slice = Tab.slice(Seed);
+  } else {
+    Slice = sliceBackward(*E->Graph, Seed, Req.Mode, RB.B);
+  }
+
+  ServiceResponse Resp;
+  Resp.Code = Slice.complete() ? ServiceStatus::Ok : ServiceStatus::Degraded;
+  Resp.Body = renderSliceReport(
+      Slice, sliceKindName(Req.Mode, E->ContextSensitive), UserLine,
+      E->LineOffset);
+  Resp.Detail = Slice.complete() ? "" : Slice.degradedReason();
+  return Resp;
+}
+
+ServiceResponse SliceServer::handleBatchSlice(const ServiceRequest &Req) {
+  auto E = Registry.find(Req.SessionId);
+  if (!E)
+    return {ServiceStatus::BadRequest, "",
+            "unknown session '" + Req.SessionId + "' (load-source first)"};
+
+  std::shared_lock<std::shared_mutex> L(E->Mu);
+  ServiceResponse Bad;
+  if (!entryUsable(*E, Bad))
+    return Bad;
+
+  std::vector<const Instr *> Seeds;
+  Seeds.reserve(Req.Lines.size());
+  for (uint32_t UserLine : Req.Lines) {
+    const Instr *Seed = seedAtLine(*E->Prog, UserLine + E->LineOffset);
+    if (!Seed)
+      return {ServiceStatus::BadRequest, "",
+              noStatementMessage(*E->Prog, UserLine, E->LineOffset)};
+    Seeds.push_back(Seed);
+  }
+
+  RequestBudget RB(O.RequestBudgetMs);
+  // A request-local engine over the shared immutable graph: batches
+  // from concurrent clients stay independent (each runs inline on its
+  // own pool lane; the request fan-out IS the parallelism).
+  SliceEngine Engine(*E->Graph, nullptr);
+  BatchOptions BO;
+  BO.Mode = Req.Mode;
+  BO.ContextSensitive = E->ContextSensitive;
+  BO.Jobs = 1;
+  BO.Budget = RB.B;
+  BO.Summaries = E->ContextSensitive ? &E->S->summaries() : nullptr;
+  std::vector<SliceResult> Results = Engine.sliceBackwardBatch(Seeds, BO);
+
+  ServiceResponse Resp;
+  const char *What = sliceKindName(Req.Mode, E->ContextSensitive);
+  for (std::size_t I = 0; I != Results.size(); ++I) {
+    Resp.Body += "=== seed line " + std::to_string(Req.Lines[I]) + " ===\n";
+    Resp.Body += renderSliceReport(Results[I], What, Req.Lines[I],
+                                   E->LineOffset);
+    if (!Results[I].complete() && Resp.Code == ServiceStatus::Ok) {
+      Resp.Code = ServiceStatus::Degraded;
+      Resp.Detail = Results[I].degradedReason();
+    }
+  }
+  return Resp;
+}
+
+ServiceResponse SliceServer::handleEdit(const ServiceRequest &Req) {
+  auto E = Registry.find(Req.SessionId);
+  if (!E)
+    return {ServiceStatus::BadRequest, "",
+            "unknown session '" + Req.SessionId + "' (load-source first)"};
+  if (Req.Source.empty())
+    return {ServiceStatus::BadRequest, "", "empty source"};
+
+  // Writers are exclusive: every in-flight slice finishes before the
+  // artifacts move, and no slice starts until the edit re-warmed them.
+  std::unique_lock<std::shared_mutex> L(E->Mu);
+  uint64_t AppliedBefore = E->S->incrementalStats().Applied;
+  E->S->setSource(Req.Source);
+  SessionRegistry::refreshWarmPointers(*E);
+  if (!E->Prog)
+    return {ServiceStatus::Error, E->Id, E->CompileErrors};
+  if (!E->Graph)
+    return {ServiceStatus::Internal, E->Id, E->StageError};
+  bool Incremental = E->S->incrementalStats().Applied > AppliedBefore;
+  return {ServiceStatus::Ok, E->Id,
+          Incremental ? "incremental" : "cold rebuild"};
+}
+
+ServiceResponse SliceServer::handleStats(const ServiceRequest &Req) {
+  auto E = Registry.find(Req.SessionId);
+  if (!E)
+    return {ServiceStatus::BadRequest, "",
+            "unknown session '" + Req.SessionId + "' (load-source first)"};
+
+  // Sampled before taking the entry lock: size() takes the registry
+  // map mutex, and acquire() locks fresh entries while holding it —
+  // holding the entry lock across size() would invert that order.
+  const std::size_t WarmSessions = Registry.size();
+
+  // statsString() memoizes into the session (mutable members), so
+  // stats is a writer despite being read-only in spirit.
+  std::unique_lock<std::shared_mutex> L(E->Mu);
+  std::string Body = E->S ? E->S->statsString() : "";
+  Body += "server: " +
+          std::to_string(Stats.Requests.load(std::memory_order_relaxed)) +
+          " requests, " +
+          std::to_string(Stats.Accepted.load(std::memory_order_relaxed)) +
+          " connections, " +
+          std::to_string(Stats.Retries.load(std::memory_order_relaxed)) +
+          " retries, " +
+          std::to_string(Stats.BadFrames.load(std::memory_order_relaxed)) +
+          " bad frames, " + std::to_string(WarmSessions) +
+          " warm sessions\n";
+  return {ServiceStatus::Ok, Body, ""};
+}

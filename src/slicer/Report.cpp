@@ -2,8 +2,10 @@
 
 #include "slicer/Report.h"
 
+#include "ir/Program.h"
 #include "support/BitSet.h"
 
+#include <algorithm>
 #include <deque>
 #include <set>
 
@@ -90,4 +92,72 @@ std::string SliceNarration::str(unsigned LineOffset) const {
     Out += "\n";
   }
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared query-report rendering (CLI, REPL, and service).
+//===----------------------------------------------------------------------===//
+
+const Instr *tsl::seedAtLine(const Program &P, unsigned Line) {
+  const Instr *Last = nullptr;
+  for (const auto &M : P.methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs())
+        if (I->loc().Line == Line)
+          Last = I.get();
+  return Last;
+}
+
+std::string tsl::renderSliceReport(const SliceResult &Slice,
+                                   const std::string &What, unsigned UserLine,
+                                   unsigned LineOffset) {
+  const Program &P = Slice.graph().program();
+  std::string Out = What + " from line " + std::to_string(UserLine) + ": " +
+                    std::to_string(Slice.sizeStmts()) + " statements, " +
+                    std::to_string(Slice.sourceLines().size()) +
+                    " source lines\n";
+  for (const SourceLine &L : Slice.sourceLines()) {
+    unsigned Shown = L.Line > LineOffset ? L.Line - LineOffset : L.Line;
+    Out += "  " + L.M->qualifiedName(P.strings()) + ":" +
+           std::to_string(Shown);
+    if (L.Line <= LineOffset)
+      Out += " [runtime]";
+    Out += "\n";
+  }
+  return Out;
+}
+
+const char *tsl::sliceKindName(SliceMode Mode, bool ContextSensitive) {
+  if (ContextSensitive)
+    return "context-sensitive slice";
+  return Mode == SliceMode::Thin ? "thin slice" : "traditional slice";
+}
+
+std::string tsl::noStatementMessage(const Program &P, unsigned UserLine,
+                                    unsigned LineOffset) {
+  unsigned AbsLine = UserLine + LineOffset;
+  unsigned Below = 0, Above = ~0u;
+  for (const auto &M : P.methods())
+    for (const auto &BB : M->blocks())
+      for (const auto &I : BB->instrs()) {
+        unsigned L = I->loc().Line;
+        if (L <= LineOffset) // Runtime-library prefix.
+          continue;
+        if (L < AbsLine)
+          Below = std::max(Below, L);
+        else if (L > AbsLine)
+          Above = std::min(Above, L);
+      }
+  std::string Near;
+  if (Below)
+    Near += std::to_string(Below - LineOffset);
+  if (Above != ~0u) {
+    if (!Near.empty())
+      Near += ", ";
+    Near += std::to_string(Above - LineOffset);
+  }
+  std::string Msg = "no statement at line " + std::to_string(UserLine);
+  if (!Near.empty())
+    Msg += " (nearest statement lines: " + Near + ")";
+  return Msg;
 }

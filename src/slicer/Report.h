@@ -56,6 +56,37 @@ private:
 /// each statement was reached.
 SliceNarration narrateSlice(const SDG &G, const Instr *Seed, SliceMode Mode);
 
+//===----------------------------------------------------------------------===//
+// Shared query-report rendering. The thinslice CLI, its REPL, and the
+// thinsliced service all answer "slice from line N" with the same
+// text; keeping the renderer here (rather than three printf copies)
+// is what makes a remote answer byte-identical to the in-process one.
+//===----------------------------------------------------------------------===//
+
+/// The statement carrying source line \p Line (absolute, i.e. after
+/// any runtime-library prefix), or null. When several statements share
+/// the line, the last one in program order is returned — the seed
+/// convention every tool entry point uses.
+const Instr *seedAtLine(const Program &P, unsigned Line);
+
+/// The standard report of one backward slice: a "<What> from line
+/// <UserLine>: S statements, L source lines" header plus one indented
+/// "Class.method:line" entry per source line, lines at or below
+/// \p LineOffset tagged [runtime] and the rest shown relative to it.
+std::string renderSliceReport(const SliceResult &Slice,
+                              const std::string &What, unsigned UserLine,
+                              unsigned LineOffset);
+
+/// The display name of a slice flavor: "context-sensitive slice" when
+/// \p ContextSensitive, otherwise "thin slice" / "traditional slice".
+const char *sliceKindName(SliceMode Mode, bool ContextSensitive);
+
+/// "no statement at line N" with the nearest user-file statement
+/// lines suggested when any exist (no trailing newline, no "error: "
+/// prefix — callers decide the severity framing).
+std::string noStatementMessage(const Program &P, unsigned UserLine,
+                               unsigned LineOffset);
+
 } // namespace tsl
 
 #endif // THINSLICER_SLICER_REPORT_H

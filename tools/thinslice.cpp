@@ -51,6 +51,7 @@
 #include "slicer/Slicer.h"
 #include "slicer/Tabulation.h"
 
+#include "service/Client.h"
 #include "support/Budget.h"
 #include "support/ParseInt.h"
 
@@ -120,6 +121,10 @@ struct CliOptions {
   std::string SaveSnapshotFile;
   std::string LoadSnapshotFile;
   std::string CacheDir;
+  /// Client mode: drive a thinsliced daemon over its Unix socket
+  /// instead of analyzing in-process. The daemon keeps the session
+  /// warm across invocations (and across clients).
+  std::string ConnectSocket;
 
   bool governed() const {
     // TSL_FAULT arms the injector without any CLI flag; env-armed runs
@@ -146,10 +151,11 @@ void usage() {
           "                          |all|rand:SEED] [--run-steps N]\n"
           "                 [--incremental on|off]\n"
           "                 [--save-snapshot FILE] [--load-snapshot FILE]\n"
-          "                 [--cache-dir DIR]\n"
+          "                 [--cache-dir DIR] [--connect SOCKET]\n"
           "exit codes: 0 complete, 1 file error, 2 usage,\n"
           "            3 degraded by budget, 4 refused (--strict-budget),\n"
-          "            5 internal/stage failure\n");
+          "            5 internal/stage failure,\n"
+          "            6 server busy (--connect; back off and retry)\n");
 }
 
 /// CLI wrappers over the shared strict parsers (support/ParseInt.h):
@@ -312,6 +318,11 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.CacheDir = V;
+    } else if (Arg == "--connect") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ConnectSocket = V;
     } else if (Arg.rfind("--", 0) == 0) {
       fprintf(stderr, "unknown option %s\n", Arg.c_str());
       return false;
@@ -324,47 +335,48 @@ bool parseArgs(int argc, char **argv, CliOptions &Opts) {
   return !Opts.File.empty();
 }
 
-const Instr *seedAtLine(const Program &P, unsigned Line) {
-  const Instr *Last = nullptr;
-  for (const auto &M : P.methods())
-    for (const auto &BB : M->blocks())
-      for (const auto &I : BB->instrs())
-        if (I->loc().Line == Line)
-          Last = I.get();
-  return Last;
-}
-
 /// Reports the missing seed and suggests the nearest user-file lines
-/// (relative to \p LineOffset) that do carry statements.
+/// (relative to \p LineOffset) that do carry statements. The message
+/// itself is the shared noStatementMessage (slicer/Report.h), so the
+/// CLI, REPL, and daemon agree on it.
 void reportNoStatement(const Program &P, unsigned UserLine,
                        unsigned LineOffset) {
-  unsigned AbsLine = UserLine + LineOffset;
-  unsigned Below = 0, Above = ~0u;
-  for (const auto &M : P.methods())
-    for (const auto &BB : M->blocks())
-      for (const auto &I : BB->instrs()) {
-        unsigned L = I->loc().Line;
-        if (L <= LineOffset) // Runtime-library prefix.
-          continue;
-        if (L < AbsLine)
-          Below = std::max(Below, L);
-        else if (L > AbsLine)
-          Above = std::min(Above, L);
-      }
-  std::string Near;
-  if (Below)
-    Near += std::to_string(Below - LineOffset);
-  if (Above != ~0u) {
-    if (!Near.empty())
-      Near += ", ";
-    Near += std::to_string(Above - LineOffset);
+  fprintf(stderr, "error: %s\n",
+          noStatementMessage(P, UserLine, LineOffset).c_str());
+}
+
+/// Reads a seeds file: one user-file line number per line, blank lines
+/// and '#' comments skipped, anything else a usage error. Returns 0
+/// and fills \p Out, or the exit code to return (1 file, 2 usage).
+int readSeedsFile(const std::string &Path, std::vector<unsigned> &Out) {
+  std::ifstream SeedsIn(Path);
+  if (!SeedsIn) {
+    fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 1;
   }
-  if (Near.empty())
-    fprintf(stderr, "error: no statement at line %u\n", UserLine);
-  else
-    fprintf(stderr,
-            "error: no statement at line %u (nearest statement lines: %s)\n",
-            UserLine, Near.c_str());
+  std::string Raw;
+  unsigned FileLine = 0;
+  while (std::getline(SeedsIn, Raw)) {
+    ++FileLine;
+    std::size_t Begin = Raw.find_first_not_of(" \t\r");
+    if (Begin == std::string::npos || Raw[Begin] == '#')
+      continue;
+    std::size_t End = Raw.find_last_not_of(" \t\r");
+    std::string Tok = Raw.substr(Begin, End - Begin + 1);
+    uint64_t N = 0;
+    if (!parsePositiveInt(Tok, N)) {
+      fprintf(stderr,
+              "error: %s:%u: expected a positive line number, got '%s'\n",
+              Path.c_str(), FileLine, Tok.c_str());
+      return 2;
+    }
+    Out.push_back(static_cast<unsigned>(N));
+  }
+  if (Out.empty()) {
+    fprintf(stderr, "error: %s contains no seeds\n", Path.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 /// The warm-session REPL: reads one command per stdin line and answers
@@ -500,19 +512,10 @@ int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
                   Session.lastError().str().c_str());
           continue;
         }
-        const char *What =
-            Session.sdgOptions().ContextSensitive
-                ? "context-sensitive slice"
-                : (Mode == SliceMode::Thin ? "thin slice"
-                                           : "traditional slice");
-        printf("%s from line %u: %u statements, %zu source lines\n", What,
-               UserLine, Slice->sizeStmts(), Slice->sourceLines().size());
-        for (const SourceLine &L : Slice->sourceLines()) {
-          unsigned Shown = L.Line > LineOffset ? L.Line - LineOffset : L.Line;
-          const char *Where = L.Line > LineOffset ? "" : " [runtime]";
-          printf("  %s:%u%s\n", L.M->qualifiedName(P->strings()).c_str(),
-                 Shown, Where);
-        }
+        const char *What = sliceKindName(
+            Mode, Session.sdgOptions().ContextSensitive);
+        fputs(renderSliceReport(*Slice, What, UserLine, LineOffset).c_str(),
+              stdout);
         if (!Slice->complete())
           fprintf(stderr, "warning: slice degraded (%s)\n",
                   Slice->degradedReason().c_str());
@@ -534,6 +537,198 @@ int runInteractive(AnalysisSession &Session, const CliOptions &Opts,
   if (Opts.Stats)
     printf("%s", Session.statsString().c_str());
   return 0;
+}
+
+/// Maps a daemon response code onto the tool's exit-code taxonomy.
+/// ServiceStatus deliberately reuses the exit-code numbers (plus 6 for
+/// RETRY), so this is the identity.
+int exitCodeFor(ServiceStatus Code) { return static_cast<int>(Code); }
+
+/// Prints a non-Ok daemon response the way the in-process paths print
+/// the equivalent local failure, and returns the exit code.
+int reportRemoteFailure(const ServiceResponse &Resp) {
+  switch (Resp.Code) {
+  case ServiceStatus::Error:
+    // Compile diagnostics arrive pre-rendered, one per line.
+    fputs(Resp.Detail.c_str(), stderr);
+    if (!Resp.Detail.empty() && Resp.Detail.back() != '\n')
+      fputc('\n', stderr);
+    break;
+  case ServiceStatus::Retry:
+    fprintf(stderr, "error: server busy, back off and retry (%s)\n",
+            Resp.Detail.c_str());
+    break;
+  default:
+    fprintf(stderr, "error: %s\n", Resp.Detail.c_str());
+    break;
+  }
+  return exitCodeFor(Resp.Code);
+}
+
+/// The remote REPL: the --interactive command set that makes sense
+/// against a shared daemon (slice N, mode thin|trad, edit FILE, stats,
+/// quit), each answered over the wire by the warm session \p SessionId.
+int runConnectInteractive(ServiceClient &C, const std::string &SessionId,
+                          const CliOptions &Opts) {
+  SliceMode Mode = Opts.Mode;
+  std::string LineBuf;
+  while (std::getline(std::cin, LineBuf)) {
+    std::istringstream Words(LineBuf);
+    std::string Cmd, Arg;
+    Words >> Cmd >> Arg;
+    if (Cmd.empty())
+      continue;
+    if (Cmd == "quit" || Cmd == "exit")
+      break;
+    if (Cmd == "mode") {
+      if (Arg == "thin")
+        Mode = SliceMode::Thin;
+      else if (Arg == "trad" || Arg == "traditional")
+        Mode = SliceMode::Traditional;
+      else
+        fprintf(stderr, "error: mode expects thin|trad\n");
+      continue;
+    }
+    ServiceResponse Resp;
+    Status S = Status::ok();
+    if (Cmd == "slice") {
+      uint64_t N = 0;
+      if (!parsePositiveInt(Arg, N)) {
+        fprintf(stderr,
+                "error: slice expects a positive line number, got '%s'\n",
+                Arg.c_str());
+        continue;
+      }
+      S = C.slice(SessionId, static_cast<uint32_t>(N), Mode, Resp);
+      if (S.isOk() && (Resp.Code == ServiceStatus::Ok ||
+                       Resp.Code == ServiceStatus::Degraded)) {
+        fputs(Resp.Body.c_str(), stdout);
+        if (Resp.Code == ServiceStatus::Degraded)
+          fprintf(stderr, "warning: slice degraded (%s)\n",
+                  Resp.Detail.c_str());
+        continue;
+      }
+    } else if (Cmd == "edit") {
+      if (Arg.empty()) {
+        fprintf(stderr, "error: edit expects a file path\n");
+        continue;
+      }
+      std::ifstream In(Arg);
+      if (!In) {
+        fprintf(stderr, "error: cannot open %s\n", Arg.c_str());
+        continue;
+      }
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      std::string Src = Opts.NoRuntime ? "" : runtimeLibrarySource();
+      Src += Buf.str();
+      S = C.edit(SessionId, Src, Resp);
+      if (S.isOk() && Resp.Code == ServiceStatus::Ok)
+        continue;
+    } else if (Cmd == "stats") {
+      S = C.stats(SessionId, Resp);
+      if (S.isOk() && Resp.Code == ServiceStatus::Ok) {
+        fputs(Resp.Body.c_str(), stdout);
+        continue;
+      }
+    } else {
+      fprintf(stderr,
+              "error: unknown command '%s' (try: slice N, mode thin|trad, "
+              "edit FILE, stats, quit)\n",
+              Cmd.c_str());
+      continue;
+    }
+    if (!S.isOk()) {
+      // Transport failure: the daemon is gone; a retry loop here would
+      // just spin on a dead socket.
+      fprintf(stderr, "error: %s\n", S.str().c_str());
+      return 5;
+    }
+    (void)reportRemoteFailure(Resp); // REPL stays alive on protocol errors.
+  }
+  return 0;
+}
+
+/// Client mode: the tool becomes a thin front end for a thinsliced
+/// daemon — load (or reuse) the warm session for the file's content,
+/// then answer --line / --seeds / --interactive over the wire. Output
+/// is byte-identical to the in-process paths because the daemon runs
+/// the same renderer over the same artifacts.
+int runConnect(const CliOptions &Opts) {
+  if (Opts.Run || Opts.ChopSink || Opts.Forward || Opts.Expand ||
+      Opts.AliasDepth || Opts.Why || !Opts.DotFile.empty() || Opts.DumpIR ||
+      Opts.Stats || Opts.PtaStats || !Opts.SaveSnapshotFile.empty() ||
+      !Opts.LoadSnapshotFile.empty() || !Opts.CacheDir.empty() ||
+      Opts.governed()) {
+    fprintf(stderr,
+            "error: --connect supports --line, --seeds, --interactive, "
+            "--mode, --context-sensitive, --incremental, and --no-runtime "
+            "only (analysis options live with the daemon)\n");
+    return 2;
+  }
+  if (!Opts.Line && Opts.SeedsFile.empty() && !Opts.Interactive) {
+    fprintf(stderr,
+            "error: --connect needs --line, --seeds, or --interactive\n");
+    return 2;
+  }
+
+  std::ifstream In(Opts.File);
+  if (!In) {
+    fprintf(stderr, "error: cannot open %s\n", Opts.File.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  unsigned LineOffset = 0;
+  std::string Source;
+  if (!Opts.NoRuntime) {
+    Source = runtimeLibrarySource();
+    LineOffset = runtimeLibraryLines();
+  }
+  Source += Buf.str();
+
+  ServiceClient C;
+  Status S = C.connect(Opts.ConnectSocket);
+  if (!S.isOk()) {
+    fprintf(stderr, "error: %s\n", S.str().c_str());
+    return 1;
+  }
+
+  ServiceResponse Load;
+  S = C.loadSource(Source, Opts.ContextSensitive, LineOffset,
+                   Opts.Incremental, Load);
+  if (!S.isOk()) {
+    fprintf(stderr, "error: %s\n", S.str().c_str());
+    return 5;
+  }
+  if (Load.Code != ServiceStatus::Ok)
+    return reportRemoteFailure(Load);
+  const std::string SessionId = Load.Body;
+
+  if (Opts.Interactive)
+    return runConnectInteractive(C, SessionId, Opts);
+
+  ServiceResponse Resp;
+  if (!Opts.SeedsFile.empty()) {
+    std::vector<unsigned> SeedUserLines;
+    if (int Rc = readSeedsFile(Opts.SeedsFile, SeedUserLines))
+      return Rc;
+    std::vector<uint32_t> Lines(SeedUserLines.begin(), SeedUserLines.end());
+    S = C.batchSlice(SessionId, Lines, Opts.Mode, Resp);
+  } else {
+    S = C.slice(SessionId, Opts.Line, Opts.Mode, Resp);
+  }
+  if (!S.isOk()) {
+    fprintf(stderr, "error: %s\n", S.str().c_str());
+    return 5;
+  }
+  if (Resp.Code != ServiceStatus::Ok &&
+      Resp.Code != ServiceStatus::Degraded)
+    return reportRemoteFailure(Resp);
+  fputs(Resp.Body.c_str(), stdout);
+  if (Resp.Code == ServiceStatus::Degraded)
+    fprintf(stderr, "warning: slice degraded (%s)\n", Resp.Detail.c_str());
+  return exitCodeFor(Resp.Code);
 }
 
 /// The whole tool, minus the crash barrier main() wraps around it.
@@ -561,6 +756,9 @@ int runTool(int argc, char **argv) {
                     "--seeds/--run\n");
     return 2;
   }
+
+  if (!Opts.ConnectSocket.empty())
+    return runConnect(Opts);
 
   if (!Opts.FaultSpec.empty() &&
       !FaultInjector::instance().armFromSpec(Opts.FaultSpec)) {
@@ -765,37 +963,9 @@ int runTool(int argc, char **argv) {
   }
 
   if (!Opts.SeedsFile.empty()) {
-    std::ifstream SeedsIn(Opts.SeedsFile);
-    if (!SeedsIn) {
-      fprintf(stderr, "error: cannot open %s\n", Opts.SeedsFile.c_str());
-      return 1;
-    }
-    // One user-file line number per line; blank lines and '#' comments
-    // are skipped; anything else is a usage error (a typo silently
-    // slicing the wrong line would be worse than failing).
     std::vector<unsigned> SeedUserLines;
-    std::string Raw;
-    unsigned FileLine = 0;
-    while (std::getline(SeedsIn, Raw)) {
-      ++FileLine;
-      std::size_t Begin = Raw.find_first_not_of(" \t\r");
-      if (Begin == std::string::npos || Raw[Begin] == '#')
-        continue;
-      std::size_t End = Raw.find_last_not_of(" \t\r");
-      std::string Tok = Raw.substr(Begin, End - Begin + 1);
-      uint64_t N = 0;
-      if (!parsePositiveInt(Tok, N)) {
-        fprintf(stderr,
-                "error: %s:%u: expected a positive line number, got '%s'\n",
-                Opts.SeedsFile.c_str(), FileLine, Tok.c_str());
-        return 2;
-      }
-      SeedUserLines.push_back(static_cast<unsigned>(N));
-    }
-    if (SeedUserLines.empty()) {
-      fprintf(stderr, "error: %s contains no seeds\n", Opts.SeedsFile.c_str());
-      return 2;
-    }
+    if (int Rc = readSeedsFile(Opts.SeedsFile, SeedUserLines))
+      return Rc;
 
     std::vector<const Instr *> Seeds;
     bool Missing = false;
@@ -820,22 +990,12 @@ int runTool(int argc, char **argv) {
     BO.Summaries = Opts.ContextSensitive ? &Cache : nullptr;
     std::vector<SliceResult> Results = Engine.sliceBackwardBatch(Seeds, BO);
 
-    const char *What =
-        Opts.ContextSensitive
-            ? "context-sensitive slice"
-            : (Opts.Mode == SliceMode::Thin ? "thin slice"
-                                            : "traditional slice");
+    const char *What = sliceKindName(Opts.Mode, Opts.ContextSensitive);
     for (std::size_t I = 0; I != Results.size(); ++I) {
-      const SliceResult &Slice = Results[I];
       printf("=== seed line %u ===\n", SeedUserLines[I]);
-      printf("%s from line %u: %u statements, %zu source lines\n", What,
-             SeedUserLines[I], Slice.sizeStmts(), Slice.sourceLines().size());
-      for (const SourceLine &L : Slice.sourceLines()) {
-        unsigned Shown = L.Line > LineOffset ? L.Line - LineOffset : L.Line;
-        const char *Where = L.Line > LineOffset ? "" : " [runtime]";
-        printf("  %s:%u%s\n", L.M->qualifiedName(P->strings()).c_str(), Shown,
-               Where);
-      }
+      fputs(renderSliceReport(Results[I], What, SeedUserLines[I], LineOffset)
+                .c_str(),
+            stdout);
     }
     const BatchStats &St = Engine.stats();
     printf("batch: %u queries (%u unique) on %u worker%s\n", St.Queries,
@@ -909,15 +1069,8 @@ int runTool(int argc, char **argv) {
     return Finish(&Slice);
   }
 
-  printf("%s from line %u: %u statements, %zu source lines\n",
-         What.c_str(), Opts.Line, Slice.sizeStmts(),
-         Slice.sourceLines().size());
-  for (const SourceLine &L : Slice.sourceLines()) {
-    unsigned Shown = L.Line > LineOffset ? L.Line - LineOffset : L.Line;
-    const char *Where = L.Line > LineOffset ? "" : " [runtime]";
-    printf("  %s:%u%s\n", L.M->qualifiedName(P->strings()).c_str(), Shown,
-           Where);
-  }
+  fputs(renderSliceReport(Slice, What, Opts.Line, LineOffset).c_str(),
+        stdout);
 
   if (!Opts.DotFile.empty()) {
     DotOptions DO;
